@@ -1,0 +1,95 @@
+"""E1 — Agents conserve network bandwidth vs. client-server (paper section 1).
+
+Claim: "By structuring a system in terms of agents, applications can be
+constructed in which communication-network bandwidth is conserved ...
+there is rarely a need to transmit raw data from one site to another."
+
+The experiment sweeps the query selectivity (fraction of records that are
+relevant) and the raw record size, and reports the bytes each architecture
+puts on the wire plus the agent's advantage factor.  The expected shape:
+the mobile agent wins by a factor that grows with record size and shrinks
+as selectivity approaches 1 (when everything is relevant there is nothing
+to filter away, and carrying the accumulated results from site to site can
+even make the agent the more expensive architecture — the crossover).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DataGatherParams, Report, ratio, run_agent_gather, \
+    run_client_server_gather
+
+SELECTIVITIES = (0.01, 0.05, 0.2, 0.5, 1.0)
+RECORD_BYTES = (128, 512, 2048)
+
+#: the representative point timed by pytest-benchmark
+REPRESENTATIVE = DataGatherParams(n_sites=8, records_per_site=100, record_bytes=512,
+                                  selectivity=0.05, seed=13)
+
+
+def _sweep():
+    rows = []
+    for record_bytes in RECORD_BYTES:
+        for selectivity in SELECTIVITIES:
+            params = DataGatherParams(n_sites=8, records_per_site=100,
+                                      record_bytes=record_bytes,
+                                      selectivity=selectivity, seed=13)
+            agent = run_agent_gather(params)
+            server = run_client_server_gather(params)
+            rows.append((record_bytes, selectivity, agent, server))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return _sweep()
+
+
+def test_e1_table(benchmark, sweep_rows, emit_report):
+    """Regenerate the E1 table and time the representative agent run."""
+    report = Report("E1", "bandwidth: mobile agent vs client-server data gathering "
+                          "(8 sites x 100 records)")
+    table = report.table(
+        "bytes on the wire by architecture",
+        ["record B", "selectivity", "agent bytes", "server bytes", "agent wins x",
+         "same answer"])
+    for record_bytes, selectivity, agent, server in sweep_rows:
+        table.add_row(record_bytes, selectivity, agent.bytes_on_wire, server.bytes_on_wire,
+                      round(ratio(server.bytes_on_wire, agent.bytes_on_wire), 1),
+                      agent.relevant_found == server.relevant_found)
+    table.add_note("agent wins x = server bytes / agent bytes; >1 means the agent "
+                   "architecture moved fewer bytes")
+    emit_report(report)
+
+    # Shape assertions (the paper's qualitative claim): when only a small
+    # fraction of the data is relevant, the agent wins clearly; the win is
+    # largest at the lowest selectivity.
+    low_selectivity = [row for row in sweep_rows if row[1] <= 0.05 and row[0] >= 512]
+    assert all(ratio(server.bytes_on_wire, agent.bytes_on_wire) > 3
+               for _, _, agent, server in low_selectivity)
+    one_percent = [row for row in sweep_rows if row[1] == 0.01]
+    assert all(ratio(server.bytes_on_wire, agent.bytes_on_wire) > 8
+               for _, _, agent, server in one_percent)
+
+    benchmark.pedantic(run_agent_gather, args=(REPRESENTATIVE,), rounds=1, iterations=1)
+
+
+def test_e1_crossover_with_full_selectivity(benchmark, sweep_rows, emit_report):
+    """At selectivity 1.0 the agent's advantage collapses (the crossover)."""
+    report = Report("E1b", "bandwidth crossover as selectivity approaches 1")
+    table = report.table("advantage factor vs selectivity (record size 512 B)",
+                         ["selectivity", "agent wins x"])
+    factors = {}
+    for record_bytes, selectivity, agent, server in sweep_rows:
+        if record_bytes == 512:
+            factor = ratio(server.bytes_on_wire, agent.bytes_on_wire)
+            factors[selectivity] = factor
+            table.add_row(selectivity, round(factor, 2))
+    emit_report(report)
+
+    assert factors[0.01] > factors[0.5] > factors[1.0]
+    assert factors[1.0] < 2.0
+
+    benchmark.pedantic(
+        run_client_server_gather, args=(REPRESENTATIVE,), rounds=1, iterations=1)

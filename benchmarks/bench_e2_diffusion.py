@@ -1,0 +1,104 @@
+"""E2 — Site-local folders bound the flooding agent population (paper section 2).
+
+Claim: a flooding agent that clones at every neighbour grows "without
+bound"; recording visits in a site-local folder lets clones terminate, so
+the diffusion agent covers the network with a bounded population.
+
+The experiment floods random connected topologies of increasing size with
+both variants and reports coverage and the number of agent transfers.  The
+expected shape: diffusion's transfers grow roughly with the number of
+edges, the naive flood's transfers grow exponentially with its TTL (and it
+still may not cover everything).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Report
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.net import random_topology
+from repro.sysagents.diffusion import DIFFUSION_CABINET
+
+SIZES = (8, 16, 32)
+NAIVE_TTLS = (2, 3, 4)
+
+
+def run_diffusion(n_sites: int, seed: int = 5):
+    topo = random_topology(n_sites, edge_probability=0.25, seed=seed)
+    kernel = Kernel(topo, transport="tcp", config=KernelConfig(rng_seed=seed))
+    briefcase = Briefcase()
+    briefcase.set("PAYLOAD", "wave")
+    kernel.launch(topo.sites()[0], "diffusion", briefcase)
+    kernel.run()
+    covered = sum(1 for name in kernel.site_names()
+                  if kernel.site(name).cabinet(DIFFUSION_CABINET).get("PAYLOAD") == "wave")
+    return {"covered": covered, "sites": n_sites,
+            "transfers": kernel.stats.migrations,
+            "bytes": kernel.stats.bytes_sent,
+            "duration": kernel.now}
+
+
+def run_naive(n_sites: int, ttl: int, seed: int = 5):
+    topo = random_topology(n_sites, edge_probability=0.25, seed=seed)
+    kernel = Kernel(topo, transport="tcp", config=KernelConfig(rng_seed=seed))
+    briefcase = Briefcase()
+    briefcase.set("PAYLOAD", "wave")
+    briefcase.set("TTL", ttl)
+    kernel.launch(topo.sites()[0], "naive_flood", briefcase)
+    kernel.run(max_events=200_000)
+    covered = sum(1 for name in kernel.site_names()
+                  if kernel.site(name).cabinet(DIFFUSION_CABINET).get("PAYLOAD") == "wave")
+    return {"covered": covered, "sites": n_sites, "ttl": ttl,
+            "transfers": kernel.stats.migrations,
+            "bytes": kernel.stats.bytes_sent}
+
+
+@pytest.fixture(scope="module")
+def diffusion_rows():
+    return {size: run_diffusion(size) for size in SIZES}
+
+
+@pytest.fixture(scope="module")
+def naive_rows():
+    return {ttl: run_naive(12, ttl) for ttl in NAIVE_TTLS}
+
+
+def test_e2_diffusion_scaling(benchmark, diffusion_rows, emit_report):
+    report = Report("E2", "diffusion with site-local visit records: full coverage, "
+                          "bounded population")
+    table = report.table("diffusion over random topologies (p=0.25)",
+                         ["sites", "covered", "agent transfers", "transfers per site",
+                          "bytes"])
+    for size, row in sorted(diffusion_rows.items()):
+        table.add_row(size, row["covered"], row["transfers"],
+                      round(row["transfers"] / size, 2), row["bytes"])
+    table.add_note("coverage is total in every run; transfers grow near-linearly in sites")
+    emit_report(report)
+
+    for size, row in diffusion_rows.items():
+        assert row["covered"] == size
+        assert row["transfers"] <= size * size
+
+    benchmark.pedantic(run_diffusion, args=(16,), rounds=1, iterations=1)
+
+
+def test_e2_naive_flood_explosion(benchmark, naive_rows, diffusion_rows, emit_report):
+    report = Report("E2b", "naive flooding without visit records (12 sites)")
+    table = report.table("clone population vs TTL",
+                         ["ttl", "covered (of 12)", "agent transfers"])
+    for ttl, row in sorted(naive_rows.items()):
+        table.add_row(ttl, row["covered"], row["transfers"])
+    diffusion_12 = run_diffusion(12)
+    table.add_note(f"diffusion covers 12/12 with {diffusion_12['transfers']} transfers; "
+                   "the naive flood needs exponentially more transfers as TTL grows")
+    emit_report(report)
+
+    transfers = [naive_rows[ttl]["transfers"] for ttl in sorted(naive_rows)]
+    assert transfers == sorted(transfers)
+    # Super-linear growth between successive TTLs.
+    assert transfers[-1] - transfers[-2] > transfers[-2] - transfers[-3]
+    # And even the largest TTL run spends more transfers than diffusion.
+    assert transfers[-1] > diffusion_12["transfers"]
+
+    benchmark.pedantic(run_naive, args=(12, 3), rounds=1, iterations=1)

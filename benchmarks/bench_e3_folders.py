@@ -1,0 +1,92 @@
+"""E3 — Briefcases are cheap to move, cabinets are cheap to access (paper section 2).
+
+Claim: "folders must be easy to transfer from one computing system to
+another ... elaborate index structures are not suitable" for carried
+folders, while file cabinets "can be implemented using techniques that
+optimize access times even if this increases the cost of moving the file
+cabinet."
+
+The experiment measures, as the number of stored elements grows:
+
+* the modelled move cost of a briefcase vs. a file cabinet holding the
+  same content (simulated bytes-equivalent);
+* the *real* (wall-clock) cost of membership queries against a briefcase
+  folder (linear scan) vs. a cabinet (digest index) — this is the micro-
+  benchmark pytest-benchmark times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Report
+from repro.core import Briefcase, FileCabinet, Folder
+
+ELEMENT_COUNTS = (100, 1_000, 5_000)
+ELEMENT_SIZE = 64
+
+
+def build_pair(count: int):
+    """A briefcase and a cabinet holding the same `count` elements."""
+    elements = [f"element-{index:06d}".ljust(ELEMENT_SIZE, "x") for index in range(count)]
+    briefcase = Briefcase([Folder("DATA", elements)])
+    cabinet = FileCabinet("store")
+    cabinet.deposit(briefcase)
+    return briefcase, cabinet, elements
+
+
+@pytest.fixture(scope="module")
+def cost_rows():
+    rows = []
+    for count in ELEMENT_COUNTS:
+        briefcase, cabinet, _ = build_pair(count)
+        rows.append((count, briefcase.wire_size(), cabinet.storage_size(),
+                     cabinet.move_cost()))
+    return rows
+
+
+def test_e3_move_cost_table(benchmark, cost_rows, emit_report):
+    report = Report("E3", "briefcase vs file cabinet: move cost and access cost")
+    table = report.table("modelled move cost (bytes-equivalent)",
+                         ["elements", "briefcase wire", "cabinet storage",
+                          "cabinet move cost", "cabinet/briefcase"])
+    for count, briefcase_wire, storage, move in cost_rows:
+        table.add_row(count, briefcase_wire, storage, move,
+                      round(move / briefcase_wire, 1))
+    table.add_note("cabinets trade mobility for access speed: moving one costs "
+                   f"{FileCabinet.MOVE_COST_FACTOR}x its stored bytes")
+    emit_report(report)
+
+    for _, briefcase_wire, _, move in cost_rows:
+        assert move > briefcase_wire
+
+    # Time building + shipping model of a mid-sized briefcase.
+    benchmark(lambda: build_pair(1_000)[0].wire_size())
+
+
+def test_e3_membership_query_briefcase_scan(benchmark):
+    """Linear scan through a carried folder (the price of index-free mobility)."""
+    briefcase, _, elements = build_pair(2_000)
+    needle = elements[-1]
+
+    def scan():
+        return needle in briefcase.folder("DATA").elements()
+
+    assert benchmark(scan) is True
+
+
+def test_e3_membership_query_cabinet_index(benchmark, emit_report):
+    """Digest-indexed membership in a cabinet (the payoff of staying put)."""
+    _, cabinet, elements = build_pair(2_000)
+    needle = elements[-1]
+
+    def probe():
+        return cabinet.contains_element("DATA", needle)
+
+    assert benchmark(probe) is True
+
+    report = Report("E3b", "access path comparison at 2000 elements")
+    table = report.table("membership query implementation", ["structure", "mechanism"])
+    table.add_row("briefcase folder", "decode + linear scan (no index to ship)")
+    table.add_row("file cabinet", "per-folder digest index (rebuilt locally, never shipped)")
+    emit_report(report)

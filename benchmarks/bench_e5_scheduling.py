@@ -1,0 +1,152 @@
+"""E5 — Broker scheduling distributes requests by load and capacity (paper section 4).
+
+Claim: "Brokers are expected to communicate among themselves and with the
+service providers, so that requests can be distributed amongst service
+providers based on load and capacity."
+
+The experiment runs the same client stream against heterogeneous providers
+under each assignment policy and reports the per-site job counts, how close
+the split is to capacity-proportional, and the makespan.  A second table
+(E5b) measures how quickly load information spreads between brokers through
+gossip — the paper's "equivalent to routing in a wide-area network" remark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Report, coefficient_of_variation, jains_fairness
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.net import lan
+from repro.scheduling import (BROKER_CABINET, CLIENT_BEHAVIOUR_NAME, POLICY_NAMES,
+                              broker_state, install_scheduling, make_broker_behaviour,
+                              make_gossip_behaviour, make_monitor_behaviour)
+from repro.scheduling.routing import gossip_convergence
+
+PROVIDERS = [
+    {"site": "fast", "capacity": 4.0},
+    {"site": "medium", "capacity": 2.0},
+    {"site": "slow", "capacity": 1.0},
+]
+CAPACITIES = {spec["site"]: spec["capacity"] for spec in PROVIDERS}
+N_CLIENTS = 30
+
+
+def run_policy(policy: str, seed: int = 55):
+    sites = ["home", "brokerage", "fast", "medium", "slow"]
+    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=seed))
+    deployment = install_scheduling(kernel, ["brokerage"], PROVIDERS, policy=policy,
+                                    monitor_interval=0.25, monitor_rounds=20,
+                                    work_seconds=0.1)
+    kernel.run(until=0.5)
+    for index in range(N_CLIENTS):
+        briefcase = Briefcase()
+        briefcase.set("HOME", "home")
+        briefcase.set("BROKER_SITE", "brokerage")
+        briefcase.set("SERVICE", "compute")
+        briefcase.set("CLIENT", f"client-{index:02d}")
+        kernel.launch("home", CLIENT_BEHAVIOUR_NAME, briefcase, delay=0.5 + index * 0.04)
+    kernel.run()
+
+    jobs = deployment.provider_job_counts()
+    outcomes = deployment.client_outcomes(["home"])
+    served = [outcome for outcome in outcomes if outcome["status"] == "served"]
+    total_capacity = sum(CAPACITIES.values())
+    # How far the split is from capacity-proportional (lower = better).
+    proportional_error = sum(
+        abs(jobs.get(site, 0) / max(1, sum(jobs.values())) - capacity / total_capacity)
+        for site, capacity in CAPACITIES.items()) / len(CAPACITIES)
+    return {
+        "policy": policy,
+        "jobs": jobs,
+        "served": len(served),
+        "fairness": jains_fairness(list(jobs.values())),
+        "proportional_error": proportional_error,
+        "makespan": max((outcome["completed_at"] for outcome in served), default=0.0),
+        "cov": coefficient_of_variation(list(jobs.values())),
+    }
+
+
+def run_gossip_convergence(gossip_interval: float, seed: int = 9):
+    """How stale broker 2's view of the world is, for a given gossip cadence."""
+    sites = ["b1", "b2", "s1", "s2", "s3"]
+    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=seed))
+    for broker_site in ("b1", "b2"):
+        kernel.install_agent(broker_site, "broker", make_broker_behaviour(), replace=True)
+    # Monitors report only to b1; b2 learns through gossip.
+    for worker in ("s1", "s2", "s3"):
+        kernel.launch(worker, make_monitor_behaviour(["b1"], interval=0.5, rounds=10))
+    kernel.launch("b1", make_gossip_behaviour(["b2"], interval=gossip_interval, rounds=10))
+    kernel.run(until=6.0)
+    states = {name: broker_state(kernel.site(name).cabinet(BROKER_CABINET))
+              for name in ("b1", "b2")}
+    convergence = gossip_convergence(states)
+    staleness = [value for key, value in convergence.items() if key != "__coverage__"]
+    return {
+        "interval": gossip_interval,
+        "coverage": convergence["__coverage__"],
+        "worst_staleness": max(staleness) if staleness else float("inf"),
+        "messages": kernel.stats.messages_sent,
+    }
+
+
+@pytest.fixture(scope="module")
+def policy_rows():
+    return [run_policy(policy) for policy in POLICY_NAMES]
+
+
+@pytest.fixture(scope="module")
+def gossip_rows():
+    return [run_gossip_convergence(interval) for interval in (0.5, 1.0, 2.0)]
+
+
+def test_e5_policy_table(benchmark, policy_rows, emit_report):
+    report = Report("E5", f"broker scheduling of {N_CLIENTS} mobile clients over "
+                          "providers with capacity 4/2/1")
+    table = report.table(
+        "assignment policy comparison",
+        ["policy", "fast", "medium", "slow", "served", "capacity-prop error",
+         "makespan s"])
+    for row in policy_rows:
+        table.add_row(row["policy"], row["jobs"].get("fast", 0),
+                      row["jobs"].get("medium", 0), row["jobs"].get("slow", 0),
+                      row["served"], round(row["proportional_error"], 3),
+                      round(row["makespan"], 2))
+    table.add_note("capacity-prop error: mean |share - capacity share|; lower is better")
+    emit_report(report)
+
+    by_policy = {row["policy"]: row for row in policy_rows}
+    # Everyone gets served under every policy.
+    assert all(row["served"] == N_CLIENTS for row in policy_rows)
+    # The load/capacity-aware policy tracks capacity better than blind round-robin
+    # and finishes no later.
+    assert by_policy["least-loaded"]["proportional_error"] < \
+        by_policy["round-robin"]["proportional_error"]
+    assert by_policy["least-loaded"]["makespan"] <= \
+        by_policy["round-robin"]["makespan"] + 1e-6
+    # Load-oblivious policies push real work onto the slow site.
+    assert by_policy["round-robin"]["jobs"]["slow"] > \
+        by_policy["least-loaded"]["jobs"]["slow"]
+
+    benchmark.pedantic(run_policy, args=("least-loaded",), rounds=1, iterations=1)
+
+
+def test_e5b_gossip_convergence(benchmark, gossip_rows, emit_report):
+    report = Report("E5b", "broker-to-broker gossip: how fresh is the second broker's "
+                           "load table?")
+    table = report.table("gossip cadence sweep (monitors report only to broker 1)",
+                         ["gossip interval s", "coverage", "worst staleness s",
+                          "messages"])
+    for row in gossip_rows:
+        table.add_row(row["interval"], round(row["coverage"], 2),
+                      round(row["worst_staleness"], 2), row["messages"])
+    table.add_note("coverage 1.0 = broker 2 knows about every monitored site; "
+                   "staleness = age spread of the newest report per site across brokers")
+    emit_report(report)
+
+    assert all(row["coverage"] == 1.0 for row in gossip_rows)
+    # Faster gossip costs more messages.
+    messages = [row["messages"] for row in gossip_rows]
+    assert messages == sorted(messages, reverse=True)
+
+    benchmark.pedantic(run_gossip_convergence, args=(1.0,), rounds=1, iterations=1)

@@ -1,0 +1,131 @@
+"""E6 — Rear guards let computations survive site failures (paper section 5).
+
+Claim: leaving a rear guard behind at each hop lets an itinerant
+computation proceed "even though one or more of its agents is the victim of
+a site failure", at the cost of extra agents and messages.
+
+The experiment sweeps the per-site crash probability and compares the
+protected agent against the unprotected baseline on: completion rate,
+duplicate completions (must be zero), and message overhead.  Expected
+shape: the baseline's completion rate decays quickly with the crash
+probability; the rear-guard agent stays at 100% (origin and delivery sites
+are protected from crashes, as in the paper's model where the home of the
+computation survives), paying a message overhead that grows with the
+failure rate (more relaunches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Report, ratio
+from repro.core import Kernel, KernelConfig
+from repro.fault import completions, launch_ft_computation, launch_plain_computation
+from repro.net import RandomCrasher, lan
+
+SITES = [f"n{i}" for i in range(8)]
+HOME, DELIVERY = SITES[0], SITES[-1]
+INTERMEDIATE = SITES[1:-1]
+CRASH_PROBABILITIES = (0.0, 0.25, 0.5, 0.75)
+N_COMPUTATIONS = 5
+SEEDS = (11, 29)
+
+
+def run_batch(protected: bool, crash_probability: float, seed: int):
+    kernel = Kernel(lan(SITES), transport="tcp", config=KernelConfig(rng_seed=seed))
+    for index, name in enumerate(SITES):
+        kernel.site(name).cabinet("data").put("VALUE", index)
+    ids = []
+    for index in range(N_COMPUTATIONS):
+        rotation = index % len(INTERMEDIATE)
+        itinerary = INTERMEDIATE[rotation:] + INTERMEDIATE[:rotation] + [DELIVERY]
+        if protected:
+            ids.append(launch_ft_computation(kernel, HOME, itinerary, per_hop=0.5,
+                                             max_relaunches=4, work_seconds=0.25,
+                                             delay=0.05 * index))
+        else:
+            ids.append(launch_plain_computation(kernel, HOME, itinerary,
+                                                work_seconds=0.25, delay=0.05 * index))
+    RandomCrasher(crash_probability, window=(0.2, 2.0), recover_after=60.0,
+                  protect=[HOME, DELIVERY], seed=seed).install(kernel)
+    kernel.run(until=500.0)
+
+    counts = [len(completions(kernel, DELIVERY, ft_id)) for ft_id in ids]
+    return {
+        "completed": sum(1 for count in counts if count >= 1),
+        "duplicates": sum(max(0, count - 1) for count in counts),
+        "messages": kernel.stats.messages_sent,
+        "migrations": kernel.stats.migrations,
+    }
+
+
+def sweep_point(protected: bool, crash_probability: float):
+    totals = {"completed": 0, "duplicates": 0, "messages": 0, "migrations": 0}
+    for seed in SEEDS:
+        outcome = run_batch(protected, crash_probability, seed)
+        for key in totals:
+            totals[key] += outcome[key]
+    totals["attempted"] = N_COMPUTATIONS * len(SEEDS)
+    return totals
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = {}
+    for probability in CRASH_PROBABILITIES:
+        rows[probability] = {
+            "protected": sweep_point(True, probability),
+            "plain": sweep_point(False, probability),
+        }
+    return rows
+
+
+def test_e6_completion_rate_table(benchmark, sweep, emit_report):
+    report = Report("E6", "rear guards vs site crashes "
+                          f"({N_COMPUTATIONS * len(SEEDS)} computations per point, "
+                          "7-hop itineraries)")
+    table = report.table(
+        "completion under increasing crash probability",
+        ["crash prob", "plain completed", "guarded completed", "guarded duplicates",
+         "message overhead x"])
+    for probability, row in sorted(sweep.items()):
+        plain, protected = row["plain"], row["protected"]
+        table.add_row(probability,
+                      f"{plain['completed']}/{plain['attempted']}",
+                      f"{protected['completed']}/{protected['attempted']}",
+                      protected["duplicates"],
+                      round(ratio(protected["messages"], max(1, plain["messages"])), 2))
+    table.add_note("overhead = guarded messages / plain messages at the same crash rate; "
+                   "home and delivery sites never crash (the computation's anchor points)")
+    emit_report(report)
+
+    for probability, row in sweep.items():
+        protected = row["protected"]
+        # The headline: every protected computation completes, exactly once.
+        assert protected["completed"] == protected["attempted"], probability
+        assert protected["duplicates"] == 0
+    # The unprotected baseline degrades as crashes become likely.
+    assert sweep[0.75]["plain"]["completed"] < sweep[0.0]["plain"]["completed"]
+    # Fault tolerance is not free: guards cost messages even without failures.
+    assert sweep[0.0]["protected"]["messages"] > sweep[0.0]["plain"]["messages"]
+
+    benchmark.pedantic(run_batch, args=(True, 0.5, 11), rounds=1, iterations=1)
+
+
+def test_e6_overhead_is_bounded_without_failures(benchmark, sweep, emit_report):
+    """Ablation: what do the guards cost when nothing ever fails?"""
+    no_failure = sweep[0.0]
+    report = Report("E6b", "rear-guard overhead in the failure-free case")
+    table = report.table("failure-free cost", ["variant", "messages", "migrations"])
+    table.add_row("plain", no_failure["plain"]["messages"],
+                  no_failure["plain"]["migrations"])
+    table.add_row("rear-guarded", no_failure["protected"]["messages"],
+                  no_failure["protected"]["migrations"])
+    emit_report(report)
+
+    overhead = ratio(no_failure["protected"]["messages"],
+                     max(1, no_failure["plain"]["messages"]))
+    # Releases + occasional spurious relaunches: noticeable but bounded.
+    assert 1.0 < overhead < 6.0
+
+    benchmark.pedantic(run_batch, args=(False, 0.5, 11), rounds=1, iterations=1)

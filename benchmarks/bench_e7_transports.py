@@ -1,0 +1,102 @@
+"""E7 — The three rexec implementations: rsh, TCP, Horus (paper section 6).
+
+Claim: the prototype ran rexec over UNIX ``rsh`` (a fresh remote
+interpreter per transfer), Tcl/TCP (cached connections) and Tcl/Horus
+(group communication with long-lived channels).  The experiment measures
+per-migration latency for each transport across hop counts and payload
+sizes.  Expected shape: rsh pays a large fixed cost per hop and is an
+order of magnitude slower; TCP and Horus amortise their connection setup,
+with Horus slightly ahead on small payloads (cheaper established-channel
+setup) and the two converging as payloads grow (bandwidth dominates).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ItineraryParams, Report, ratio, run_itinerary
+
+TRANSPORTS = ("rsh", "tcp", "horus")
+HOP_COUNTS = (2, 8, 16)
+PAYLOADS = (256, 4_096, 65_536)
+
+
+@pytest.fixture(scope="module")
+def hop_sweep():
+    return {(transport, hops): run_itinerary(ItineraryParams(transport=transport,
+                                                             hops=hops,
+                                                             payload_bytes=1024, seed=3))
+            for transport in TRANSPORTS for hops in HOP_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def payload_sweep():
+    return {(transport, payload): run_itinerary(ItineraryParams(transport=transport,
+                                                                hops=8,
+                                                                payload_bytes=payload,
+                                                                seed=3))
+            for transport in TRANSPORTS for payload in PAYLOADS}
+
+
+def test_e7_hop_count_table(benchmark, hop_sweep, emit_report):
+    report = Report("E7", "migration cost of the three rexec transports (1 KB agent)")
+    table = report.table("itinerary completion time vs hop count",
+                         ["hops"] + [f"{transport} s" for transport in TRANSPORTS] +
+                         ["rsh/tcp x"])
+    for hops in HOP_COUNTS:
+        durations = [hop_sweep[(transport, hops)].duration for transport in TRANSPORTS]
+        table.add_row(hops, *[round(duration, 3) for duration in durations],
+                      round(ratio(hop_sweep[("rsh", hops)].duration,
+                                  hop_sweep[("tcp", hops)].duration), 1))
+    table.add_note("every run completes the same logical itinerary; only the transport "
+                   "changes")
+    emit_report(report)
+
+    for hops in HOP_COUNTS:
+        assert hop_sweep[("rsh", hops)].duration > hop_sweep[("tcp", hops)].duration
+        assert hop_sweep[("rsh", hops)].duration > hop_sweep[("horus", hops)].duration
+        assert hop_sweep[("rsh", hops)].hops_completed == hops
+    # rsh's per-hop penalty does not amortise: the gap persists at 16 hops.
+    assert ratio(hop_sweep[("rsh", 16)].duration, hop_sweep[("tcp", 16)].duration) > 3
+
+    benchmark.pedantic(run_itinerary,
+                       args=(ItineraryParams(transport="tcp", hops=8, payload_bytes=1024),),
+                       rounds=1, iterations=1)
+
+
+def test_e7_payload_table(benchmark, payload_sweep, emit_report):
+    report = Report("E7b", "per-hop migration latency vs agent size (8 hops)")
+    table = report.table("mean per-hop time by payload size",
+                         ["payload B"] + [f"{transport} ms/hop" for transport in TRANSPORTS])
+    for payload in PAYLOADS:
+        table.add_row(payload,
+                      *[round(payload_sweep[(transport, payload)].mean_hop_time * 1000, 1)
+                        for transport in TRANSPORTS])
+    table.add_note("as the agent grows, transfer time (payload / bandwidth) dominates and "
+                   "the cached-connection transports converge")
+    emit_report(report)
+
+    for transport in TRANSPORTS:
+        hop_times = [payload_sweep[(transport, payload)].mean_hop_time
+                     for payload in PAYLOADS]
+        assert hop_times == sorted(hop_times)
+    # Relative gap between tcp and horus narrows with payload size.
+    def gap(payload):
+        tcp = payload_sweep[("tcp", payload)].mean_hop_time
+        horus = payload_sweep[("horus", payload)].mean_hop_time
+        return abs(tcp - horus) / max(tcp, horus)
+
+    assert gap(PAYLOADS[-1]) < gap(PAYLOADS[0]) + 0.05
+
+    benchmark.pedantic(run_itinerary,
+                       args=(ItineraryParams(transport="horus", hops=8,
+                                             payload_bytes=4096),),
+                       rounds=1, iterations=1)
+
+
+def test_e7_rsh_representative(benchmark):
+    """Time the slow transport on its own so regressions in it are visible."""
+    result = benchmark.pedantic(
+        run_itinerary, args=(ItineraryParams(transport="rsh", hops=6, payload_bytes=1024),),
+        rounds=1, iterations=1)
+    assert result.hops_completed == 6

@@ -1,0 +1,35 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark module regenerates one experiment of EXPERIMENTS.md: it
+builds the experiment's table(s) once per session (the sweep is the
+expensive part), prints them (visible with ``-s``), saves them under
+``benchmarks/results/``, and lets pytest-benchmark time one representative
+configuration per pipeline so regressions in simulation cost show up.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: where rendered experiment tables are written
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory the experiment reports are saved into."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit_report(results_dir):
+    """Print a Report and persist it under benchmarks/results/."""
+
+    def _emit(report) -> str:
+        report.print()
+        return report.save(results_dir)
+
+    return _emit

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Electronic commerce between agents: cash, double-spending, and audits.
+
+Section 3 of the paper: agents pay for services with untraceable electronic
+cash (ECUs); a trusted validation agent retires serial numbers so copies of
+spent cash are worthless; disputes are settled by audits over signed action
+records rather than by transactions.
+
+The example runs three shoppers against a vendor:
+
+* an honest shopper, who pays and receives the service;
+* a double spender, who tries to pay with copies of already-spent ECUs and
+  is foiled by the validation agent;
+* a "claims to have paid" cheat, whom the auditor identifies from the
+  signed records.
+
+Run with::
+
+    python examples/electronic_commerce.py
+"""
+
+from __future__ import annotations
+
+from repro.cash import (Auditor, AuditRecord, KeyDirectory, Mint, Signer, Wallet,
+                        identity_for, make_validation_behaviour, make_vendor_behaviour,
+                        shopper_behaviour, VALIDATION_AGENT_NAME)
+from repro.core import Briefcase, Kernel, KernelConfig, register_behaviour
+from repro.net import lan
+
+
+def launch_shopper(kernel, mint, directory, name, cheat=None):
+    """Fund and launch one shopper travelling from 'home' to the 'market' site."""
+    signer = directory.new_signer(name)
+    briefcase = Briefcase()
+    briefcase.set("HOME", "home")
+    briefcase.set("VENDOR_SITE", "market")
+    briefcase.set("VENDOR_NAME", "vendor")
+    briefcase.set("PRICE", 10)
+    briefcase.set("EXCHANGE_ID", f"exchange-{name}")
+    briefcase.set("IDENTITY", identity_for(signer))
+    if cheat:
+        briefcase.set("CHEAT", cheat)
+
+    wallet = Wallet(briefcase)
+    if cheat == "double_spend":
+        # The cheat's wallet holds copies of ECUs that were already spent
+        # (validated and retired) elsewhere.
+        spent = mint.issue_many([5, 5, 5])
+        mint_takes = [mint.retire_and_reissue(ecu) for ecu in spent]  # retires them
+        del mint_takes
+        copies = briefcase.folder("SPENT_COPIES", create=True)
+        for ecu in spent:
+            copies.push(ecu.to_wire())
+    else:
+        wallet.deposit(mint.issue_many([5, 5, 5]))
+
+    kernel.launch("home", shopper_behaviour, briefcase, name=name)
+    return briefcase
+
+
+def main() -> None:
+    kernel = Kernel(lan(["home", "market", "bank"]), transport="tcp",
+                    config=KernelConfig(rng_seed=9))
+    mint = Mint(seed=7)
+    directory = KeyDirectory()
+    vendor_signer = directory.new_signer("vendor-corp")
+
+    # The trusted validation agent is installed at the market (backed by the
+    # mint), and the vendor sells a service for 10 ECUs.
+    kernel.install_agent("market", VALIDATION_AGENT_NAME,
+                         make_validation_behaviour(mint), replace=True)
+    kernel.install_agent("market", "vendor",
+                         make_vendor_behaviour(price=10, signer=vendor_signer),
+                         replace=True)
+    register_behaviour("shopper", shopper_behaviour, replace=True)
+
+    launch_shopper(kernel, mint, directory, "alice")
+    launch_shopper(kernel, mint, directory, "mallory", cheat="double_spend")
+    launch_shopper(kernel, mint, directory, "carol", cheat="claim_paid")
+    kernel.run()
+
+    print("Shopper outcomes (recorded at their home site):")
+    outcomes = kernel.site("home").cabinet("purchases").elements("outcomes")
+    for outcome in outcomes:
+        print(f"  {outcome['exchange_id']:<22} got_service={outcome['got_service']!s:<5} "
+              f"cheat={outcome.get('cheat') or 'none'}")
+
+    print(f"\nMint saw {mint.double_spend_attempts} double-spend attempt(s); "
+          f"money outstanding: {mint.outstanding_value()} ECUs")
+
+    # An aggrieved party requests an audit of carol's exchange.
+    auditor = Auditor(directory)
+    records = [AuditRecord.from_wire(record) for record in
+               kernel.site("home").cabinet("purchases").elements("audit")]
+    witness = kernel.site("market").cabinet("audit").elements("witness")
+    finding = auditor.audit("exchange-carol", records, witness_records=witness,
+                            expected_price=10)
+    print("\nAudit of exchange-carol:")
+    for violation in finding.violations:
+        print("  violation:", violation)
+    print("  guilty parties:", ", ".join(finding.guilty) or "none")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Containing a runaway agent with electronic cash (paper section 3).
+
+"We also hoped that electronic cash would provide a mechanism for
+controlling run-away agents.  Specifically, charging for services would
+limit possible damage by a run-away agent."
+
+The example installs a metered ``rexec`` that charges 1 ECU per migration,
+then releases a buggy agent that tries to hop around the network forever.
+Its damage radius is exactly its funding: once the wallet is empty, no site
+will ship it any further.  A well-behaved, adequately funded agent on the
+same network is unaffected.
+
+Run with::
+
+    python examples/runaway_containment.py
+"""
+
+from __future__ import annotations
+
+from repro.cash import Mint
+from repro.cash.metering import fund_briefcase, install_metering, toll_revenue
+from repro.core import Briefcase, Kernel, KernelConfig, register_behaviour
+from repro.net import lan
+
+
+def runaway(ctx, briefcase):
+    """A buggy agent: it just keeps hopping to the next site, forever."""
+    sites = ctx.sites()
+    next_site = sites[(sites.index(ctx.site_name) + 1) % len(sites)]
+    briefcase.set("HOPS", briefcase.get("HOPS", 0) + 1)
+    result = yield ctx.jump(briefcase, next_site)
+    if not result.value:
+        ctx.cabinet("containment").put(
+            "stopped", {"hops": briefcase.get("HOPS"), "site": ctx.site_name})
+        return "out of cash"
+    return "still hopping"
+
+
+def honest_worker(ctx, briefcase):
+    """A normal agent: visits its three sites and comes home."""
+    itinerary = briefcase.folder("ITINERARY", create=True)
+    briefcase.put("VISITED", ctx.site_name)
+    if itinerary:
+        yield ctx.jump(briefcase, itinerary.dequeue())
+        return "moved"
+    ctx.cabinet("containment").put("worker_done", list(briefcase.folder("VISITED")))
+    return "done"
+
+
+def main() -> None:
+    register_behaviour("runaway", runaway, replace=True)
+    register_behaviour("honest_worker", honest_worker, replace=True)
+
+    sites = [f"host{i}" for i in range(5)]
+    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=8))
+    mint = Mint(seed=8)
+    install_metering(kernel, mint, toll=1)
+
+    # The runaway gets a 6-ECU allowance.
+    runaway_briefcase = Briefcase()
+    fund_briefcase(mint, runaway_briefcase, 6)
+    kernel.launch("host0", "runaway", runaway_briefcase)
+
+    # The honest worker gets exactly what its 4-hop round trip costs.
+    worker_briefcase = Briefcase()
+    fund_briefcase(mint, worker_briefcase, 4)
+    worker_briefcase.folder("ITINERARY", create=True).extend(
+        ["host1", "host2", "host3", "host0"])
+    kernel.launch("host0", "honest_worker", worker_briefcase)
+
+    kernel.run(max_events=500_000)
+
+    stopped = next((kernel.site(site).cabinet("containment").get("stopped")
+                    for site in sites
+                    if kernel.site(site).cabinet("containment").get("stopped")), None)
+    worker_trail = next((kernel.site(site).cabinet("containment").get("worker_done")
+                         for site in sites
+                         if kernel.site(site).cabinet("containment").get("worker_done")), None)
+
+    print(f"runaway agent: stopped after {stopped['hops']} hops at {stopped['site']} "
+          f"(funding: 6 ECUs, toll: 1 ECU per hop)")
+    print(f"honest worker: completed its round trip {worker_trail}")
+    print(f"total migrations in the system: {kernel.stats.migrations}")
+    print(f"tolls collected across all sites: {toll_revenue(kernel)} ECUs")
+    print(f"money supply unchanged: {mint.outstanding_value()} ECUs outstanding")
+
+
+if __name__ == "__main__":
+    main()

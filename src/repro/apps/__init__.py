@@ -1,0 +1,7 @@
+"""Applications built on the agent substrate (paper section 6).
+
+* :mod:`repro.apps.stormcast` — the StormCast storm-prediction pipeline;
+* :mod:`repro.apps.mail` — the interactive mail system where messages are agents.
+"""
+
+__all__ = ["stormcast", "mail"]

@@ -1,0 +1,14 @@
+"""The interactive mail system where messages are agents (paper section 6)."""
+
+from repro.apps.mail.letter import (LETTER_AGENT_NAME, RECEIPT_FOLDER,
+                                    letter_agent_behaviour, make_letter)
+from repro.apps.mail.mailbox import (MAILBOX_AGENT_NAME, MAILBOX_CABINET, inbox_of,
+                                     install_mailboxes, mailbox_behaviour)
+from repro.apps.mail.mailer import MailSystem
+
+__all__ = [
+    "MailSystem",
+    "letter_agent_behaviour", "make_letter", "LETTER_AGENT_NAME", "RECEIPT_FOLDER",
+    "mailbox_behaviour", "install_mailboxes", "inbox_of",
+    "MAILBOX_AGENT_NAME", "MAILBOX_CABINET",
+]

@@ -1,0 +1,33 @@
+"""StormCast reimplemented on TACOMA agents (paper section 6, [J93]).
+
+Synthetic Arctic weather sensors, the mobile filtering collector, the hub
+expert system, and the client-server baseline the bandwidth experiments
+compare against.
+"""
+
+from repro.apps.stormcast.baseline import (BASELINE_CABINET, WEATHER_SERVER_NAME,
+                                           WEATHER_SINK_NAME, install_baseline_agents,
+                                           launch_baseline_client)
+from repro.apps.stormcast.collector import (COLLECTOR_NAME, STORMCAST_CABINET,
+                                            collector_behaviour, launch_collector)
+from repro.apps.stormcast.prediction import (EXPERT_AGENT_NAME, PREDICTIONS_CABINET,
+                                             StormExpert, StormPrediction,
+                                             make_expert_behaviour)
+from repro.apps.stormcast.sensors import (READINGS_FOLDER, SENSOR_CABINET, WeatherGenerator,
+                                          WeatherReading, populate_sensor_site,
+                                          populate_sensor_sites)
+from repro.apps.stormcast.workload import (StormCastParams, StormCastResult,
+                                           build_stormcast_kernel, run_agent_pipeline,
+                                           run_client_server)
+
+__all__ = [
+    "WeatherReading", "WeatherGenerator", "populate_sensor_site", "populate_sensor_sites",
+    "SENSOR_CABINET", "READINGS_FOLDER",
+    "StormExpert", "StormPrediction", "make_expert_behaviour",
+    "EXPERT_AGENT_NAME", "PREDICTIONS_CABINET",
+    "collector_behaviour", "launch_collector", "COLLECTOR_NAME", "STORMCAST_CABINET",
+    "install_baseline_agents", "launch_baseline_client",
+    "WEATHER_SERVER_NAME", "WEATHER_SINK_NAME", "BASELINE_CABINET",
+    "StormCastParams", "StormCastResult", "build_stormcast_kernel",
+    "run_agent_pipeline", "run_client_server",
+]

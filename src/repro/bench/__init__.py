@@ -1,0 +1,28 @@
+"""Shared benchmark harness: metrics, tables, and the reusable workloads.
+
+Every benchmark under ``benchmarks/`` builds its rows from these helpers so
+that EXPERIMENTS.md and the benchmark output stay in the same format.
+"""
+
+from repro.bench.baselines import (DATA_SERVER_NAME, DATA_SINK_NAME, PULL_CABINET,
+                                   install_data_servers, launch_pull_client, pull_summary)
+from repro.bench.metrics import (bytes_human, coefficient_of_variation, jains_fairness,
+                                 load_imbalance, percentile, ratio, speedup, summarize)
+from repro.bench.report import Report, Table
+from repro.bench.workloads import (DATA_CABINET, GATHER_AGENT_NAME, RECORDS_FOLDER,
+                                   DataGatherParams, GatherResult, ItineraryParams,
+                                   ItineraryResult, build_gather_kernel,
+                                   populate_data_sites, run_agent_gather,
+                                   run_client_server_gather, run_itinerary)
+
+__all__ = [
+    "summarize", "percentile", "ratio", "speedup", "jains_fairness",
+    "coefficient_of_variation", "load_imbalance", "bytes_human",
+    "Report", "Table",
+    "DataGatherParams", "GatherResult", "build_gather_kernel", "populate_data_sites",
+    "run_agent_gather", "run_client_server_gather",
+    "ItineraryParams", "ItineraryResult", "run_itinerary",
+    "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME",
+    "install_data_servers", "launch_pull_client", "pull_summary",
+    "DATA_SERVER_NAME", "DATA_SINK_NAME", "PULL_CABINET",
+]

@@ -1,0 +1,119 @@
+"""Client-server baselines for the gathering workloads (paper section 1's contrast).
+
+The paper's framing: "when an application is built using a client and
+servers, raw data may have to be sent from one site to another".  These
+agents implement that architecture on top of the same kernel so that the
+comparison with the mobile agent is apples-to-apples: same topology, same
+transport, same data, different placement of the filtering computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.workloads import DATA_CABINET, RECORDS_FOLDER
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+from repro.core.folder import Folder
+from repro.core.kernel import Kernel
+
+__all__ = ["install_data_servers", "launch_pull_client", "pull_summary",
+           "DATA_SERVER_NAME", "DATA_SINK_NAME", "PULL_CABINET"]
+
+#: the per-data-site server answering pull requests
+DATA_SERVER_NAME = "data_server"
+#: the home-side sink accumulating raw responses
+DATA_SINK_NAME = "data_sink"
+#: home-side cabinet holding pulled records and the run summary
+PULL_CABINET = "pull"
+
+
+def data_server_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """Ship every raw record of this site back to the requesting home site."""
+    request = briefcase.get("REQUEST")
+    if not isinstance(request, dict) or "home" not in request:
+        yield ctx.end_meet(0)
+        return 0
+    records = ctx.cabinet(DATA_CABINET).elements(RECORDS_FOLDER)
+    response = Folder("RAW_RECORDS", records)
+    response.push({"__origin__": ctx.site_name, "count": len(records)})
+    yield ctx.send_folder(response, request["home"], DATA_SINK_NAME)
+    yield ctx.end_meet(len(records))
+    return len(records)
+
+
+def data_sink_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """Bank arriving raw records at the home site."""
+    cabinet = ctx.cabinet(PULL_CABINET)
+    stored = 0
+    if briefcase.has("RAW_RECORDS"):
+        for record in briefcase.folder("RAW_RECORDS").elements():
+            if isinstance(record, dict) and "__origin__" in record:
+                cabinet.put("responded", record["__origin__"])
+            else:
+                cabinet.put("raw", record)
+                stored += 1
+    yield ctx.end_meet(stored)
+    return stored
+
+
+def install_data_servers(kernel: Kernel, home: str, data_sites: Sequence[str]) -> None:
+    """Install the pull-architecture agents (servers at data sites, sink at home)."""
+    kernel.install_agent(home, DATA_SINK_NAME, data_sink_behaviour, replace=True)
+    for site in data_sites:
+        kernel.install_agent(site, DATA_SERVER_NAME, data_server_behaviour, replace=True)
+
+
+def launch_pull_client(kernel: Kernel, home: str, data_sites: Sequence[str],
+                       poll_interval: float = 0.1, max_polls: int = 300,
+                       delay: float = 0.0) -> str:
+    """Launch the home-side client that requests everything and filters centrally."""
+    briefcase = Briefcase()
+    briefcase.set("HOME", home)
+    sites_folder = briefcase.folder("DATA_SITES", create=True)
+    for site in data_sites:
+        sites_folder.enqueue(site)
+    briefcase.set("POLL_INTERVAL", poll_interval)
+    briefcase.set("MAX_POLLS", max_polls)
+    return kernel.launch(home, _pull_client_behaviour, briefcase, delay=delay)
+
+
+def _pull_client_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """Request, wait for responses, filter the relevant records centrally."""
+    home = briefcase.get("HOME", ctx.site_name)
+    data_sites: List[str] = list(briefcase.folder("DATA_SITES", create=True).elements())
+    poll_interval = float(briefcase.get("POLL_INTERVAL", 0.1))
+    max_polls = int(briefcase.get("MAX_POLLS", 300))
+    cabinet = ctx.cabinet(PULL_CABINET)
+
+    for site in data_sites:
+        request = Folder("REQUEST", [{"home": home, "requested_at": ctx.now}])
+        yield ctx.send_folder(request, site, DATA_SERVER_NAME)
+
+    polls = 0
+    while polls < max_polls:
+        responded = set(cabinet.elements("responded"))
+        if all(site in responded for site in data_sites):
+            break
+        polls += 1
+        yield ctx.sleep(poll_interval)
+
+    raw = cabinet.elements("raw")
+    relevant = [record for record in raw
+                if isinstance(record, dict) and record.get("relevant")]
+    summary = {
+        "sites_responded": len(set(cabinet.elements("responded"))),
+        "sites_requested": len(data_sites),
+        "records_received": len(raw),
+        "relevant_found": len(relevant),
+        "polls": polls,
+        "completed_at": ctx.now,
+    }
+    cabinet.put("summary", summary)
+    return summary
+
+
+def pull_summary(kernel: Kernel, home: str) -> Dict[str, object]:
+    """The last pull-client summary recorded at *home* (empty dict if none)."""
+    summaries = kernel.site(home).cabinet(PULL_CABINET).elements("summary")
+    return summaries[-1] if summaries else {}

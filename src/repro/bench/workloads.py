@@ -1,0 +1,306 @@
+"""Shared benchmark workloads: data gathering and itinerant hop sweeps.
+
+Two workload families are used by several experiments:
+
+* **data gathering** (E1, and the ablations): N sites each hold a dataset
+  of which only a fraction is relevant; either a mobile agent filters at
+  each site and carries the relevant records home, or a central client
+  pulls every raw record over the network.  This is the distilled version
+  of the StormCast bandwidth argument, with the selectivity and record size
+  as explicit sweep parameters.
+* **itineraries** (E7): an agent that simply hops through K sites carrying
+  a payload of B bytes, used to measure per-transport migration cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+from repro.core.kernel import Kernel, KernelConfig
+from repro.core.registry import register_behaviour
+from repro.net.topology import Topology, lan, ring, star, two_clusters
+
+__all__ = [
+    "DataGatherParams", "GatherResult", "build_gather_kernel", "populate_data_sites",
+    "run_agent_gather", "run_client_server_gather",
+    "ItineraryParams", "ItineraryResult", "run_itinerary",
+    "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME",
+]
+
+#: cabinet each data site stores its records in
+DATA_CABINET = "data"
+#: folder holding the records
+RECORDS_FOLDER = "RECORDS"
+#: registered name of the gathering agent
+GATHER_AGENT_NAME = "data_gatherer"
+#: home-side cabinet where gather summaries land
+GATHER_RESULTS_CABINET = "gather_results"
+
+
+# ---------------------------------------------------------------------------
+# data-gathering workload
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DataGatherParams:
+    """One data-gathering configuration (the E1 sweep point)."""
+
+    n_sites: int = 8
+    records_per_site: int = 100
+    record_bytes: int = 512
+    #: fraction of records that are relevant to the query
+    selectivity: float = 0.05
+    transport: str = "tcp"
+    topology: str = "star"           # "star" | "lan" | "two_clusters" | "ring"
+    seed: int = 13
+    home_name: str = "home"
+    link_latency: float = 0.02
+    link_bandwidth: float = 250_000.0
+    run_until: float = 600.0
+
+    def data_site_names(self) -> List[str]:
+        """The data-holding site names for this configuration."""
+        return [f"data{i:02d}" for i in range(self.n_sites)]
+
+
+@dataclass
+class GatherResult:
+    """Outcome of one gathering run."""
+
+    mode: str
+    bytes_on_wire: int
+    messages: int
+    migrations: int
+    duration: float
+    relevant_found: int
+    records_total: int
+    sites_covered: int
+
+
+def _build_topology(params: DataGatherParams) -> Topology:
+    sites = params.data_site_names()
+    if params.topology == "star":
+        return star(params.home_name, sites, latency=params.link_latency,
+                    bandwidth=params.link_bandwidth)
+    if params.topology == "lan":
+        return lan([params.home_name] + sites, latency=params.link_latency,
+                   bandwidth=params.link_bandwidth)
+    if params.topology == "ring":
+        return ring([params.home_name] + sites, latency=params.link_latency,
+                    bandwidth=params.link_bandwidth)
+    if params.topology == "two_clusters":
+        half = max(1, len(sites) // 2)
+        return two_clusters([params.home_name] + sites[:half], sites[half:],
+                            wan_bandwidth=params.link_bandwidth)
+    raise ValueError(f"unknown topology kind {params.topology!r}")
+
+
+def populate_data_sites(kernel: Kernel, site_names: Sequence[str], records_per_site: int,
+                        record_bytes: int, selectivity: float, seed: int = 0) -> int:
+    """Fill each site's data cabinet; returns the number of relevant records planted."""
+    rng = random.Random(seed)
+    relevant_total = 0
+    for site_name in site_names:
+        folder = kernel.site(site_name).cabinet(DATA_CABINET).folder(RECORDS_FOLDER,
+                                                                     create=True)
+        for index in range(records_per_site):
+            relevant = rng.random() < selectivity
+            relevant_total += 1 if relevant else 0
+            folder.push({
+                "id": f"{site_name}:{index}",
+                "relevant": relevant,
+                "value": rng.random(),
+                "payload": b"\0" * record_bytes,
+            })
+    return relevant_total
+
+
+def build_gather_kernel(params: DataGatherParams) -> Kernel:
+    """A kernel with populated data sites for either gathering mode."""
+    kernel = Kernel(_build_topology(params), transport=params.transport,
+                    config=KernelConfig(rng_seed=params.seed))
+    populate_data_sites(kernel, params.data_site_names(), params.records_per_site,
+                        params.record_bytes, params.selectivity, seed=params.seed)
+    return kernel
+
+
+def gather_agent_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """Visit every data site, keep only relevant records (stripped of payload), go home."""
+    home = briefcase.get("HOME")
+    kept = briefcase.folder("KEPT", create=True)
+
+    if ctx.site_name != home or briefcase.get("PHASE") != "deliver":
+        records = ctx.cabinet(DATA_CABINET).elements(RECORDS_FOLDER)
+        for record in records:
+            if isinstance(record, dict) and record.get("relevant"):
+                # Relevant records are carried in full (the query genuinely
+                # needs their payload); only the irrelevant ones are filtered
+                # away.  This is what produces the crossover at selectivity
+                # ~1.0: with nothing to filter, the agent re-ships the
+                # accumulated data at every remaining hop.
+                kept.push({"id": record["id"], "value": record["value"],
+                           "payload": record.get("payload", b"")})
+        briefcase.folder("VISITS", create=True).push(
+            {"site": ctx.site_name, "records": len(records)})
+        yield ctx.sleep(float(briefcase.get("FILTER_SECONDS", 0.005)))
+
+    itinerary = briefcase.folder("SITES", create=True)
+    if itinerary:
+        next_site = itinerary.dequeue()
+        yield ctx.jump(briefcase, next_site)
+        return "moved"
+
+    if ctx.site_name != home:
+        briefcase.set("PHASE", "deliver")
+        yield ctx.jump(briefcase, home)
+        return "moving-home"
+
+    visits = briefcase.folder("VISITS", create=True).elements()
+    summary = {
+        "relevant_found": len(kept),
+        "records_total": sum(visit.get("records", 0) for visit in visits
+                             if isinstance(visit, dict)),
+        "sites_covered": max(0, len(visits) - 1),   # the home visit holds no data
+        "completed_at": ctx.now,
+    }
+    ctx.cabinet(GATHER_RESULTS_CABINET).put("summaries", summary)
+    yield ctx.sleep(0)
+    return summary
+
+
+register_behaviour(GATHER_AGENT_NAME, gather_agent_behaviour, replace=True)
+
+
+def run_agent_gather(params: DataGatherParams) -> GatherResult:
+    """Run the mobile-agent gathering pipeline for *params*."""
+    kernel = build_gather_kernel(params)
+    briefcase = Briefcase()
+    briefcase.set("HOME", params.home_name)
+    itinerary = briefcase.folder("SITES", create=True)
+    for site in params.data_site_names():
+        itinerary.enqueue(site)
+    kernel.launch(params.home_name, GATHER_AGENT_NAME, briefcase)
+    kernel.run(until=params.run_until)
+
+    summaries = kernel.site(params.home_name).cabinet(GATHER_RESULTS_CABINET).elements(
+        "summaries")
+    summary = summaries[-1] if summaries else {}
+    return GatherResult(
+        mode="mobile-agent",
+        bytes_on_wire=kernel.stats.bytes_sent,
+        messages=kernel.stats.messages_sent,
+        migrations=kernel.stats.migrations,
+        duration=summary.get("completed_at", kernel.now),
+        relevant_found=summary.get("relevant_found", 0),
+        records_total=summary.get("records_total", 0),
+        sites_covered=summary.get("sites_covered", 0),
+    )
+
+
+def run_client_server_gather(params: DataGatherParams) -> GatherResult:
+    """Run the client-server baseline for *params* (raw records cross the wire)."""
+    from repro.bench.baselines import install_data_servers, launch_pull_client, pull_summary
+    kernel = build_gather_kernel(params)
+    sites = params.data_site_names()
+    install_data_servers(kernel, params.home_name, sites)
+    launch_pull_client(kernel, params.home_name, sites)
+    kernel.run(until=params.run_until)
+    summary = pull_summary(kernel, params.home_name)
+    return GatherResult(
+        mode="client-server",
+        bytes_on_wire=kernel.stats.bytes_sent,
+        messages=kernel.stats.messages_sent,
+        migrations=kernel.stats.migrations,
+        duration=summary.get("completed_at", kernel.now),
+        relevant_found=summary.get("relevant_found", 0),
+        records_total=summary.get("records_received", 0),
+        sites_covered=summary.get("sites_responded", 0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# itinerary (hop sweep) workload — E7
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ItineraryParams:
+    """One transport-sweep point: hop K sites carrying B bytes."""
+
+    transport: str = "tcp"
+    hops: int = 8
+    payload_bytes: int = 1024
+    n_sites: int = 9
+    seed: int = 21
+    link_latency: float = 0.01
+    link_bandwidth: float = 1_250_000.0
+    run_until: float = 600.0
+
+
+@dataclass
+class ItineraryResult:
+    """Outcome of one itinerary run."""
+
+    transport: str
+    hops_completed: int
+    duration: float
+    bytes_on_wire: int
+    migration_bytes: int
+    mean_hop_time: float
+
+
+def _itinerant_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """Hop along the TOUR folder, recording hop timestamps in the briefcase."""
+    briefcase.folder("HOP_TIMES", create=True).push(ctx.now)
+    tour = briefcase.folder("TOUR", create=True)
+    if tour:
+        next_site = tour.dequeue()
+        yield ctx.jump(briefcase, next_site)
+        return "moved"
+    hop_times = briefcase.folder("HOP_TIMES", create=True).elements()
+    ctx.cabinet("itinerary").put("runs", {
+        "hops": max(0, len(hop_times) - 1),
+        "started_at": hop_times[0] if hop_times else 0.0,
+        "completed_at": ctx.now,
+        "hop_times": hop_times,
+    })
+    yield ctx.sleep(0)
+    return "completed"
+
+
+register_behaviour("itinerant", _itinerant_behaviour, replace=True)
+
+
+def run_itinerary(params: ItineraryParams) -> ItineraryResult:
+    """Run one hop sweep over a LAN of ``n_sites`` with the requested transport."""
+    site_names = [f"site{i:02d}" for i in range(max(2, params.n_sites))]
+    kernel = Kernel(lan(site_names, latency=params.link_latency,
+                        bandwidth=params.link_bandwidth),
+                    transport=params.transport,
+                    config=KernelConfig(rng_seed=params.seed))
+    rng = random.Random(params.seed)
+    tour = [site_names[(index + 1) % len(site_names)] for index in range(params.hops)]
+    briefcase = Briefcase()
+    briefcase.set("PAYLOAD", b"\0" * params.payload_bytes)
+    tour_folder = briefcase.folder("TOUR", create=True)
+    for site in tour:
+        tour_folder.enqueue(site)
+    kernel.launch(site_names[0], "itinerant", briefcase)
+    kernel.run(until=params.run_until)
+
+    final_site = tour[-1] if tour else site_names[0]
+    runs = kernel.site(final_site).cabinet("itinerary").elements("runs")
+    run = runs[-1] if runs else {}
+    hop_times = run.get("hop_times", [])
+    hop_deltas = [after - before for before, after in zip(hop_times, hop_times[1:])]
+    return ItineraryResult(
+        transport=params.transport,
+        hops_completed=run.get("hops", 0),
+        duration=run.get("completed_at", kernel.now) - (run.get("started_at", 0.0)),
+        bytes_on_wire=kernel.stats.bytes_sent,
+        migration_bytes=kernel.stats.migration_bytes,
+        mean_hop_time=(sum(hop_deltas) / len(hop_deltas)) if hop_deltas else 0.0,
+    )

@@ -1,0 +1,32 @@
+"""Electronic cash for agents (paper section 3).
+
+The pieces:
+
+* :class:`~repro.cash.ecu.ECU` — amount + large random serial + mint certificate;
+* :class:`~repro.cash.mint.Mint` — knows which serials are valid; retires and reissues;
+* :class:`~repro.cash.wallet.Wallet` — ECUs carried in a briefcase folder;
+* :func:`~repro.cash.validation.make_validation_behaviour` — the trusted validation agent;
+* :mod:`~repro.cash.exchange` — vendors, mobile shoppers, and the cheating modes;
+* :mod:`~repro.cash.audit` — signed action records and the third-party auditor.
+"""
+
+from repro.cash.audit import (AuditFinding, Auditor, AuditRecord, KeyDirectory, make_record,
+                              record_payload)
+from repro.cash.crypto import Signer, generate_serial
+from repro.cash.ecu import ECU
+from repro.cash.exchange import (identity_for, make_vendor_behaviour, shopper_behaviour,
+                                 signer_from_identity)
+from repro.cash.metering import (TOLL_CABINET, fund_briefcase, install_metering,
+                                 make_metered_rexec, toll_revenue)
+from repro.cash.mint import Mint
+from repro.cash.validation import VALIDATION_AGENT_NAME, make_validation_behaviour
+from repro.cash.wallet import ECUS_FOLDER, Wallet
+
+__all__ = [
+    "ECU", "Mint", "Wallet", "ECUS_FOLDER",
+    "Signer", "generate_serial",
+    "VALIDATION_AGENT_NAME", "make_validation_behaviour",
+    "make_vendor_behaviour", "shopper_behaviour", "identity_for", "signer_from_identity",
+    "AuditRecord", "AuditFinding", "Auditor", "KeyDirectory", "make_record", "record_payload",
+    "install_metering", "make_metered_rexec", "fund_briefcase", "toll_revenue", "TOLL_CABINET",
+]

@@ -1,0 +1,220 @@
+"""Audits instead of transactions (paper section 3).
+
+The paper rejects transactional exchange-of-funds-for-services because the
+mechanism "would impact performance and would be effective only if it were
+trusted" and "would be alien to the computer illiterate."  Its solution:
+
+* "Participants document their actions so that a third party (a court, in
+  real life) can perform an audit to find violations of a contract."
+* "An aggrieved agent requests an audit."
+* "Documenting actions sometimes requires the presence of a third agent and
+  the use of cryptographic protocols."
+
+This module provides the audit records participants write, the key
+directory that lets the auditor verify signatures, and the
+:class:`Auditor`, which reconstructs an exchange from the records of both
+parties plus the validation agent's witness record and reports who (if
+anyone) violated the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cash.crypto import Signer
+
+__all__ = ["AuditRecord", "KeyDirectory", "AuditFinding", "Auditor",
+           "make_record", "record_payload"]
+
+
+@dataclass
+class AuditRecord:
+    """One signed statement by a participant about an exchange."""
+
+    exchange_id: str
+    actor: str                 # principal name
+    role: str                  # "customer" | "provider" | "witness"
+    action: str                # "paid" | "received-payment" | "provided-service" | ...
+    amount: int
+    at: float
+    signature: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "exchange_id": self.exchange_id, "actor": self.actor, "role": self.role,
+            "action": self.action, "amount": self.amount, "at": self.at,
+            "signature": self.signature, "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "AuditRecord":
+        return cls(
+            exchange_id=str(payload["exchange_id"]), actor=str(payload["actor"]),
+            role=str(payload["role"]), action=str(payload["action"]),
+            amount=int(payload["amount"]), at=float(payload["at"]),
+            signature=str(payload["signature"]),
+            details=dict(payload.get("details", {})),
+        )
+
+
+def record_payload(exchange_id: str, actor: str, action: str, amount: int) -> str:
+    """Canonical string a participant signs for an audit record."""
+    return f"{exchange_id}|{actor}|{action}|{amount}"
+
+
+def make_record(signer: Signer, exchange_id: str, role: str, action: str,
+                amount: int, at: float,
+                details: Optional[Dict[str, object]] = None) -> AuditRecord:
+    """Build and sign an audit record for *signer*'s principal."""
+    return AuditRecord(
+        exchange_id=exchange_id, actor=signer.principal, role=role, action=action,
+        amount=amount, at=at,
+        signature=signer.sign(record_payload(exchange_id, signer.principal, action, amount)),
+        details=details or {},
+    )
+
+
+class KeyDirectory:
+    """Registry of principals' signing keys — the 'court clerk' of the audit scheme."""
+
+    def __init__(self) -> None:
+        self._signers: Dict[str, Signer] = {}
+
+    def new_signer(self, principal: str) -> Signer:
+        """Create (or return) the signer for *principal*."""
+        if principal not in self._signers:
+            self._signers[principal] = Signer(principal)
+        return self._signers[principal]
+
+    def register(self, signer: Signer) -> None:
+        """Register an externally created signer."""
+        self._signers[signer.principal] = signer
+
+    def signer_for(self, principal: str) -> Optional[Signer]:
+        """The signer for *principal*, if known."""
+        return self._signers.get(principal)
+
+    def __contains__(self, principal: str) -> bool:
+        return principal in self._signers
+
+    def __len__(self) -> int:
+        return len(self._signers)
+
+
+@dataclass
+class AuditFinding:
+    """The auditor's verdict about one exchange."""
+
+    exchange_id: str
+    violations: List[str] = field(default_factory=list)
+    guilty: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no contract violation was found."""
+        return not self.violations
+
+
+class Auditor:
+    """The third party that reconstructs an exchange and finds violations."""
+
+    def __init__(self, directory: KeyDirectory):
+        self.directory = directory
+
+    # -- signature checking -----------------------------------------------------
+
+    def verify_record(self, record: AuditRecord) -> bool:
+        """Check the record's signature against the directory."""
+        signer = self.directory.signer_for(record.actor)
+        if signer is None:
+            return False
+        return signer.verify(
+            record_payload(record.exchange_id, record.actor, record.action, record.amount),
+            record.signature)
+
+    # -- the audit proper ---------------------------------------------------------
+
+    def audit(self, exchange_id: str, records: List[AuditRecord],
+              witness_records: Optional[List[Dict[str, object]]] = None,
+              expected_price: Optional[int] = None) -> AuditFinding:
+        """Reconstruct one exchange and report violations.
+
+        *records* are what the two parties produced (typically pulled from
+        their briefcases or site cabinets); *witness_records* are the
+        validation agent's entries for the same exchange id.
+        """
+        finding = AuditFinding(exchange_id=exchange_id)
+        relevant = [record for record in records if record.exchange_id == exchange_id]
+
+        # Forged or unverifiable records are themselves violations.
+        verified: List[AuditRecord] = []
+        for record in relevant:
+            if self.verify_record(record):
+                verified.append(record)
+            else:
+                finding.violations.append(f"unverifiable record from {record.actor!r}")
+                finding.guilty.append(record.actor)
+
+        witness_amount = 0
+        for witness in (witness_records or []):
+            if witness.get("exchange_id") == exchange_id and \
+                    witness.get("action") == "validated-payment":
+                witness_amount += int(witness.get("amount", 0))
+
+        paid = [record for record in verified if record.action == "paid"]
+        payment_received = [record for record in verified
+                            if record.action == "received-payment"]
+        service_provided = [record for record in verified
+                            if record.action == "provided-service"]
+        service_received = [record for record in verified
+                            if record.action == "received-service"]
+
+        customer = next((record.actor for record in verified
+                         if record.role == "customer"), None)
+        provider = next((record.actor for record in verified
+                         if record.role == "provider"), None)
+
+        # Violation 1: the customer claims payment the provider denies.
+        if paid and not payment_received:
+            if witness_amount > 0:
+                finding.violations.append(
+                    "provider denies a payment the validation agent witnessed")
+                if provider:
+                    finding.guilty.append(provider)
+            else:
+                finding.violations.append(
+                    "customer claims an unwitnessed payment (claims to have paid "
+                    "when it has not)")
+                if customer:
+                    finding.guilty.append(customer)
+
+        # Violation 2: payment happened but no service was delivered.
+        payment_happened = bool(payment_received) or witness_amount > 0
+        if payment_happened and not service_provided and not service_received:
+            finding.violations.append("payment was accepted but no service was provided")
+            if provider:
+                finding.guilty.append(provider)
+
+        # Violation 3: the provider claims service the customer never acknowledged.
+        if service_provided and not service_received and not payment_happened:
+            finding.violations.append(
+                "provider claims service for an exchange with no payment")
+            if provider:
+                finding.guilty.append(provider)
+
+        # Violation 4: short payment relative to the agreed price.
+        if expected_price is not None and payment_happened:
+            received_total = sum(record.amount for record in payment_received) or witness_amount
+            if received_total < expected_price:
+                finding.violations.append(
+                    f"payment of {received_total} is below the agreed price {expected_price}")
+                if customer:
+                    finding.guilty.append(customer)
+
+        if not relevant:
+            finding.notes.append("no records for this exchange")
+        finding.guilty = sorted(set(finding.guilty))
+        return finding

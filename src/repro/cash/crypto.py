@@ -1,0 +1,68 @@
+"""Toy cryptographic primitives for the electronic-cash subsystem.
+
+The paper's prototype "used the security mechanisms provided by UNIX" and
+cites Chaum [C92] for the untraceable-cash design.  Real blind signatures
+are out of scope (DESIGN.md section 6); what the experiments need is:
+
+* unforgeable-without-the-secret ECU serial numbers (so agents cannot mint
+  money) — provided by HMAC-SHA256 over the serial with the mint's secret;
+* signed audit records (so the auditor can attribute actions) — provided by
+  per-principal HMAC signing keys.
+
+These primitives are *toys*: the secret lives in the same process as the
+agents.  The protocol structure built on top of them is what reproduces the
+paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from typing import Optional
+
+__all__ = ["Signer", "generate_serial", "serial_certificate", "verify_certificate"]
+
+#: serial numbers are drawn uniformly from [0, 2**SERIAL_BITS)
+SERIAL_BITS = 128
+
+
+def generate_serial(rng: Optional[random.Random] = None) -> int:
+    """Draw a fresh 'large random number' for an ECU (paper section 3)."""
+    rng = rng or random.Random()
+    return rng.getrandbits(SERIAL_BITS)
+
+
+def serial_certificate(secret: bytes, serial: int, amount: int) -> str:
+    """The mint's certificate binding a serial to an amount."""
+    body = f"{serial}:{amount}".encode("utf-8")
+    return hmac.new(secret, body, hashlib.sha256).hexdigest()
+
+
+def verify_certificate(secret: bytes, serial: int, amount: int, certificate: str) -> bool:
+    """Check that *certificate* was produced by the mint holding *secret*."""
+    expected = serial_certificate(secret, serial, amount)
+    return hmac.compare_digest(expected, certificate)
+
+
+class Signer:
+    """A per-principal signing key used for audit records."""
+
+    def __init__(self, principal: str, secret: Optional[bytes] = None,
+                 rng: Optional[random.Random] = None):
+        self.principal = principal
+        if secret is None:
+            rng = rng or random.Random()
+            secret = rng.getrandbits(256).to_bytes(32, "big")
+        self._secret = secret
+
+    def sign(self, payload: str) -> str:
+        """HMAC signature of *payload* under this principal's key."""
+        return hmac.new(self._secret, payload.encode("utf-8"), hashlib.sha256).hexdigest()
+
+    def verify(self, payload: str, signature: str) -> bool:
+        """True if *signature* is this principal's signature over *payload*."""
+        return hmac.compare_digest(self.sign(payload), signature)
+
+    def __repr__(self) -> str:
+        return f"Signer({self.principal!r})"

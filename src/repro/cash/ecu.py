@@ -1,0 +1,62 @@
+"""ECU records: the electronic cash unit of paper section 3.
+
+"The solution we adopted was to implement each unit of electronic cash
+(ECU) as a record containing an amount and a large random number.  Only
+certain of these random numbers appear on the records for valid ECUs."
+
+An :class:`ECU` is therefore a small immutable record: an amount (integer
+currency units), the serial, and the mint's certificate over the pair.
+Whether the serial is *currently* valid is the mint's knowledge, not the
+record's — copies of spent ECUs look exactly like the original, which is
+the whole double-spending problem the validation agent solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.errors import InvalidECUError
+
+__all__ = ["ECU"]
+
+
+@dataclass(frozen=True)
+class ECU:
+    """One electronic cash unit: amount + serial + mint certificate."""
+
+    amount: int
+    serial: int
+    certificate: str
+    mint_id: str = "tacoma-mint"
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise InvalidECUError(f"ECU amount must be positive, got {self.amount}")
+        if self.serial < 0:
+            raise InvalidECUError("ECU serial must be non-negative")
+
+    def to_wire(self) -> Dict[str, object]:
+        """Plain-dict form stored in folders and shipped between sites."""
+        return {
+            "amount": self.amount,
+            "serial": self.serial,
+            "certificate": self.certificate,
+            "mint_id": self.mint_id,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "ECU":
+        """Rebuild an ECU from :meth:`to_wire` output."""
+        try:
+            return cls(
+                amount=int(payload["amount"]),
+                serial=int(payload["serial"]),
+                certificate=str(payload["certificate"]),
+                mint_id=str(payload.get("mint_id", "tacoma-mint")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidECUError(f"malformed ECU record: {payload!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"ECU(amount={self.amount}, serial=...{self.serial % 100000:05d})"

@@ -1,0 +1,99 @@
+"""The trusted validation agent (paper section 3).
+
+"To solve this problem, a trusted *validation agent* is employed.  This
+agent can check whether a record it is shown corresponds to a valid ECU.
+If it is valid, then a record for an equivalent ECU is returned, but this
+record has a new random number (effectively retiring an old bill and
+replacing it by a new one)."
+
+The behaviour is a closure over a :class:`~repro.cash.mint.Mint` (shared by
+every site that installs the agent — the mint plays the role the UNIX
+security mechanisms played in the prototype).  Protocol, all through the
+briefcase of the meet:
+
+* ``SUBMIT`` — folder of ECU wire records to validate;
+* ``OP`` — optional; ``"validate"`` (default) or ``"split"``;
+* ``SPLIT`` — for ``"split"``: the desired denominations of the first
+  submitted ECU;
+* results: ``FRESH`` (replacement ECU records), ``REJECTED`` (each element a
+  dict with the offending record and the reason), ``VALIDATED_TOTAL``.
+
+The validation agent also acts as the *witness* for audits: every
+successful validation appends a signed record to the local ``audit``
+cabinet keyed by the optional ``EXCHANGE_ID`` folder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cash.crypto import Signer
+from repro.cash.ecu import ECU
+from repro.cash.mint import Mint
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+from repro.core.errors import InvalidECUError
+
+__all__ = ["make_validation_behaviour", "VALIDATION_AGENT_NAME"]
+
+#: the well-known name validation agents are installed under
+VALIDATION_AGENT_NAME = "validation"
+
+
+def make_validation_behaviour(mint: Mint,
+                              signer: Optional[Signer] = None) -> Callable:
+    """Build a validation-agent behaviour bound to *mint*.
+
+    The same behaviour object can be installed at many sites; the mint is
+    the single source of truth about serial validity (the "trusted" part).
+    """
+    witness = signer or Signer(f"{mint.mint_id}-validation")
+
+    def validation_behaviour(ctx: AgentContext, briefcase: Briefcase):
+        fresh = briefcase.folder("FRESH", create=True)
+        rejected = briefcase.folder("REJECTED", create=True)
+        operation = briefcase.get("OP", "validate")
+        exchange_id = briefcase.get("EXCHANGE_ID")
+        validated_total = 0
+
+        records = []
+        if briefcase.has("SUBMIT"):
+            records = briefcase.folder("SUBMIT").elements()
+
+        for position, record in enumerate(records):
+            try:
+                ecu = ECU.from_wire(record)
+            except InvalidECUError as exc:
+                rejected.push({"record": record, "reason": str(exc)})
+                continue
+            split = None
+            if operation == "split" and position == 0 and briefcase.has("SPLIT"):
+                split = [int(amount) for amount in briefcase.folder("SPLIT").elements()]
+            try:
+                replacements = mint.retire_and_reissue(ecu, split=split)
+            except InvalidECUError as exc:
+                rejected.push({"record": record, "reason": str(exc)})
+                continue
+            validated_total += ecu.amount
+            for replacement in replacements:
+                fresh.push(replacement.to_wire())
+
+        briefcase.set("VALIDATED_TOTAL", validated_total)
+
+        # Witness record for the audit scheme of section 3: the validation
+        # agent documents that value moved, without knowing from whom to whom.
+        if exchange_id is not None and validated_total > 0:
+            payload = f"{exchange_id}:validated:{validated_total}"
+            ctx.cabinet("audit").put("witness", {
+                "exchange_id": exchange_id,
+                "action": "validated-payment",
+                "amount": validated_total,
+                "at": ctx.now,
+                "witness": witness.principal,
+                "signature": witness.sign(payload),
+            })
+
+        yield ctx.end_meet(validated_total)
+        return validated_total
+
+    return validation_behaviour

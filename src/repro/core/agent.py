@@ -1,0 +1,126 @@
+"""Agent model: specifications, running instances, and lifecycle states.
+
+An *agent* in TACOMA is just code plus a briefcase; at runtime the kernel
+wraps that in an :class:`AgentInstance`, which owns the behaviour generator
+and the bookkeeping the experiments read (steps executed, sites visited,
+result, failure cause).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.briefcase import Briefcase
+
+__all__ = ["AgentState", "AgentSpec", "AgentInstance"]
+
+_agent_counter = itertools.count(1)
+
+
+class AgentState:
+    """Lifecycle states of an agent instance."""
+
+    CREATED = "created"     # instantiated, not yet stepped
+    RUNNING = "running"     # currently executing or scheduled to execute
+    WAITING = "waiting"     # blocked on a meet, a sleep, or a transmit
+    DONE = "done"           # behaviour returned (or yielded Terminate)
+    FAILED = "failed"       # behaviour raised an unhandled exception
+    KILLED = "killed"       # site crash or kernel enforcement killed it
+
+    TERMINAL = (DONE, FAILED, KILLED)
+
+    @classmethod
+    def is_terminal(cls, state: str) -> bool:
+        """True once the agent can never run again."""
+        return state in cls.TERMINAL
+
+
+@dataclass
+class AgentSpec:
+    """What is needed to start an agent: a behaviour, a briefcase, a place.
+
+    ``code_element`` is the shippable description of the behaviour (see
+    :mod:`repro.core.codec`); it is what ``ctx.jump`` re-attaches to the
+    briefcase when the agent moves.
+    """
+
+    behaviour: Callable
+    briefcase: Briefcase = field(default_factory=Briefcase)
+    name: Optional[str] = None
+    site: Optional[str] = None
+    code_element: Optional[Dict[str, Any]] = None
+    system: bool = False
+
+
+class AgentInstance:
+    """A running (or finished) agent at a site.
+
+    The kernel owns these; user code sees them mainly through the kernel's
+    ledger when collecting results, and through ``ctx`` while running.
+    """
+
+    def __init__(self, spec: AgentSpec, site_name: str,
+                 parent_id: Optional[str] = None, meet_parent: Optional[str] = None):
+        self.agent_id = f"agent-{next(_agent_counter):06d}"
+        self.spec = spec
+        self.name = spec.name or self.agent_id
+        self.site_name = site_name
+        self.briefcase = spec.briefcase
+        self.state = AgentState.CREATED
+        self.system = spec.system
+        #: agent that spawned this one (None for kernel launches)
+        self.parent_id = parent_id
+        #: agent currently blocked in a meet on this agent (None outside meets)
+        self.meet_parent = meet_parent
+        #: True once this agent has terminated its current meet
+        self.meet_ended = meet_parent is None
+        #: generator produced by calling the behaviour (None until started)
+        self.generator = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.steps = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: every site this logical agent has executed at (itinerary trace)
+        self.visited: List[str] = [site_name]
+        #: ids of agents this one spawned or met
+        self.children: List[str] = []
+
+    # -- state helpers -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the agent reached a terminal state."""
+        return AgentState.is_terminal(self.state)
+
+    @property
+    def ok(self) -> bool:
+        """True if the agent finished normally."""
+        return self.state == AgentState.DONE
+
+    def mark_running(self) -> None:
+        self.state = AgentState.RUNNING
+
+    def mark_waiting(self) -> None:
+        self.state = AgentState.WAITING
+
+    def mark_done(self, result: Any, at: float) -> None:
+        self.state = AgentState.DONE
+        self.result = result
+        self.finished_at = at
+
+    def mark_failed(self, error: BaseException, at: float) -> None:
+        self.state = AgentState.FAILED
+        self.error = error
+        self.finished_at = at
+
+    def mark_killed(self, at: float, reason: str = "site crash") -> None:
+        self.state = AgentState.KILLED
+        self.error = RuntimeError(reason)
+        self.finished_at = at
+
+    def __repr__(self) -> str:
+        return (f"AgentInstance({self.agent_id} name={self.name!r} "
+                f"site={self.site_name!r} state={self.state})")

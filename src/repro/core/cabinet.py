@@ -1,0 +1,248 @@
+"""File cabinets: site-local groupings of folders (paper section 2).
+
+"Just as an agent's folders are grouped into briefcases, we have found it
+useful to group site-local folders.  We refer to such a grouping as a *file
+cabinet*.  File cabinets support the same operations as briefcases, but we
+expect these operations to be implemented differently" — cabinets are
+optimised for access at the cost of being expensive to move, and "can be
+flushed to disk when permanence is required" (section 6).
+
+This implementation keeps folders in a dict plus a per-folder element index
+(element digest -> positions) so membership queries used by agents such as
+the diffusion agent are O(1), and offers :meth:`flush` / :meth:`load` for
+persistence.  The deliberately large :meth:`move_cost` is what experiment
+E3 measures against the briefcase's cheap wire size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.errors import CabinetError, CabinetPersistenceError, MissingFolderError
+from repro.core.folder import Folder
+
+__all__ = ["FileCabinet"]
+
+
+def _digest(stored: bytes) -> str:
+    return hashlib.sha1(stored).hexdigest()
+
+
+class FileCabinet:
+    """A site-local folder store with access-time indexes and disk persistence.
+
+    The cabinet mirrors the briefcase API (``folder``, ``put``, ``get``,
+    ``has`` ...) so agent code can treat "local storage" and "carried
+    storage" uniformly, which is exactly the symmetry the paper points out.
+    On top of that it maintains an element index per folder so that
+    :meth:`contains_element` — the operation the diffusion agent's
+    "have I visited this site already?" check needs — does not scan lists.
+    """
+
+    #: charged per byte when (rarely) a cabinet is moved between sites; the
+    #: factor models re-building indexes and copying the backing store.
+    MOVE_COST_FACTOR = 8
+
+    def __init__(self, name: str, site: Optional[str] = None):
+        if not name:
+            raise CabinetError("cabinet name must be a non-empty string")
+        self.name = name
+        self.site = site
+        self._folders: Dict[str, Folder] = {}
+        self._index: Dict[str, Dict[str, int]] = {}
+        #: number of lookups served; used by the access-cost model in E3
+        self.access_count = 0
+
+    # -- folder access (briefcase-compatible surface) ---------------------------
+
+    def add(self, folder: Folder, replace: bool = False) -> Folder:
+        """Add *folder* to the cabinet (indexing its elements)."""
+        if folder.name in self._folders and not replace:
+            raise CabinetError(f"cabinet already has a folder named {folder.name!r}")
+        self._folders[folder.name] = folder
+        self._reindex(folder.name)
+        return folder
+
+    def folder(self, name: str, create: bool = False) -> Folder:
+        """Return (optionally creating) the folder called *name*."""
+        self.access_count += 1
+        if name in self._folders:
+            return self._folders[name]
+        if create:
+            return self.add(Folder(name))
+        raise MissingFolderError(f"cabinet {self.name!r} has no folder named {name!r}")
+
+    def remove(self, name: str) -> Folder:
+        """Remove and return the folder called *name*."""
+        try:
+            folder = self._folders.pop(name)
+        except KeyError:
+            raise MissingFolderError(
+                f"cabinet {self.name!r} has no folder named {name!r}") from None
+        self._index.pop(name, None)
+        return folder
+
+    def has(self, name: str) -> bool:
+        """True if the cabinet holds a folder called *name*."""
+        return name in self._folders
+
+    def names(self) -> List[str]:
+        """All folder names in the cabinet."""
+        return list(self._folders)
+
+    def folders(self) -> List[Folder]:
+        """All folders in the cabinet."""
+        return list(self._folders.values())
+
+    # -- element conveniences ----------------------------------------------------
+
+    def put(self, folder_name: str, element: Any) -> None:
+        """Push *element* into *folder_name*, creating the folder if needed."""
+        folder = self.folder(folder_name, create=True)
+        folder.push(element)
+        self._index_element(folder_name, folder.raw_elements()[-1])
+
+    def get(self, folder_name: str, default: Any = None) -> Any:
+        """Top element of *folder_name*, or *default*."""
+        if not self.has(folder_name):
+            return default
+        folder = self.folder(folder_name)
+        if not folder:
+            return default
+        return folder.peek()
+
+    def contains_element(self, folder_name: str, element: Any) -> bool:
+        """O(1) membership test: is *element* stored in *folder_name*?
+
+        This is the primitive the flooding/diffusion example relies on to
+        terminate instead of cloning without bound.
+        """
+        self.access_count += 1
+        if folder_name not in self._folders:
+            return False
+        probe = Folder("_probe")
+        probe.push(element)
+        key = _digest(probe.raw_elements()[0])
+        return self._index.get(folder_name, {}).get(key, 0) > 0
+
+    def elements(self, folder_name: str) -> List[Any]:
+        """All elements of *folder_name* (empty list if the folder is missing)."""
+        if folder_name not in self._folders:
+            return []
+        return self._folders[folder_name].elements()
+
+    # -- briefcase interchange ------------------------------------------------------
+
+    def deposit(self, briefcase: Briefcase, names: Optional[Iterable[str]] = None) -> None:
+        """Copy folders from a briefcase into the cabinet (merging by name).
+
+        This is how an agent "leaves information behind" at a site.
+        """
+        wanted = set(names) if names is not None else None
+        for folder in briefcase.folders():
+            if wanted is not None and folder.name not in wanted:
+                continue
+            if folder.name in self._folders:
+                mine = self._folders[folder.name]
+                for stored in folder.raw_elements():
+                    mine._elements.append(stored)  # noqa: SLF001
+            else:
+                self._folders[folder.name] = folder.copy()
+            self._reindex(folder.name)
+
+    def withdraw(self, names: Iterable[str]) -> Briefcase:
+        """Copy the named folders out into a fresh briefcase (cabinet keeps them)."""
+        briefcase = Briefcase()
+        for name in names:
+            if name in self._folders:
+                briefcase.add(self._folders[name].copy())
+        return briefcase
+
+    # -- cost model ---------------------------------------------------------------
+
+    def storage_size(self) -> int:
+        """Bytes of folder payload stored in the cabinet."""
+        return sum(folder.wire_size() for folder in self._folders.values())
+
+    def move_cost(self) -> int:
+        """Simulated cost (bytes-equivalent) of relocating this cabinet.
+
+        Deliberately much larger than the storage size: cabinets trade
+        mobility for access speed (paper section 2).
+        """
+        return self.storage_size() * self.MOVE_COST_FACTOR
+
+    # -- persistence -----------------------------------------------------------------
+
+    def flush(self, directory: str) -> str:
+        """Write the cabinet to ``directory`` and return the file path.
+
+        The on-disk format is JSON with hex-encoded elements — simple,
+        inspectable, and independent of pickle availability at load time.
+        """
+        try:
+            os.makedirs(directory, exist_ok=True)
+            payload = {
+                "name": self.name,
+                "site": self.site,
+                "folders": [
+                    {
+                        "name": folder.name,
+                        "elements": [stored.hex() for stored in folder.raw_elements()],
+                    }
+                    for folder in self._folders.values()
+                ],
+            }
+            path = os.path.join(directory, f"{self.name}.cabinet.json")
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+            return path
+        except OSError as exc:
+            raise CabinetPersistenceError(f"flush of cabinet {self.name!r} failed: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str) -> "FileCabinet":
+        """Rebuild a cabinet previously written by :meth:`flush`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CabinetPersistenceError(f"load of cabinet from {path!r} failed: {exc}") from exc
+        cabinet = cls(payload["name"], site=payload.get("site"))
+        for folder_payload in payload["folders"]:
+            folder = Folder(folder_payload["name"])
+            folder._elements = [bytes.fromhex(item) for item in folder_payload["elements"]]
+            cabinet.add(folder)
+        return cabinet
+
+    # -- internals -----------------------------------------------------------------
+
+    def _reindex(self, folder_name: str) -> None:
+        index: Dict[str, int] = {}
+        for stored in self._folders[folder_name].raw_elements():
+            key = _digest(stored)
+            index[key] = index.get(key, 0) + 1
+        self._index[folder_name] = index
+
+    def _index_element(self, folder_name: str, stored: bytes) -> None:
+        key = _digest(stored)
+        index = self._index.setdefault(folder_name, {})
+        index[key] = index.get(key, 0) + 1
+
+    # -- dunders ---------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._folders
+
+    def __len__(self) -> int:
+        return len(self._folders)
+
+    def __repr__(self) -> str:
+        return f"FileCabinet({self.name!r}, site={self.site!r}, {len(self._folders)} folders)"

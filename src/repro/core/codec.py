@@ -1,0 +1,156 @@
+"""Code and state shipping: how agents travel as data.
+
+Paper section 2: an agent moves by meeting ``rexec`` with a briefcase whose
+CODE folder contains "the source code for the agent that originally met
+with rexec ... this scheme allows an agent to move to a destination site
+having a completely different machine language."
+
+Two CODE representations are supported:
+
+``registered``
+    The CODE element names a behaviour in the
+    :mod:`~repro.core.registry`.  This is the common fast path (every site
+    "has the binary").
+
+``source``
+    The CODE element carries Python source text plus the name of the entry
+    function.  The destination compiles it with :func:`compile`/``exec`` in
+    a fresh namespace — the analogue of the destination Tcl interpreter
+    evaluating shipped script text, and the demonstration of the
+    "different machine language" property.
+
+The briefcase itself is shipped via its :meth:`~repro.core.briefcase.Briefcase.to_wire`
+form wrapped with :func:`pack_briefcase` / :func:`unpack_briefcase`; its
+wire size feeds the bandwidth model.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.briefcase import CODE_FOLDER, Briefcase
+from repro.core.errors import CodecError, CodeCompilationError, UnknownBehaviourError
+from repro.core.registry import BehaviourRegistry, default_registry
+
+__all__ = [
+    "code_for", "code_from_source", "behaviour_from_code", "code_element_of",
+    "pack_briefcase", "unpack_briefcase", "attach_code", "wire_size_of",
+]
+
+
+# ---------------------------------------------------------------------------
+# CODE elements
+# ---------------------------------------------------------------------------
+
+def code_for(behaviour_name: str) -> Dict[str, str]:
+    """A CODE element referencing a registered behaviour by name."""
+    return {"kind": "registered", "name": behaviour_name}
+
+
+def code_from_source(source: str, entry: str = "agent_main") -> Dict[str, str]:
+    """A CODE element carrying Python source; *entry* is the behaviour function name."""
+    if entry not in source:
+        raise CodecError(f"entry point {entry!r} does not appear in the supplied source")
+    return {"kind": "source", "source": source, "entry": entry}
+
+
+def code_element_of(behaviour: Any,
+                    registry: Optional[BehaviourRegistry] = None) -> Dict[str, str]:
+    """Best-effort CODE element for *behaviour*.
+
+    Accepts a behaviour name, an already-built CODE element, or a callable
+    that is registered in *registry* (default registry if omitted).
+    """
+    registry = registry or default_registry()
+    if isinstance(behaviour, str):
+        return code_for(behaviour)
+    if isinstance(behaviour, dict) and "kind" in behaviour:
+        return dict(behaviour)
+    if callable(behaviour):
+        name = registry.name_of(behaviour)
+        if name is not None:
+            return code_for(name)
+        raise UnknownBehaviourError(
+            f"behaviour {behaviour!r} is not registered; register it or ship source")
+    raise CodecError(f"cannot derive a CODE element from {behaviour!r}")
+
+
+def behaviour_from_code(code_element: Dict[str, Any],
+                        registry: Optional[BehaviourRegistry] = None) -> Callable:
+    """Turn a CODE element back into an executable behaviour.
+
+    ``registered`` elements are looked up in the registry; ``source``
+    elements are compiled in a fresh namespace that already has the standard
+    builtins — matching a fresh Tcl interpreter evaluating shipped script.
+    """
+    registry = registry or default_registry()
+    kind = code_element.get("kind")
+    if kind == "registered":
+        return registry.resolve(code_element["name"])
+    if kind == "source":
+        source = code_element.get("source", "")
+        entry = code_element.get("entry", "agent_main")
+        namespace: Dict[str, Any] = {}
+        try:
+            compiled = compile(source, filename="<shipped-agent>", mode="exec")
+            exec(compiled, namespace)  # noqa: S102 - this *is* the mobile-code feature
+        except SyntaxError as exc:
+            raise CodeCompilationError(f"shipped source failed to compile: {exc}") from exc
+        except Exception as exc:
+            raise CodeCompilationError(f"shipped source failed to execute: {exc}") from exc
+        behaviour = namespace.get(entry)
+        if behaviour is None or not callable(behaviour):
+            raise CodeCompilationError(
+                f"shipped source does not define a callable entry point {entry!r}")
+        return behaviour
+    raise CodecError(f"unknown CODE element kind {kind!r}")
+
+
+def attach_code(briefcase: Briefcase, behaviour: Any,
+                registry: Optional[BehaviourRegistry] = None) -> Briefcase:
+    """Ensure *briefcase* carries a CODE folder describing *behaviour*.
+
+    Existing CODE contents are replaced — an agent re-shipping itself always
+    wants exactly one element on top of CODE.
+    """
+    element = code_element_of(behaviour, registry)
+    briefcase.set(CODE_FOLDER, element)
+    return briefcase
+
+
+# ---------------------------------------------------------------------------
+# Briefcase wire format
+# ---------------------------------------------------------------------------
+
+_WIRE_VERSION = 1
+
+
+def pack_briefcase(briefcase: Briefcase) -> bytes:
+    """Serialise a briefcase for transmission between sites."""
+    try:
+        return pickle.dumps({"version": _WIRE_VERSION, "briefcase": briefcase.to_wire()},
+                            protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CodecError(f"briefcase could not be serialised: {exc}") from exc
+
+
+def unpack_briefcase(payload: bytes) -> Briefcase:
+    """Rebuild a briefcase from :func:`pack_briefcase` output."""
+    try:
+        wrapper = pickle.loads(payload)
+    except Exception as exc:
+        raise CodecError(f"briefcase payload could not be decoded: {exc}") from exc
+    if not isinstance(wrapper, dict) or wrapper.get("version") != _WIRE_VERSION:
+        raise CodecError("briefcase payload has an unknown wire version")
+    return Briefcase.from_wire(wrapper["briefcase"])
+
+
+def wire_size_of(briefcase: Briefcase) -> int:
+    """Bytes charged to the network for shipping *briefcase*.
+
+    Uses the briefcase's own size model (framing plus element bytes) rather
+    than the pickle length so the bandwidth accounting is deterministic and
+    independent of pickle version details.
+    """
+    return briefcase.wire_size()

@@ -1,0 +1,163 @@
+"""AgentContext: the view an executing agent has of its current place.
+
+Behaviours receive a context as their first argument.  It exposes the local
+site (file cabinets, load, neighbours), the simulated clock, a per-agent
+random stream, and convenience constructors for the common syscalls —
+including :meth:`jump`, the standard "ship myself to another site via
+rexec" idiom of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from repro.core.briefcase import CONTACT_FOLDER, HOST_FOLDER, Briefcase
+from repro.core.cabinet import FileCabinet
+from repro.core.codec import attach_code
+from repro.core.folder import Folder
+from repro.core.syscalls import EndMeet, Meet, Sleep, Spawn, Terminate, Transmit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.agent import AgentInstance
+    from repro.core.kernel import Kernel
+    from repro.core.site import Site
+
+__all__ = ["AgentContext"]
+
+
+class AgentContext:
+    """Everything an agent may touch while executing at a site."""
+
+    def __init__(self, kernel: "Kernel", site: "Site", instance: "AgentInstance"):
+        self._kernel = kernel
+        self._site = site
+        self._instance = instance
+        # Deterministic per-agent stream derived from the kernel seed and the
+        # agent id, so repeated runs are reproducible.
+        self.rng = random.Random(f"{kernel.config.rng_seed}:{instance.agent_id}")
+
+    # -- identity and environment -------------------------------------------------
+
+    @property
+    def agent_id(self) -> str:
+        """Unique id of this agent instance."""
+        return self._instance.agent_id
+
+    @property
+    def agent_name(self) -> str:
+        """The (possibly well-known) name this instance runs under."""
+        return self._instance.name
+
+    @property
+    def site_name(self) -> str:
+        """Name of the site currently executing the agent."""
+        return self._site.name
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._kernel.loop.now
+
+    @property
+    def briefcase(self) -> Briefcase:
+        """The briefcase this instance was started with."""
+        return self._instance.briefcase
+
+    @property
+    def is_system_agent(self) -> bool:
+        """True if this instance runs with system-agent privileges."""
+        return self._instance.system
+
+    def sites(self) -> List[str]:
+        """Names of every site in the system (the paper assumes a known site list)."""
+        return self._kernel.site_names()
+
+    def neighbors(self) -> List[str]:
+        """Sites directly linked to the current site."""
+        return self._kernel.topology.neighbors(self._site.name)
+
+    def site_load(self, site_name: Optional[str] = None) -> float:
+        """Current load metric of a site (defaults to the local site)."""
+        return self._kernel.site_load(site_name or self._site.name)
+
+    # -- local storage -------------------------------------------------------------
+
+    def cabinet(self, name: str = "default") -> FileCabinet:
+        """The site-local file cabinet called *name* (created on first use)."""
+        return self._site.cabinet(name)
+
+    def has_cabinet(self, name: str) -> bool:
+        """True if the site already has a cabinet called *name*."""
+        return self._site.has_cabinet(name)
+
+    # -- logging ---------------------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        """Append a line to the kernel's event log (visible to tests/benchmarks)."""
+        self._kernel.log_event(self._instance.agent_id, self._site.name, message)
+
+    # -- syscall constructors ---------------------------------------------------------
+
+    def meet(self, agent_name: str, briefcase: Optional[Briefcase] = None) -> Meet:
+        """Meet the agent installed under *agent_name* at this site."""
+        return Meet(agent_name, briefcase if briefcase is not None else Briefcase())
+
+    def end_meet(self, value: Any = None) -> EndMeet:
+        """Terminate the current meet, letting the caller resume."""
+        return EndMeet(value)
+
+    def sleep(self, duration: float) -> Sleep:
+        """Suspend for *duration* simulated seconds."""
+        return Sleep(duration)
+
+    def spawn(self, behaviour: Any, briefcase: Optional[Briefcase] = None,
+              name: Optional[str] = None) -> Spawn:
+        """Start a new top-level agent at this site."""
+        return Spawn(behaviour, briefcase if briefcase is not None else Briefcase(), name)
+
+    def terminate(self, result: Any = None) -> Terminate:
+        """Finish this agent immediately."""
+        return Terminate(result)
+
+    def transmit(self, destination: str, contact: str, briefcase: Briefcase,
+                 kind: str = "agent-transfer") -> Transmit:
+        """Low-level network send — only permitted for system agents."""
+        return Transmit(destination, contact, briefcase, kind)
+
+    # -- the canonical migration idiom -------------------------------------------------
+
+    def jump(self, briefcase: Briefcase, host: str, contact: str = "ag_py") -> Meet:
+        """Meet ``rexec`` so that this agent's code and *briefcase* move to *host*.
+
+        The returned syscall follows the paper exactly: a HOST folder names
+        the destination, a CONTACT folder names the agent to execute there
+        (``ag_py`` by default, which pops the CODE folder and runs it), and
+        the CODE folder carries this agent's own code so a fresh copy starts
+        at the destination.  The *current* instance keeps running at the
+        current site after the meet with rexec returns — itinerant agents
+        normally ``return`` right after yielding a jump.
+        """
+        code_element = self._instance.spec.code_element
+        if code_element is not None:
+            briefcase.set("CODE", code_element)
+        elif not briefcase.has("CODE"):
+            # Last resort: try to derive a code element from the behaviour.
+            attach_code(briefcase, self._instance.spec.behaviour, self._kernel.registry)
+        briefcase.set(HOST_FOLDER, host)
+        briefcase.set(CONTACT_FOLDER, contact)
+        return Meet("rexec", briefcase)
+
+    def send_folder(self, folder: Folder, destination_site: str,
+                    destination_agent: str) -> Meet:
+        """Meet the courier to deliver *folder* to an agent on another site."""
+        request = Briefcase()
+        request.add(folder.copy())
+        request.set(HOST_FOLDER, destination_site)
+        request.set(CONTACT_FOLDER, destination_agent)
+        request.set("PAYLOAD_NAME", folder.name)
+        return Meet("courier", request)
+
+    def __repr__(self) -> str:
+        return (f"AgentContext(agent={self._instance.agent_id}, "
+                f"site={self._site.name!r}, now={self.now:.4f})")

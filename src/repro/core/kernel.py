@@ -1,0 +1,615 @@
+"""The TACOMA kernel: scheduling agents, meets, migration and failures.
+
+The kernel ties everything together:
+
+* it owns the discrete-event :class:`~repro.net.simclock.EventLoop` and a
+  :class:`~repro.net.transport.Transport`;
+* it creates one :class:`~repro.core.site.Site` per topology node and
+  installs the standard system agents (``rexec``, ``ag_py``, the courier,
+  the diffusion agent) on each;
+* it executes agent behaviours (generator coroutines), interpreting the
+  syscalls of :mod:`repro.core.syscalls`;
+* it implements the ``meet`` semantics of the paper — the caller resumes
+  when the callee terminates the meet; the callee may keep running;
+* it accepts agent transfers from the network and re-animates them by
+  meeting the CONTACT agent (normally ``ag_py``);
+* it injects failures (site crashes, partitions) and keeps the ledgers the
+  experiments read (agents completed/failed/killed, meets, migrations,
+  bytes on the wire).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.agent import AgentInstance, AgentSpec, AgentState
+from repro.core.briefcase import Briefcase
+from repro.core.codec import code_element_of, pack_briefcase, unpack_briefcase, wire_size_of
+from repro.core.context import AgentContext
+from repro.core.errors import (KernelError, MeetError, SyscallError, UnknownAgentError,
+                               UnknownSiteError)
+from repro.core.registry import BehaviourRegistry, default_registry
+from repro.core.site import Site
+from repro.core.syscalls import EndMeet, Meet, MeetResult, Sleep, Spawn, Syscall, Terminate, Transmit
+from repro.net.horus import HorusTransport
+from repro.net.message import Message, MessageKind
+from repro.net.rsh import RshTransport
+from repro.net.simclock import EventLoop
+from repro.net.stats import NetworkStats
+from repro.net.tcp import TcpTransport
+from repro.net.topology import Topology, lan
+from repro.net.transport import Transport
+
+__all__ = ["Kernel", "KernelConfig"]
+
+#: the transports selectable by name (paper section 6's three rexec variants)
+TRANSPORTS = {
+    "rsh": RshTransport,
+    "tcp": TcpTransport,
+    "horus": HorusTransport,
+}
+
+
+@dataclass
+class KernelConfig:
+    """Tunable costs and limits of the simulated kernel."""
+
+    #: CPU time charged per behaviour step (one yield)
+    step_cost: float = 0.0005
+    #: extra cost of setting up a meet (argument marshalling, dispatch)
+    meet_overhead: float = 0.001
+    #: cost of creating a new top-level agent locally
+    spawn_overhead: float = 0.001
+    #: local cost of handing a briefcase to the transport
+    transmit_overhead: float = 0.0005
+    #: an agent exceeding this many steps is killed as a runaway (section 3
+    #: motivates limiting runaway agents; the step budget is the kernel-side
+    #: safety net, electronic cash is the economic one)
+    max_agent_steps: int = 1_000_000
+    #: seed for every random stream derived by the kernel
+    rng_seed: int = 42
+
+
+class Kernel:
+    """A running TACOMA system: sites + network + agents.
+
+    Parameters
+    ----------
+    topology:
+        The site graph.  Defaults to a 3-site LAN, which is enough for the
+        quickstart example.
+    transport:
+        ``"rsh"``, ``"tcp"``, ``"horus"``, a Transport subclass, or an
+        already-constructed Transport instance.
+    config:
+        Cost/limit knobs (:class:`KernelConfig`).
+    install_system_agents:
+        Install ``ag_py``/``rexec``/courier/diffusion on every site
+        (benchmarks that measure bare kernel cost turn this off).
+    registry:
+        Behaviour registry used to resolve names; defaults to the
+        process-wide registry.
+    """
+
+    def __init__(self, topology: Optional[Topology] = None,
+                 transport: Union[str, Transport, type] = "tcp",
+                 config: Optional[KernelConfig] = None,
+                 install_system_agents: bool = True,
+                 registry: Optional[BehaviourRegistry] = None):
+        self.config = config or KernelConfig()
+        self.topology = topology if topology is not None else lan(["alpha", "beta", "gamma"])
+        self.loop = EventLoop()
+        self.stats = NetworkStats()
+        self.registry = registry or default_registry()
+        self.rng = random.Random(self.config.rng_seed)
+        self.transport = self._make_transport(transport)
+
+        self.sites: Dict[str, Site] = {}
+        for name in self.topology.sites():
+            site = Site(name)
+            self.sites[name] = site
+            self.transport.register_endpoint(name, self._make_site_handler(name))
+
+        self.agents: Dict[str, AgentInstance] = {}
+        self.event_log: List[tuple] = []
+
+        # Ledger counters read by experiments and tests.
+        self.launched = 0
+        self.completed = 0
+        self.failed = 0
+        self.killed = 0
+        self.meets = 0
+        self.transmits = 0
+        self.arrivals = 0
+        self.undeliverable = 0
+
+        if install_system_agents:
+            from repro.sysagents import install_standard_agents
+            for site in self.sites.values():
+                install_standard_agents(site)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _make_transport(self, transport: Union[str, Transport, type]) -> Transport:
+        if isinstance(transport, Transport):
+            return transport
+        if isinstance(transport, str):
+            try:
+                transport_cls = TRANSPORTS[transport]
+            except KeyError:
+                raise KernelError(f"unknown transport {transport!r}; "
+                                  f"choose from {sorted(TRANSPORTS)}") from None
+        elif isinstance(transport, type) and issubclass(transport, Transport):
+            transport_cls = transport
+        else:
+            raise KernelError(f"cannot build a transport from {transport!r}")
+        return transport_cls(self.loop, self.topology, self.stats,
+                             rng=random.Random(self.config.rng_seed + 1))
+
+    # ------------------------------------------------------------------
+    # site access
+    # ------------------------------------------------------------------
+
+    def site(self, name: str) -> Site:
+        """The :class:`Site` called *name*."""
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise UnknownSiteError(f"unknown site {name!r}") from None
+
+    def site_names(self) -> List[str]:
+        """All site names."""
+        return list(self.sites)
+
+    def install_agent(self, site_name: Optional[str], name: str, behaviour: Callable,
+                      system: bool = False, replace: bool = False) -> None:
+        """Install a named agent at one site (or every site when *site_name* is None)."""
+        targets = [self.site(site_name)] if site_name is not None else list(self.sites.values())
+        for site in targets:
+            site.install(name, behaviour, system=system, replace=replace)
+
+    def agents_at(self, site_name: str, active_only: bool = True) -> List[AgentInstance]:
+        """Agent instances located at *site_name*."""
+        return [agent for agent in self.agents.values()
+                if agent.site_name == site_name and (not active_only or not agent.finished)]
+
+    def site_load(self, site_name: str) -> float:
+        """The load metric of a site (what monitor agents report to brokers)."""
+        site = self.site(site_name)
+        return site.load_metric(len(self.agents_at(site_name)))
+
+    # ------------------------------------------------------------------
+    # launching agents
+    # ------------------------------------------------------------------
+
+    def launch(self, site_name: str, behaviour: Union[str, Callable],
+               briefcase: Optional[Briefcase] = None, name: Optional[str] = None,
+               system: bool = False, delay: float = 0.0) -> str:
+        """Create a new top-level agent at *site_name* and schedule it to start.
+
+        *behaviour* may be a callable or a registered behaviour name.
+        Returns the new agent's id; results are read back later through
+        :meth:`result_of` or :meth:`agent`.
+        """
+        site = self.site(site_name)
+        resolved, resolved_system = self._resolve_behaviour(site, behaviour)
+        spec = AgentSpec(
+            behaviour=resolved,
+            briefcase=briefcase if briefcase is not None else Briefcase(),
+            name=name or (behaviour if isinstance(behaviour, str) else None),
+            site=site_name,
+            code_element=self._best_effort_code(behaviour, resolved),
+            system=system or resolved_system,
+        )
+        instance = AgentInstance(spec, site_name)
+        self._register(instance)
+        self.loop.schedule(delay, lambda: self._start(instance),
+                           label=f"start-{instance.agent_id}")
+        return instance.agent_id
+
+    def _resolve_behaviour(self, site: Site, behaviour: Union[str, Callable]):
+        """Resolve a behaviour reference to (callable, is_system)."""
+        if callable(behaviour):
+            return behaviour, False
+        if isinstance(behaviour, str):
+            if site.is_installed(behaviour):
+                return site.resolve(behaviour)
+            if behaviour in self.registry:
+                return self.registry.resolve(behaviour), False
+            raise UnknownAgentError(
+                f"behaviour {behaviour!r} is neither installed at {site.name!r} "
+                f"nor registered")
+        raise KernelError(f"cannot launch {behaviour!r}: expected a name or a callable")
+
+    def _best_effort_code(self, original: Any, resolved: Callable) -> Optional[dict]:
+        for candidate in (original, resolved):
+            try:
+                return code_element_of(candidate, self.registry)
+            except Exception:
+                continue
+        return None
+
+    def _register(self, instance: AgentInstance) -> None:
+        self.agents[instance.agent_id] = instance
+        self.launched += 1
+
+    # ------------------------------------------------------------------
+    # running the simulation
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop (to quiescence, or up to simulated time *until*)."""
+        if until is None:
+            return self.loop.run(max_events=max_events)
+        return self.loop.run_until(until, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.loop.now
+
+    # ------------------------------------------------------------------
+    # agent bookkeeping
+    # ------------------------------------------------------------------
+
+    def agent(self, agent_id: str) -> AgentInstance:
+        """The instance with the given id."""
+        try:
+            return self.agents[agent_id]
+        except KeyError:
+            raise UnknownAgentError(f"unknown agent id {agent_id!r}") from None
+
+    def agents_named(self, name: str) -> List[AgentInstance]:
+        """Every instance launched under the given name."""
+        return [agent for agent in self.agents.values() if agent.name == name]
+
+    def result_of(self, agent_id: str) -> Any:
+        """The result of a finished agent (raises if it failed or is unfinished)."""
+        instance = self.agent(agent_id)
+        if instance.state == AgentState.DONE:
+            return instance.result
+        if instance.state == AgentState.FAILED:
+            raise KernelError(f"agent {agent_id} failed: {instance.error!r}")
+        if instance.state == AgentState.KILLED:
+            raise KernelError(f"agent {agent_id} was killed: {instance.error!r}")
+        raise KernelError(f"agent {agent_id} has not finished (state={instance.state})")
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the kernel ledger used by tests and benchmark reports."""
+        return {
+            "launched": self.launched,
+            "completed": self.completed,
+            "failed": self.failed,
+            "killed": self.killed,
+            "meets": self.meets,
+            "transmits": self.transmits,
+            "arrivals": self.arrivals,
+            "undeliverable": self.undeliverable,
+        }
+
+    def log_event(self, agent_id: str, site_name: str, message: str) -> None:
+        """Append a line to the kernel event log (agents call this via ctx.log)."""
+        self.event_log.append((self.loop.now, agent_id, site_name, message))
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+
+    def crash_site(self, name: str) -> None:
+        """Crash a site: kill resident agents, refuse traffic until recovery."""
+        site = self.site(name)
+        if not site.alive:
+            return
+        site.mark_crashed()
+        self.topology.mark_down(name)
+        self.transport.on_site_down(name)
+        for agent in self.agents_at(name, active_only=True):
+            agent.mark_killed(self.loop.now, reason=f"site {name} crashed")
+            self.killed += 1
+        self.log_event("kernel", name, "site crashed")
+
+    def recover_site(self, name: str) -> None:
+        """Recover a crashed site.  Installed agents and cabinets survive."""
+        site = self.site(name)
+        if site.alive:
+            return
+        site.mark_recovered()
+        self.topology.mark_up(name)
+        self.transport.on_site_up(name)
+        self.log_event("kernel", name, "site recovered")
+
+    def partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Partition the network into the given site groups."""
+        self.topology.set_partition(groups)
+        self.log_event("kernel", "*", f"partition installed: {[list(g) for g in groups]}")
+
+    def heal_partition(self) -> None:
+        """Heal any active partition."""
+        self.topology.heal_partition()
+        self.log_event("kernel", "*", "partition healed")
+
+    # ------------------------------------------------------------------
+    # behaviour execution
+    # ------------------------------------------------------------------
+
+    def _start(self, instance: AgentInstance) -> None:
+        if instance.finished:
+            return
+        site = self.sites[instance.site_name]
+        if not site.alive:
+            instance.mark_killed(self.loop.now, reason=f"site {site.name} is down")
+            self.killed += 1
+            return
+        instance.started_at = self.loop.now
+        context = AgentContext(self, site, instance)
+        try:
+            outcome = instance.spec.behaviour(context, instance.briefcase)
+        except Exception as error:  # behaviour blew up before yielding anything
+            self._fail(instance, error)
+            return
+        if outcome is not None and hasattr(outcome, "send") and hasattr(outcome, "throw"):
+            instance.generator = outcome
+            self._resume(instance, None)
+        else:
+            # Plain function behaviour: it already ran to completion.
+            self._finish(instance, outcome)
+
+    def _resume(self, instance: AgentInstance, value: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        if instance.finished:
+            return
+        site = self.sites[instance.site_name]
+        if not site.alive:
+            instance.mark_killed(self.loop.now, reason=f"site {site.name} is down")
+            self.killed += 1
+            return
+        instance.mark_running()
+        try:
+            if error is not None:
+                request = instance.generator.throw(error)
+            else:
+                request = instance.generator.send(value)
+        except StopIteration as stop:
+            self._finish(instance, stop.value)
+            return
+        except Exception as failure:
+            self._fail(instance, failure)
+            return
+        instance.steps += 1
+        if instance.steps > self.config.max_agent_steps:
+            instance.mark_killed(self.loop.now, reason="runaway agent exceeded step budget")
+            self.killed += 1
+            self._release_meet_parent_on_abnormal_end(
+                instance, MeetError(f"met agent {instance.name!r} was killed as a runaway"))
+            return
+        self._dispatch(instance, request)
+
+    def _dispatch(self, instance: AgentInstance, request: Any) -> None:
+        if isinstance(request, Meet):
+            self._do_meet(instance, request)
+        elif isinstance(request, EndMeet):
+            self._do_end_meet(instance, request)
+        elif isinstance(request, Sleep):
+            self._do_sleep(instance, request)
+        elif isinstance(request, Spawn):
+            self._do_spawn(instance, request)
+        elif isinstance(request, Transmit):
+            self._do_transmit(instance, request)
+        elif isinstance(request, Terminate):
+            self._finish(instance, request.result)
+        elif isinstance(request, Syscall):  # a Syscall subclass we do not handle
+            self._throw_back(instance, SyscallError(f"unsupported syscall {request!r}"))
+        else:
+            self._throw_back(instance, SyscallError(
+                f"agents must yield Syscall objects, got {type(request).__name__}"))
+
+    def _throw_back(self, instance: AgentInstance, error: Exception) -> None:
+        """Deliver an error to the agent on its next step."""
+        self.loop.schedule(self.config.step_cost,
+                           lambda: self._resume(instance, error=error),
+                           label=f"error-{instance.agent_id}")
+
+    # -- individual syscalls ----------------------------------------------------------
+
+    def _do_meet(self, caller: AgentInstance, request: Meet) -> None:
+        site = self.sites[caller.site_name]
+        try:
+            behaviour, is_system = site.resolve(request.agent_name)
+        except UnknownAgentError as error:
+            self._throw_back(caller, MeetError(str(error)))
+            return
+        spec = AgentSpec(
+            behaviour=behaviour,
+            briefcase=request.briefcase,
+            name=request.agent_name,
+            site=site.name,
+            code_element=self._best_effort_code(request.agent_name, behaviour),
+            system=is_system,
+        )
+        callee = AgentInstance(spec, site.name, parent_id=caller.agent_id,
+                               meet_parent=caller.agent_id)
+        self._register(callee)
+        caller.children.append(callee.agent_id)
+        caller.mark_waiting()
+        self.meets += 1
+        self.loop.schedule(self.config.meet_overhead + self.config.step_cost,
+                           lambda: self._start(callee),
+                           label=f"meet-{caller.agent_id}-{request.agent_name}")
+
+    def _do_end_meet(self, callee: AgentInstance, request: EndMeet) -> None:
+        self._release_meet_parent(callee, request.value)
+        # The callee keeps running concurrently with its (former) caller.
+        self.loop.schedule(self.config.step_cost, lambda: self._resume(callee, None),
+                           label=f"continue-{callee.agent_id}")
+
+    def _do_sleep(self, instance: AgentInstance, request: Sleep) -> None:
+        instance.mark_waiting()
+        delay = max(0.0, float(request.duration)) + self.config.step_cost
+        self.loop.schedule(delay, lambda: self._resume(instance, None),
+                           label=f"wake-{instance.agent_id}")
+
+    def _do_spawn(self, parent: AgentInstance, request: Spawn) -> None:
+        site = self.sites[parent.site_name]
+        behaviour: Callable
+        is_system = False
+        if callable(request.behaviour):
+            behaviour = request.behaviour
+        else:
+            try:
+                behaviour, is_system = self._resolve_behaviour(site, request.behaviour)
+            except (UnknownAgentError, KernelError) as error:
+                self._throw_back(parent, error)
+                return
+        code_element = getattr(request, "code_element", None) or \
+            self._best_effort_code(request.behaviour, behaviour)
+        spec = AgentSpec(
+            behaviour=behaviour,
+            briefcase=request.briefcase,
+            name=request.name or (request.behaviour
+                                  if isinstance(request.behaviour, str) else None),
+            site=site.name,
+            code_element=code_element,
+            system=is_system,
+        )
+        child = AgentInstance(spec, site.name, parent_id=parent.agent_id)
+        self._register(child)
+        parent.children.append(child.agent_id)
+        self.loop.schedule(self.config.spawn_overhead, lambda: self._start(child),
+                           label=f"spawn-{child.agent_id}")
+        self.loop.schedule(self.config.step_cost,
+                           lambda: self._resume(parent, child.agent_id),
+                           label=f"spawned-{parent.agent_id}")
+
+    def _do_transmit(self, sender: AgentInstance, request: Transmit) -> None:
+        if not sender.system:
+            self._throw_back(sender, SyscallError(
+                "only system agents may transmit; ordinary agents meet rexec or the courier"))
+            return
+        if request.destination not in self.topology:
+            self._throw_back(sender, SyscallError(
+                f"transmit to unknown site {request.destination!r}"))
+            return
+        payload_bytes = pack_briefcase(request.briefcase)
+        declared = wire_size_of(request.briefcase)
+        message = Message(
+            source=sender.site_name,
+            destination=request.destination,
+            kind=request.kind,
+            payload={"contact": request.contact, "briefcase": payload_bytes},
+            declared_size=declared,
+        )
+        self.transmits += 1
+        event = self.transport.send(message)
+        accepted = event is not None
+        self.loop.schedule(self.config.transmit_overhead + self.config.step_cost,
+                           lambda: self._resume(sender, accepted),
+                           label=f"transmitted-{sender.agent_id}")
+
+    # -- completion paths ---------------------------------------------------------------
+
+    def _finish(self, instance: AgentInstance, result: Any) -> None:
+        if instance.finished:
+            return
+        instance.mark_done(result, self.loop.now)
+        self.completed += 1
+        self._release_meet_parent(instance, result)
+
+    def _fail(self, instance: AgentInstance, error: BaseException) -> None:
+        if instance.finished:
+            return
+        instance.mark_failed(error, self.loop.now)
+        self.failed += 1
+        self.log_event(instance.agent_id, instance.site_name, f"failed: {error!r}")
+        self._release_meet_parent_on_abnormal_end(
+            instance, MeetError(f"met agent {instance.name!r} failed: {error!r}"))
+
+    def _release_meet_parent(self, callee: AgentInstance, value: Any) -> None:
+        """Resume the agent blocked on this callee's meet, if any."""
+        if callee.meet_ended or callee.meet_parent is None:
+            return
+        callee.meet_ended = True
+        parent = self.agents.get(callee.meet_parent)
+        if parent is None or parent.finished:
+            return
+        result = MeetResult(value=value, briefcase=callee.briefcase,
+                            agent_id=callee.agent_id)
+        self.loop.schedule(self.config.step_cost, lambda: self._resume(parent, result),
+                           label=f"meet-return-{parent.agent_id}")
+
+    def _release_meet_parent_on_abnormal_end(self, callee: AgentInstance,
+                                             error: Exception) -> None:
+        if callee.meet_ended or callee.meet_parent is None:
+            return
+        callee.meet_ended = True
+        parent = self.agents.get(callee.meet_parent)
+        if parent is None or parent.finished:
+            return
+        self.loop.schedule(self.config.step_cost, lambda: self._resume(parent, error=error),
+                           label=f"meet-error-{parent.agent_id}")
+
+    # ------------------------------------------------------------------
+    # network arrivals
+    # ------------------------------------------------------------------
+
+    def _make_site_handler(self, site_name: str) -> Callable[[Message], None]:
+        def handler(message: Message) -> None:
+            self._on_message(site_name, message)
+        return handler
+
+    def _on_message(self, site_name: str, message: Message) -> None:
+        site = self.sites.get(site_name)
+        if site is None or not site.alive:
+            return
+        hook = site.message_hook(message.kind)
+        if hook is not None:
+            hook(message)
+            return
+        if message.kind in (MessageKind.AGENT_TRANSFER, MessageKind.FOLDER_DELIVERY):
+            self._accept_agent_transfer(site, message)
+            return
+        # Default path for control/status/data traffic: deposit into the
+        # site's message cabinet so agents can poll it.
+        site.cabinet("_messages").put(message.kind, message.payload)
+
+    def _accept_agent_transfer(self, site: Site, message: Message) -> None:
+        payload = message.payload
+        contact = payload.get("contact")
+        raw = payload.get("briefcase")
+        if contact is None or raw is None:
+            site.undeliverable += 1
+            self.undeliverable += 1
+            return
+        try:
+            briefcase = unpack_briefcase(raw)
+        except Exception:
+            site.undeliverable += 1
+            self.undeliverable += 1
+            return
+        if not site.is_installed(contact):
+            site.undeliverable += 1
+            self.undeliverable += 1
+            self.log_event("kernel", site.name,
+                           f"arrival for unknown contact {contact!r} dropped")
+            return
+        behaviour, is_system = site.resolve(contact)
+        spec = AgentSpec(
+            behaviour=behaviour,
+            briefcase=briefcase,
+            name=contact,
+            site=site.name,
+            code_element=self._best_effort_code(contact, behaviour),
+            system=is_system,
+        )
+        instance = AgentInstance(spec, site.name)
+        self._register(instance)
+        self.arrivals += 1
+        self.loop.schedule(self.config.meet_overhead, lambda: self._start(instance),
+                           label=f"arrival-{instance.agent_id}")
+
+    def __repr__(self) -> str:
+        return (f"Kernel({len(self.sites)} sites, transport={self.transport.name!r}, "
+                f"agents={len(self.agents)}, t={self.loop.now:.4f})")

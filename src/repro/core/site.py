@@ -1,0 +1,128 @@
+"""Sites: the places where agents execute.
+
+"Each site in our system runs a Tcl interpreter, which provides the place
+where agents execute" (paper section 6).  A :class:`Site` owns the
+site-local file cabinets, the table of agents installed under well-known
+names (``rexec``, ``ag_py``, the broker, ...), per-kind message hooks used
+by lower-level subsystems, and the load/capacity attributes the scheduling
+experiments manipulate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.cabinet import FileCabinet
+from repro.core.errors import UnknownAgentError
+from repro.net.message import Message
+
+__all__ = ["Site"]
+
+#: signature of a per-kind message hook: hook(message) -> None
+MessageHook = Callable[[Message], None]
+
+
+class Site:
+    """One place in the network where agents can execute."""
+
+    def __init__(self, name: str, capacity: float = 1.0):
+        self.name = name
+        #: relative processing capacity; the scheduling experiments vary this
+        self.capacity = capacity
+        #: synthetic load added by workloads (e.g. "this machine is busy")
+        self.background_load = 0.0
+        #: False while the site is crashed
+        self.alive = True
+        #: how many times this site has crashed (ledger for experiments)
+        self.crash_count = 0
+        self._cabinets: Dict[str, FileCabinet] = {}
+        #: name -> (behaviour, is_system_agent)
+        self._installed: Dict[str, Tuple[Callable, bool]] = {}
+        self._message_hooks: Dict[str, MessageHook] = {}
+        #: total messages that arrived addressed to an unknown contact
+        self.undeliverable = 0
+
+    # -- installed agents ---------------------------------------------------------
+
+    def install(self, name: str, behaviour: Callable, system: bool = False,
+                replace: bool = False) -> None:
+        """Install *behaviour* under the well-known *name* at this site."""
+        if name in self._installed and not replace:
+            existing, _ = self._installed[name]
+            if existing is not behaviour:
+                raise UnknownAgentError(
+                    f"site {self.name!r} already has an agent installed as {name!r}")
+        self._installed[name] = (behaviour, system)
+
+    def uninstall(self, name: str) -> None:
+        """Remove an installed agent (no effect if absent)."""
+        self._installed.pop(name, None)
+
+    def installed_names(self) -> List[str]:
+        """Names of every agent installed at this site."""
+        return list(self._installed)
+
+    def is_installed(self, name: str) -> bool:
+        """True if an agent named *name* is installed here."""
+        return name in self._installed
+
+    def resolve(self, name: str) -> Tuple[Callable, bool]:
+        """Return ``(behaviour, is_system)`` for the installed agent *name*."""
+        try:
+            return self._installed[name]
+        except KeyError:
+            raise UnknownAgentError(
+                f"site {self.name!r} has no agent installed under {name!r}") from None
+
+    # -- file cabinets ----------------------------------------------------------------
+
+    def cabinet(self, name: str = "default") -> FileCabinet:
+        """Return the named cabinet, creating it on first use."""
+        if name not in self._cabinets:
+            self._cabinets[name] = FileCabinet(name, site=self.name)
+        return self._cabinets[name]
+
+    def has_cabinet(self, name: str) -> bool:
+        """True if the cabinet already exists (without creating it)."""
+        return name in self._cabinets
+
+    def cabinets(self) -> List[FileCabinet]:
+        """Every cabinet at this site."""
+        return list(self._cabinets.values())
+
+    def flush_cabinets(self, directory: str) -> List[str]:
+        """Flush every cabinet to *directory*; returns the written paths."""
+        return [cabinet.flush(directory) for cabinet in self._cabinets.values()]
+
+    # -- message hooks -------------------------------------------------------------------
+
+    def set_message_hook(self, kind: str, hook: MessageHook) -> None:
+        """Route arriving messages of *kind* to *hook* instead of the default path."""
+        self._message_hooks[kind] = hook
+
+    def message_hook(self, kind: str) -> Optional[MessageHook]:
+        """The hook registered for *kind*, if any."""
+        return self._message_hooks.get(kind)
+
+    # -- load model ---------------------------------------------------------------------
+
+    def load_metric(self, active_agents: int) -> float:
+        """Load as seen by the monitor agent: queued work normalised by capacity."""
+        capacity = self.capacity if self.capacity > 0 else 1e-9
+        return (active_agents + self.background_load) / capacity
+
+    # -- failure state --------------------------------------------------------------------
+
+    def mark_crashed(self) -> None:
+        """Record a crash.  Cabinets survive (they model disk-backed storage)."""
+        self.alive = False
+        self.crash_count += 1
+
+    def mark_recovered(self) -> None:
+        """Record recovery from a crash."""
+        self.alive = True
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "DOWN"
+        return (f"Site({self.name!r}, {status}, {len(self._installed)} agents installed, "
+                f"{len(self._cabinets)} cabinets)")

@@ -1,0 +1,126 @@
+"""Kernel requests ("syscalls") that agent behaviours yield.
+
+An agent behaviour is a generator function ``def behaviour(ctx, briefcase)``
+that *yields* instances of the classes below; the kernel performs the
+request and resumes the generator with the result.  This mirrors the paper's
+model where "services for agents — communication, synchronization, and so
+on — are provided directly by other agents": the only kernel primitives are
+meeting, ending a meet, sleeping, spawning locally, and (for system agents
+only) pushing bytes onto the network.  Everything else — migration,
+couriers, diffusion, brokering, electronic cash — is built from these by
+agents in :mod:`repro.sysagents` and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.briefcase import Briefcase
+
+__all__ = [
+    "Syscall", "Meet", "EndMeet", "Sleep", "Spawn", "Transmit", "Terminate",
+    "MeetResult",
+]
+
+
+class Syscall:
+    """Marker base class for everything an agent may yield to the kernel."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Meet(Syscall):
+    """Execute the agent installed under *agent_name* at the current site.
+
+    The named agent runs with *briefcase*; the caller resumes when the callee
+    terminates the meet (explicitly with :class:`EndMeet` or implicitly by
+    returning).  The yield evaluates to a :class:`MeetResult`.
+
+    The briefcase is shared by reference for the duration of the meet — this
+    is the paper's "argument list" semantics; results are typically written
+    into the same briefcase.
+    """
+
+    agent_name: str
+    briefcase: Briefcase = field(default_factory=Briefcase)
+
+
+@dataclass
+class MeetResult:
+    """What a ``yield Meet(...)`` evaluates to in the caller."""
+
+    #: value passed to EndMeet (or returned) by the callee
+    value: Any
+    #: the briefcase that was passed in (callee may have modified it)
+    briefcase: Briefcase
+    #: id of the callee agent instance (it may still be running)
+    agent_id: str
+
+
+@dataclass
+class EndMeet(Syscall):
+    """Terminate the current meet, resuming the caller.
+
+    The callee keeps executing after yielding ``EndMeet`` — the paper is
+    explicit that "after the meet terminates, B may continue executing
+    concurrently with A."  Yielding ``EndMeet`` outside a meet is a no-op.
+    """
+
+    value: Any = None
+
+
+@dataclass
+class Sleep(Syscall):
+    """Suspend the agent for *duration* simulated seconds."""
+
+    duration: float = 0.0
+
+
+@dataclass
+class Spawn(Syscall):
+    """Start a new top-level agent at the current site.
+
+    ``behaviour`` may be a registered behaviour name (string) or a callable.
+    The yield evaluates to the new agent's id.  Spawning at a *remote* site
+    is deliberately impossible here: that is what meeting ``rexec`` is for.
+    """
+
+    behaviour: Any
+    briefcase: Briefcase = field(default_factory=Briefcase)
+    name: Optional[str] = None
+    #: explicit shippable code element for the spawned agent; ``ag_py`` uses
+    #: this to hand a source-shipped agent its own code so it can jump again
+    code_element: Optional[dict] = None
+
+
+@dataclass
+class Transmit(Syscall):
+    """Hand a briefcase to the network (system agents only).
+
+    The briefcase is serialised and sent to *destination*; on arrival the
+    agent installed there under *contact* is met with the reconstructed
+    briefcase.  The yield evaluates to ``True`` if the message was handed to
+    the transport (delivery may still fail in flight) and ``False`` if it was
+    dropped immediately (source crashed, no route).
+
+    Ordinary agents are not allowed to transmit: they must meet ``rexec`` or
+    the courier, exactly as in the paper.  The kernel enforces this.
+    """
+
+    destination: str
+    contact: str
+    briefcase: Briefcase
+    kind: str = "agent-transfer"
+
+
+@dataclass
+class Terminate(Syscall):
+    """Finish the agent immediately with the given result.
+
+    Equivalent to returning from the behaviour, but usable from deep inside
+    helper sub-generators via ``yield``.
+    """
+
+    result: Any = None

@@ -1,0 +1,29 @@
+"""Fault tolerance for mobile computations (paper section 5).
+
+Rear guards, failure detection, and the fault-tolerant itinerant agent the
+experiments compare against an unprotected baseline.
+"""
+
+from repro.fault.detector import (SUSPICION_CABINET, Suspicion, TimeoutDetector,
+                                  subscribe_horus_suspicions)
+from repro.fault.ftmove import (FT_VISITOR_NAME, PLAIN_VISITOR_NAME, RESULTS_CABINET,
+                                completions, fan_out_ids, ft_visitor_behaviour,
+                                launch_ft_computation, launch_plain_computation,
+                                plain_visitor_behaviour)
+from repro.fault.rearguard import (GUARD_GROUP, REAR_GUARD_NAME, REARGUARD_CABINET,
+                                   RELEASE_AGENT_NAME, SUSPICIONS_FOLDER, guard_snapshot,
+                                   install_fault_agents, install_horus_guard_detection,
+                                   make_release_folder, pending_guards,
+                                   rear_guard_behaviour, release_agent_behaviour)
+
+__all__ = [
+    "TimeoutDetector", "Suspicion", "subscribe_horus_suspicions", "SUSPICION_CABINET",
+    "REAR_GUARD_NAME", "RELEASE_AGENT_NAME", "REARGUARD_CABINET",
+    "SUSPICIONS_FOLDER", "GUARD_GROUP",
+    "rear_guard_behaviour", "release_agent_behaviour", "guard_snapshot",
+    "install_fault_agents", "install_horus_guard_detection",
+    "pending_guards", "make_release_folder",
+    "FT_VISITOR_NAME", "PLAIN_VISITOR_NAME", "RESULTS_CABINET",
+    "ft_visitor_behaviour", "plain_visitor_behaviour",
+    "launch_ft_computation", "launch_plain_computation", "completions", "fan_out_ids",
+]

@@ -1,0 +1,271 @@
+"""Fault-tolerant itinerant computations built from rear guards (paper section 5).
+
+Two itinerant agents walk the same kind of itinerary:
+
+* :func:`ft_visitor_behaviour` — protected: spawns a rear guard before every
+  hop, releases guards as it makes progress, deduplicates at every site and
+  at the delivery site, so site crashes along the way do not lose the
+  computation (as long as the delivery site survives);
+* :func:`plain_visitor_behaviour` — the unprotected baseline: a crash of the
+  site currently hosting the agent (or a lost transfer) silently kills the
+  whole computation.
+
+Experiment E6 launches both over the same failure schedules and compares
+completion rates, duplicate completions, and the message overhead the
+guards add.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+from repro.core.kernel import Kernel
+from repro.core.registry import register_behaviour
+from repro.fault.rearguard import (REARGUARD_CABINET, RELEASE_AGENT_NAME, guard_snapshot,
+                                   install_fault_agents, make_release_folder,
+                                   rear_guard_behaviour)
+
+__all__ = [
+    "FT_VISITOR_NAME", "PLAIN_VISITOR_NAME", "RESULTS_CABINET",
+    "ft_visitor_behaviour", "plain_visitor_behaviour",
+    "launch_ft_computation", "launch_plain_computation",
+    "completions", "fan_out_ids",
+]
+
+#: registered behaviour names (they must be resolvable at every site to jump)
+FT_VISITOR_NAME = "ft_visitor"
+PLAIN_VISITOR_NAME = "plain_visitor"
+
+#: cabinet at the delivery site where finished computations are recorded
+RESULTS_CABINET = "ft_results"
+
+_computation_ids = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# the protected visitor
+# ---------------------------------------------------------------------------
+
+def _do_local_work(ctx: AgentContext, briefcase: Briefcase, seq: int):
+    """Perform this hop's work: meet TASK if named, else sample the local data cabinet."""
+    task = briefcase.get("TASK")
+    results = briefcase.folder("RESULTS", create=True)
+    if task is not None:
+        work = Briefcase()
+        work.set("FT_ID", briefcase.get("FT_ID"))
+        work.set("SEQ", seq)
+        outcome = yield ctx.meet(task, work)
+        results.push({"site": ctx.site_name, "seq": seq,
+                      "value": outcome.value if outcome is not None else None,
+                      "at": ctx.now})
+    else:
+        value = ctx.cabinet("data").get("VALUE")
+        results.push({"site": ctx.site_name, "seq": seq, "value": value, "at": ctx.now})
+        yield ctx.sleep(float(briefcase.get("WORK_SECONDS", 0.01)))
+
+
+def _send_releases(ctx: AgentContext, briefcase: Briefcase, ft_id: str,
+                   reached_seq: int, done: bool = False):
+    """Retire every guard whose hop the computation has now moved safely past.
+
+    Two guards trail the agent (the guards at the two most recently departed
+    sites): a guard protecting hop ``p`` retires only once the computation
+    has reached hop ``p + 2``.  Keeping two alive means losing the current
+    site *and* the most recent guard site simultaneously still leaves a
+    guard able to relaunch — the paper's "details ... are complex" remark
+    is exactly about this window.
+    """
+    guards_folder = briefcase.folder("GUARDS", create=True)
+    guards: List[dict] = [guard for guard in guards_folder.elements()
+                          if isinstance(guard, dict)]
+    keep: List[dict] = []
+    for guard in guards:
+        retire = done or int(guard.get("protects_seq", 0)) <= reached_seq - 2
+        if not retire:
+            keep.append(guard)
+            continue
+        notice = make_release_folder(ft_id, reached_seq, done=done)
+        if guard.get("site") == ctx.site_name:
+            ctx.cabinet(REARGUARD_CABINET).put(
+                "releases", {"ft_id": ft_id, "reached_seq": reached_seq, "done": done})
+        else:
+            yield ctx.send_folder(notice, guard["site"], RELEASE_AGENT_NAME)
+    guards_folder.replace(keep)
+
+
+def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """The rear-guard-protected itinerant agent (state machine, one hop per site)."""
+    ft_id = briefcase.get("FT_ID", "ft-unnamed")
+    seq = int(briefcase.get("SEQ", 0))
+    per_hop = float(briefcase.get("PER_HOP", 0.5))
+    max_relaunches = int(briefcase.get("MAX_RELAUNCHES", 2))
+    cabinet = ctx.cabinet(REARGUARD_CABINET)
+
+    # Duplicate suppression: a relaunched twin may arrive at a site that the
+    # original (merely slow, not dead) agent already processed.
+    marker = f"{ft_id}:{seq}"
+    if cabinet.contains_element("done_markers", marker):
+        yield ctx.sleep(0)
+        return "duplicate-hop"
+    cabinet.put("done_markers", marker)
+
+    yield from _do_local_work(ctx, briefcase, seq)
+    yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq)
+
+    itinerary = briefcase.folder("ITINERARY", create=True)
+    if itinerary:
+        next_site = itinerary.dequeue()
+        next_seq = seq + 1
+        briefcase.set("SEQ", next_seq)
+        briefcase.set("TARGET_SITE", next_site)
+        guards_folder = briefcase.folder("GUARDS", create=True)
+        guards_folder.push({"site": ctx.site_name, "protects_seq": next_seq})
+
+        # Building the jump syscall attaches CODE/HOST/CONTACT to the
+        # briefcase, so the snapshot taken right after it is exactly what a
+        # relaunch must re-ship.
+        jump = ctx.jump(briefcase, next_site)
+        snapshot = briefcase.copy()
+        yield ctx.spawn(rear_guard_behaviour,
+                        guard_snapshot(ft_id, next_seq, snapshot, per_hop, max_relaunches,
+                                       view_assisted=bool(briefcase.get("VIEW_ASSISTED",
+                                                                        False))),
+                        name=f"rear-guard-{ft_id}-{next_seq}")
+        yield jump
+        return "moved"
+
+    # Final hop: deliver exactly once.
+    delivery = ctx.cabinet(RESULTS_CABINET)
+    if delivery.contains_element("completed_ids", ft_id):
+        yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq, done=True)
+        return "duplicate-completion"
+    delivery.put("completed_ids", ft_id)
+    delivery.put("completions", {
+        "ft_id": ft_id,
+        "results": briefcase.folder("RESULTS", create=True).elements(),
+        "hops": seq,
+        "skipped": briefcase.folder("SKIPPED", create=True).elements(),
+        "relaunched": bool(briefcase.get("RELAUNCHED", False)),
+        "completed_at": ctx.now,
+        "site": ctx.site_name,
+    })
+    yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq, done=True)
+    return "completed"
+
+
+# ---------------------------------------------------------------------------
+# the unprotected baseline
+# ---------------------------------------------------------------------------
+
+def plain_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """The same itinerary walk with no rear guards (E6 baseline)."""
+    ft_id = briefcase.get("FT_ID", "plain-unnamed")
+    seq = int(briefcase.get("SEQ", 0))
+
+    yield from _do_local_work(ctx, briefcase, seq)
+
+    itinerary = briefcase.folder("ITINERARY", create=True)
+    if itinerary:
+        next_site = itinerary.dequeue()
+        briefcase.set("SEQ", seq + 1)
+        briefcase.set("TARGET_SITE", next_site)
+        yield ctx.jump(briefcase, next_site)
+        return "moved"
+
+    delivery = ctx.cabinet(RESULTS_CABINET)
+    if not delivery.contains_element("completed_ids", ft_id):
+        delivery.put("completed_ids", ft_id)
+        delivery.put("completions", {
+            "ft_id": ft_id,
+            "results": briefcase.folder("RESULTS", create=True).elements(),
+            "hops": seq,
+            "skipped": [],
+            "relaunched": False,
+            "completed_at": ctx.now,
+            "site": ctx.site_name,
+        })
+    return "completed"
+
+
+register_behaviour(FT_VISITOR_NAME, ft_visitor_behaviour, replace=True)
+register_behaviour(PLAIN_VISITOR_NAME, plain_visitor_behaviour, replace=True)
+
+
+# ---------------------------------------------------------------------------
+# launch and collection helpers
+# ---------------------------------------------------------------------------
+
+def _build_briefcase(ft_id: str, itinerary: Sequence[str], per_hop: float,
+                     max_relaunches: int, work_seconds: float,
+                     task: Optional[str], view_assisted: bool = False) -> Briefcase:
+    briefcase = Briefcase()
+    briefcase.set("FT_ID", ft_id)
+    briefcase.set("SEQ", 0)
+    briefcase.set("PER_HOP", per_hop)
+    briefcase.set("MAX_RELAUNCHES", max_relaunches)
+    briefcase.set("WORK_SECONDS", work_seconds)
+    if view_assisted:
+        briefcase.set("VIEW_ASSISTED", True)
+    if task is not None:
+        briefcase.set("TASK", task)
+    itinerary_folder = briefcase.folder("ITINERARY", create=True)
+    for site in itinerary:
+        itinerary_folder.enqueue(site)
+    return briefcase
+
+
+def launch_ft_computation(kernel: Kernel, origin: str, itinerary: Sequence[str],
+                          ft_id: Optional[str] = None, per_hop: float = 0.5,
+                          max_relaunches: int = 2, work_seconds: float = 0.01,
+                          task: Optional[str] = None, delay: float = 0.0,
+                          view_assisted: bool = False) -> str:
+    """Launch a rear-guard-protected computation; returns its computation id.
+
+    The itinerary lists the sites to visit *after* the origin; the last
+    entry is the delivery site where the completion record lands.  The
+    release-recording agent is installed everywhere as a side effect
+    (idempotent).  With ``view_assisted`` the guards additionally react to
+    Horus view changes (call
+    :func:`repro.fault.install_horus_guard_detection` first).
+    """
+    install_fault_agents(kernel)
+    ft_id = ft_id or f"ft-{next(_computation_ids):05d}"
+    briefcase = _build_briefcase(ft_id, itinerary, per_hop, max_relaunches,
+                                 work_seconds, task, view_assisted=view_assisted)
+    kernel.launch(origin, FT_VISITOR_NAME, briefcase, delay=delay)
+    return ft_id
+
+
+def launch_plain_computation(kernel: Kernel, origin: str, itinerary: Sequence[str],
+                             ft_id: Optional[str] = None, work_seconds: float = 0.01,
+                             task: Optional[str] = None, delay: float = 0.0) -> str:
+    """Launch the unprotected baseline computation; returns its computation id."""
+    ft_id = ft_id or f"plain-{next(_computation_ids):05d}"
+    briefcase = _build_briefcase(ft_id, itinerary, per_hop=0.5, max_relaunches=0,
+                                 work_seconds=work_seconds, task=task)
+    kernel.launch(origin, PLAIN_VISITOR_NAME, briefcase, delay=delay)
+    return ft_id
+
+
+def completions(kernel: Kernel, delivery_site: str,
+                ft_id: Optional[str] = None) -> List[Dict[str, object]]:
+    """Completion records found at *delivery_site* (optionally for one computation)."""
+    cabinet = kernel.site(delivery_site).cabinet(RESULTS_CABINET)
+    records = [record for record in cabinet.elements("completions")
+               if isinstance(record, dict)]
+    if ft_id is not None:
+        records = [record for record in records if record.get("ft_id") == ft_id]
+    return records
+
+
+def fan_out_ids(base_id: str, branches: int) -> List[str]:
+    """Per-branch computation ids for a cloning (fan-out) computation.
+
+    The paper notes fan-out complicates rear guards; giving every branch its
+    own id keeps the done-markers and delivery dedup of different branches
+    from interfering.
+    """
+    return [f"{base_id}/branch-{index:03d}" for index in range(branches)]

@@ -1,0 +1,300 @@
+"""Rear-guard agents (paper section 5).
+
+"The solutions we have studied involve leaving a *rear guard* agent behind
+whenever execution moves from one site to another.  This rear guard is
+responsible for (i) launching a new agent should a failure cause an agent
+to vanish and (ii) terminating itself when its function is no longer
+necessary (because the agent it protects is itself ready to terminate)."
+
+The scheme implemented here keeps (up to) two live guards behind the
+travelling agent — one-behind chaining:
+
+* before the agent jumps from site ``S_k`` to ``S_{k+1}`` (hop ``k+1``) it
+  spawns a guard at ``S_k`` holding a *snapshot* of exactly the briefcase
+  being shipped;
+* when the agent lands at hop ``j`` it sends a release notice to every
+  guard protecting a hop ``<= j - 1`` (those guards have seen the
+  computation move two sites past them and can retire);
+* a guard whose deadline expires without a release presumes the protected
+  agent vanished (site crash, lost transfer) and re-ships the snapshot —
+  to the original target if it is reachable again, otherwise skipping ahead
+  along the itinerary;
+* duplicate arrivals (a slow agent plus its relaunched twin) are absorbed
+  by per-site done-markers and by deduplication at the delivery site, so a
+  computation completes *exactly once* even though relaunching is
+  at-least-once.
+
+The paper points out the hard cases — cyclic itineraries and cloning
+fan-out.  Cycles are handled because done-markers are keyed by (computation
+id, hop sequence number), not by site; fan-out is handled by giving each
+clone its own computation id suffix (see ``ftmove.fan_out_ids``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+from repro.core.errors import FaultToleranceError
+from repro.core.folder import Folder
+from repro.core.registry import register_behaviour
+from repro.fault.detector import TimeoutDetector
+
+__all__ = [
+    "REAR_GUARD_NAME", "RELEASE_AGENT_NAME", "REARGUARD_CABINET",
+    "SUSPICIONS_FOLDER", "GUARD_GROUP",
+    "rear_guard_behaviour", "release_agent_behaviour",
+    "guard_snapshot", "install_fault_agents", "install_horus_guard_detection",
+    "pending_guards", "make_release_folder",
+]
+
+#: registered name of the rear-guard behaviour
+REAR_GUARD_NAME = "rear_guard"
+#: installed name of the release-recording agent (present at every site)
+RELEASE_AGENT_NAME = "rear_guard_release"
+#: site-local cabinet the fault-tolerance machinery records into
+REARGUARD_CABINET = "rearguard"
+
+# Folder names inside a guard's own briefcase.
+_GUARD_FT_ID = "GUARD_FT_ID"
+_GUARD_PROTECTS = "GUARD_PROTECTS_SEQ"
+_GUARD_SNAPSHOT = "GUARD_SNAPSHOT"
+_GUARD_PER_HOP = "GUARD_PER_HOP"
+_GUARD_MAX_RELAUNCH = "GUARD_MAX_RELAUNCHES"
+_GUARD_VIEW_ASSISTED = "GUARD_VIEW_ASSISTED"
+
+#: folder (in the rearguard cabinet) where Horus view-change suspicions land
+SUSPICIONS_FOLDER = "suspicions"
+#: default group name used by install_horus_guard_detection
+GUARD_GROUP = "ft_sites"
+
+
+def guard_snapshot(ft_id: str, protects_seq: int, shipped_briefcase: Briefcase,
+                   per_hop_time: float, max_relaunches: int = 2,
+                   view_assisted: bool = False) -> Briefcase:
+    """Build the briefcase a rear guard is spawned with.
+
+    ``shipped_briefcase`` is the exact briefcase being sent for hop
+    *protects_seq*; the guard stores its wire form so a relaunch re-creates
+    that hop byte-for-byte.  With ``view_assisted`` the guard also watches
+    the local Horus suspicion folder (see
+    :func:`install_horus_guard_detection`) and relaunches as soon as the
+    protected hop's destination drops out of the site group, instead of
+    waiting for its timeout to expire.
+    """
+    guard = Briefcase()
+    guard.set(_GUARD_FT_ID, ft_id)
+    guard.set(_GUARD_PROTECTS, int(protects_seq))
+    guard.set(_GUARD_SNAPSHOT, shipped_briefcase.to_wire())
+    guard.set(_GUARD_PER_HOP, float(per_hop_time))
+    guard.set(_GUARD_MAX_RELAUNCH, int(max_relaunches))
+    guard.set(_GUARD_VIEW_ASSISTED, bool(view_assisted))
+    return guard
+
+
+def install_horus_guard_detection(kernel, group_name: str = GUARD_GROUP) -> None:
+    """Feed Horus view changes into every site's rearguard suspicion folder.
+
+    Requires the kernel to run on the :class:`~repro.net.horus.HorusTransport`
+    (the paper's third rexec implementation, whose whole point was "group
+    communication and fault-tolerance").  A site group containing every site
+    is created; whenever a member drops out of the view, every surviving
+    site records a suspicion ``{"site": ..., "at": ...}`` that view-assisted
+    rear guards react to immediately.
+    """
+    from repro.net.horus import HorusTransport
+
+    transport = kernel.transport
+    if not isinstance(transport, HorusTransport):
+        raise FaultToleranceError(
+            "Horus-assisted guard detection needs the 'horus' transport; "
+            f"the kernel is running on {transport.name!r}")
+    if not transport.has_group(group_name):
+        transport.create_group(group_name, kernel.site_names())
+
+    all_sites = set(kernel.site_names())
+
+    def make_observer(site_name: str):
+        previous = {"members": all_sites}
+
+        def observer(view) -> None:
+            current = set(view.members)
+            lost = previous["members"] - current
+            previous["members"] = current
+            site = kernel.sites.get(site_name)
+            if site is None or not site.alive:
+                return
+            cabinet = site.cabinet(REARGUARD_CABINET)
+            for victim in lost:
+                cabinet.put(SUSPICIONS_FOLDER, {"site": victim, "at": kernel.now})
+            # Keep a replace-style record of who is currently outside the
+            # group; guards consult this rather than the append-only log.
+            down_folder = cabinet.folder("group_down", create=True)
+            down_folder.replace([sorted(all_sites - current)])
+
+        return observer
+
+    for site_name in kernel.site_names():
+        transport.subscribe_views(group_name, make_observer(site_name))
+
+
+def _currently_out_of_group(cabinet, site_name: Optional[str]) -> bool:
+    """Is *site_name* currently outside the guard group (per the last view seen here)?"""
+    if site_name is None:
+        return False
+    down = cabinet.get("group_down")
+    return isinstance(down, list) and site_name in down
+
+
+def release_agent_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """Record arriving release notices in the site-local rearguard cabinet.
+
+    The travelling agent cannot meet a guard directly (the guard is an
+    anonymous spawned instance), so releases flow through this well-known
+    agent: the courier delivers a ``FT_RELEASE`` folder here, and guards at
+    this site poll the cabinet.
+    """
+    cabinet = ctx.cabinet(REARGUARD_CABINET)
+    recorded = 0
+    for folder_name in ("FT_RELEASE", briefcase.get("PAYLOAD_NAME", "FT_RELEASE")):
+        if briefcase.has(folder_name):
+            for notice in briefcase.folder(folder_name).elements():
+                if isinstance(notice, dict) and "ft_id" in notice:
+                    cabinet.put("releases", notice)
+                    recorded += 1
+            break
+    yield ctx.end_meet(recorded)
+    return recorded
+
+
+def _released(cabinet, ft_id: str, protects_seq: int) -> bool:
+    """Has a release arrived that retires a guard protecting *protects_seq*?"""
+    for notice in cabinet.elements("releases"):
+        if not isinstance(notice, dict) or notice.get("ft_id") != ft_id:
+            continue
+        if notice.get("done"):
+            return True
+        if int(notice.get("reached_seq", -1)) >= protects_seq + 1:
+            return True
+    return False
+
+
+def rear_guard_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """The rear guard proper: poll for a release, relaunch on timeout.
+
+    Outcome (returned and recorded in the local rearguard cabinet under
+    ``guard_outcomes``): ``"released"``, ``"relaunched"`` (at least one
+    relaunch happened before release), or ``"gave-up"`` after exhausting the
+    relaunch budget.
+    """
+    ft_id = briefcase.get(_GUARD_FT_ID)
+    protects_seq = int(briefcase.get(_GUARD_PROTECTS, 0))
+    per_hop = float(briefcase.get(_GUARD_PER_HOP, 0.5))
+    max_relaunches = int(briefcase.get(_GUARD_MAX_RELAUNCH, 2))
+    view_assisted = bool(briefcase.get(_GUARD_VIEW_ASSISTED, False))
+    snapshot_wire = briefcase.get(_GUARD_SNAPSHOT)
+    protected_target = snapshot_wire and Briefcase.from_wire(snapshot_wire).get("TARGET_SITE")
+
+    cabinet = ctx.cabinet(REARGUARD_CABINET)
+    detector = TimeoutDetector(per_hop_time=per_hop, remaining_hops=2)
+    guard_started = ctx.now
+    deadline = detector.deadline_from(guard_started)
+    relaunches = 0
+    #: a view-change trigger fires at most once; afterwards only the timeout applies
+    acted_on_view = False
+    outcome = "released"
+
+    while True:
+        if _released(cabinet, ft_id, protects_seq):
+            break
+        presumed_lost = ctx.now >= deadline
+        if not presumed_lost and view_assisted and not acted_on_view:
+            # The protected hop's destination has dropped out of the site
+            # group: treat that as immediate evidence of loss instead of
+            # waiting out the conservative timeout.
+            if _currently_out_of_group(cabinet, protected_target):
+                presumed_lost = True
+                acted_on_view = True
+        if presumed_lost:
+            if relaunches >= max_relaunches or snapshot_wire is None:
+                outcome = "gave-up"
+                break
+            sent = yield from _relaunch(ctx, snapshot_wire)
+            relaunches += 1
+            outcome = "relaunched"
+            cabinet.put("relaunches", {"ft_id": ft_id, "protects_seq": protects_seq,
+                                       "attempt": relaunches, "at": ctx.now,
+                                       "accepted": bool(sent)})
+            deadline = detector.deadline_from(ctx.now)
+        yield ctx.sleep(detector.poll_interval())
+
+    cabinet.put("guard_outcomes", {"ft_id": ft_id, "protects_seq": protects_seq,
+                                   "outcome": outcome, "relaunches": relaunches,
+                                   "at": ctx.now})
+    return outcome
+
+
+def _relaunch(ctx: AgentContext, snapshot_wire: dict):
+    """Re-ship the snapshot briefcase; skip ahead if the target is unreachable.
+
+    The snapshot carries ``TARGET_SITE`` (the hop it was shipped for) and
+    ``ITINERARY`` (the hops after that).  The guard tries the original
+    target first; every refusal (site down, no route at send time) makes it
+    skip to the next itinerary entry, recording the skip so the relaunched
+    agent knows which hops were abandoned.
+    """
+    snapshot = Briefcase.from_wire(snapshot_wire)
+    candidates: List[str] = []
+    target = snapshot.get("TARGET_SITE")
+    if target is not None:
+        candidates.append(target)
+    if snapshot.has("ITINERARY"):
+        candidates.extend(list(snapshot.folder("ITINERARY").elements()))
+
+    attempt_order = list(dict.fromkeys(candidates))  # preserve order, drop dupes
+    for index, candidate in enumerate(attempt_order):
+        shipment = Briefcase.from_wire(snapshot_wire)
+        if candidate != target:
+            # Rebuild the itinerary without the hops we are skipping over.
+            remaining = attempt_order[index + 1:]
+            itinerary = shipment.folder("ITINERARY", create=True)
+            itinerary.replace(remaining)
+            skipped = shipment.folder("SKIPPED", create=True)
+            for missed in attempt_order[:index]:
+                skipped.push(missed)
+            shipment.set("TARGET_SITE", candidate)
+        shipment.set("RELAUNCHED", True)
+        shipment.set("HOST", candidate)
+        shipment.set("CONTACT", "ag_py")
+        result = yield ctx.meet("rexec", shipment)
+        if result is not None and result.value:
+            return True
+    return False
+
+
+def install_fault_agents(kernel) -> None:
+    """Install the release-recording agent at every site of *kernel*."""
+    kernel.install_agent(None, RELEASE_AGENT_NAME, release_agent_behaviour, replace=True)
+
+
+def pending_guards(kernel) -> List[Dict[str, object]]:
+    """Every guard outcome recorded anywhere in the system (test/benchmark helper)."""
+    outcomes = []
+    for site_name in kernel.site_names():
+        cabinet = kernel.site(site_name).cabinet(REARGUARD_CABINET)
+        for record in cabinet.elements("guard_outcomes"):
+            entry = dict(record)
+            entry["guard_site"] = site_name
+            outcomes.append(entry)
+    return outcomes
+
+
+def make_release_folder(ft_id: str, reached_seq: int, done: bool = False) -> Folder:
+    """The folder an arriving agent sends back to retire its guards."""
+    return Folder("FT_RELEASE", [{"ft_id": ft_id, "reached_seq": int(reached_seq),
+                                  "done": bool(done)}])
+
+
+register_behaviour(REAR_GUARD_NAME, rear_guard_behaviour, replace=True)
+register_behaviour(RELEASE_AGENT_NAME, release_agent_behaviour, replace=True)

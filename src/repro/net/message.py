@@ -1,0 +1,73 @@
+"""Wire messages exchanged between sites.
+
+Transports move :class:`Message` objects.  The payload is an opaque dict
+(typically a serialised briefcase plus control fields); the size model used
+for latency/bandwidth accounting lives here so every transport charges the
+same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Message", "MessageKind"]
+
+_message_ids = itertools.count(1)
+
+
+class MessageKind:
+    """Symbolic message kinds used across the system."""
+
+    AGENT_TRANSFER = "agent-transfer"     # rexec shipping an agent
+    FOLDER_DELIVERY = "folder-delivery"   # courier delivering a folder
+    CONTROL = "control"                   # pings, acks, rear-guard release
+    GROUP = "group"                       # Horus multicast / view traffic
+    STATUS = "status"                     # monitor -> broker load reports
+    DATA = "data"                         # raw data (client-server baseline)
+
+    ALL = (AGENT_TRANSFER, FOLDER_DELIVERY, CONTROL, GROUP, STATUS, DATA)
+
+
+@dataclass
+class Message:
+    """One message on the simulated wire."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    #: explicit payload size in bytes; when None the size is estimated from
+    #: the payload via :meth:`size_bytes`.
+    declared_size: Optional[int] = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: float = 0.0
+    delivered_at: Optional[float] = None
+    hops: int = 1
+
+    #: fixed per-message framing charged by the size model (headers, routing)
+    HEADER_BYTES = 64
+
+    def size_bytes(self) -> int:
+        """Bytes charged to the link for this message."""
+        if self.declared_size is not None:
+            return self.HEADER_BYTES + int(self.declared_size)
+        # Estimate by pickling the payload; control payloads are tiny dicts so
+        # the estimate is stable and cheap.
+        try:
+            body = len(pickle.dumps(self.payload, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            body = 256
+        return self.HEADER_BYTES + body
+
+    def latency_seconds(self, latency: float, bandwidth_bytes_per_s: float) -> float:
+        """Transfer time over a link with the given latency and bandwidth."""
+        if bandwidth_bytes_per_s <= 0:
+            return latency
+        return latency + self.size_bytes() / bandwidth_bytes_per_s
+
+    def __repr__(self) -> str:
+        return (f"Message(#{self.message_id} {self.kind} {self.source}->"
+                f"{self.destination}, {self.size_bytes()}B)")

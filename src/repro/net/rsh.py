@@ -1,0 +1,35 @@
+"""The ``rsh``-style transport (paper section 6, first rexec implementation).
+
+"The first uses the UNIX ``rsh`` command to start a Tcl interpreter on the
+remote host."  The dominant characteristic is a large fixed cost per
+migration: every agent transfer forks a remote shell and starts a fresh
+interpreter, and nothing is cached between transfers.  The reproduction
+models that as a large, slightly noisy setup delay charged to every
+message, largest for agent transfers.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message, MessageKind
+from repro.net.transport import Transport
+
+__all__ = ["RshTransport"]
+
+
+class RshTransport(Transport):
+    """Connectionless transport with a heavy per-transfer start-up cost."""
+
+    name = "rsh"
+
+    #: seconds to fork rsh + start a remote interpreter for an agent transfer
+    AGENT_SETUP = 0.250
+    #: seconds of per-message overhead for anything else (still spawns rsh)
+    MESSAGE_SETUP = 0.120
+    #: jitter fraction applied to the setup cost
+    JITTER = 0.10
+
+    def setup_delay(self, message: Message) -> float:
+        base = self.AGENT_SETUP if message.kind == MessageKind.AGENT_TRANSFER \
+            else self.MESSAGE_SETUP
+        jitter = base * self.JITTER * self.rng.random()
+        return base + jitter

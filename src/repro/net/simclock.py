@@ -1,0 +1,150 @@
+"""Discrete-event simulation clock and event queue.
+
+Every component of the reproduction — sites, transports, agents, failure
+schedules — runs on one :class:`EventLoop`.  Time is simulated seconds
+(floats).  Events at the same timestamp fire in the order they were
+scheduled, which keeps runs deterministic for a fixed random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.core.errors import KernelError
+
+__all__ = ["Event", "EventLoop", "SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated clock, advanced only by the event loop."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _advance_to(self, timestamp: float) -> None:
+        if timestamp < self._now - 1e-12:
+            raise KernelError(
+                f"clock cannot move backwards ({timestamp} < {self._now})")
+        self._now = max(self._now, timestamp)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (the heap entry stays, inert)."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A heap-based discrete-event scheduler.
+
+    The loop deliberately stays tiny: ``schedule``, ``run``, ``run_until``
+    and ``step``.  Everything that looks like concurrency in the agent
+    system (meets, migrations, timers, failure injection) is expressed as
+    callbacks scheduled here.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Run *callback* after *delay* simulated seconds; return a cancellable handle."""
+        if delay < 0:
+            raise KernelError(f"cannot schedule an event {delay} seconds in the past")
+        event = Event(self.clock.now + delay, next(self._sequence), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Run *callback* at absolute simulated time *timestamp*."""
+        return self.schedule(max(0.0, timestamp - self.clock.now), callback, label)
+
+    # -- execution ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (convenience mirror of ``clock.now``)."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock._advance_to(event.time)
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or *max_events* fire).  Returns events run."""
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            if not self.step():
+                break
+            executed += 1
+        return executed
+
+    def run_until(self, timestamp: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= *timestamp*; the clock ends at *timestamp*.
+
+        Events scheduled beyond the horizon stay queued.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            upcoming = self._peek()
+            if upcoming is None or upcoming.time > timestamp + 1e-12:
+                break
+            self.step()
+            executed += 1
+        self.clock._advance_to(max(self.clock.now, timestamp))
+        return executed
+
+    def _peek(self) -> Optional[Event]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def __repr__(self) -> str:
+        return (f"EventLoop(now={self.clock.now:.6f}, pending={self.pending}, "
+                f"processed={self._processed})")

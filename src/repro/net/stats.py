@@ -1,0 +1,105 @@
+"""Network and kernel statistics counters.
+
+Every experiment in EXPERIMENTS.md reads its numbers from a
+:class:`NetworkStats` (bytes, messages, hops) or from the kernel's agent
+ledger, so the counters live in one small, well-tested module.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["NetworkStats", "LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    drops: int = 0
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters for everything that crossed the simulated network."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    migrations: int = 0
+    migration_bytes: int = 0
+    per_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    per_kind_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    per_link: Dict[Tuple[str, str], LinkStats] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+
+    # -- recording -----------------------------------------------------------
+
+    def record_send(self, source: str, destination: str, kind: str, size: int) -> None:
+        """Count a message handed to the network."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.per_kind[kind] += 1
+        self.per_kind_bytes[kind] += size
+        link = self.per_link.setdefault((source, destination), LinkStats())
+        link.messages += 1
+        link.bytes += size
+
+    def record_delivery(self, size: int, latency: float) -> None:
+        """Count a message that reached its destination."""
+        self.messages_delivered += 1
+        self.bytes_delivered += size
+        self.latencies.append(latency)
+
+    def record_drop(self, source: str, destination: str) -> None:
+        """Count a message lost to failure, partition or loss injection."""
+        self.messages_dropped += 1
+        link = self.per_link.setdefault((source, destination), LinkStats())
+        link.drops += 1
+
+    def record_migration(self, size: int) -> None:
+        """Count one agent migration (an AGENT_TRANSFER that was delivered)."""
+        self.migrations += 1
+        self.migration_bytes += size
+
+    # -- reading -------------------------------------------------------------
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean delivery latency in simulated seconds, or None if nothing delivered."""
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    def delivery_ratio(self) -> float:
+        """Delivered / sent (1.0 when nothing was sent)."""
+        if self.messages_sent == 0:
+            return 1.0
+        return self.messages_delivered / self.messages_sent
+
+    def bytes_for_kind(self, kind: str) -> int:
+        """Total bytes sent with messages of *kind*."""
+        return self.per_kind_bytes.get(kind, 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict summary used by the benchmark reports."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+            "migrations": self.migrations,
+            "migration_bytes": self.migration_bytes,
+            "mean_latency": self.mean_latency() or 0.0,
+            "delivery_ratio": self.delivery_ratio(),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark repetitions)."""
+        self.__init__()  # noqa: PLC2801 - simple and explicit for a dataclass

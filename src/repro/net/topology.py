@@ -1,0 +1,265 @@
+"""Network topology: sites, links, latency/bandwidth, partitions and routing.
+
+The paper's prototype ran on a handful of workstations at Cornell and
+Tromsø connected by a LAN and a transatlantic link.  The reproduction
+models the network as an undirected graph (networkx) whose edges carry a
+latency (seconds) and a bandwidth (bytes/second).  Partitions are expressed
+by temporarily removing reachability between site groups; routing is
+shortest-path by latency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.errors import NoRouteError, UnknownSiteError
+
+__all__ = ["LinkSpec", "Topology", "lan", "two_clusters", "random_topology", "ring", "star"]
+
+
+@dataclass
+class LinkSpec:
+    """Latency/bandwidth parameters of one link."""
+
+    latency: float = 0.002           # 2 ms default LAN latency
+    bandwidth: float = 1_250_000.0   # 10 Mbit/s in bytes per second
+    loss_rate: float = 0.0           # probability a message on this link is lost
+
+
+class Topology:
+    """The site graph plus partition state.
+
+    All methods that take site names raise :class:`UnknownSiteError` for
+    unknown names so callers fail loudly rather than silently routing to a
+    typo.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        #: sites currently considered crashed (no traffic in or out)
+        self._down: Set[str] = set()
+        #: active partition: mapping site -> partition group id
+        self._partition: Dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_site(self, name: str) -> None:
+        """Add a site with no links."""
+        self._graph.add_node(name)
+
+    def add_link(self, a: str, b: str, spec: Optional[LinkSpec] = None) -> None:
+        """Add (or replace) an undirected link between *a* and *b*."""
+        spec = spec or LinkSpec()
+        self._graph.add_edge(a, b, spec=spec)
+
+    def sites(self) -> List[str]:
+        """All site names."""
+        return list(self._graph.nodes)
+
+    def has_site(self, name: str) -> bool:
+        """True if *name* is a site in this topology."""
+        return name in self._graph
+
+    def neighbors(self, name: str) -> List[str]:
+        """Sites directly linked to *name*."""
+        self._check(name)
+        return list(self._graph.neighbors(name))
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        """The :class:`LinkSpec` of the direct link a—b."""
+        self._check(a)
+        self._check(b)
+        if not self._graph.has_edge(a, b):
+            raise NoRouteError(f"no direct link between {a!r} and {b!r}")
+        return self._graph.edges[a, b]["spec"]
+
+    # -- failure / partition state ------------------------------------------------
+
+    def mark_down(self, name: str) -> None:
+        """Mark a site as crashed (kernel calls this; traffic is refused)."""
+        self._check(name)
+        self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        """Mark a site as recovered."""
+        self._check(name)
+        self._down.discard(name)
+
+    def is_down(self, name: str) -> bool:
+        """True if the site is currently crashed."""
+        return name in self._down
+
+    def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Partition the network into the given groups of sites.
+
+        Sites in different groups cannot exchange messages until
+        :meth:`heal_partition` is called.  Sites not mentioned keep full
+        connectivity with every group (useful for partial partitions).
+        """
+        self._partition = {}
+        for group_id, group in enumerate(groups):
+            for name in group:
+                self._check(name)
+                self._partition[name] = group_id
+
+    def heal_partition(self) -> None:
+        """Remove any active partition."""
+        self._partition = {}
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """True if an active partition separates *a* and *b*."""
+        if not self._partition:
+            return False
+        group_a = self._partition.get(a)
+        group_b = self._partition.get(b)
+        if group_a is None or group_b is None:
+            return False
+        return group_a != group_b
+
+    # -- reachability and path cost ----------------------------------------------
+
+    def can_communicate(self, a: str, b: str) -> bool:
+        """True if a message from *a* can currently reach *b*."""
+        try:
+            self.path(a, b)
+        except NoRouteError:
+            return False
+        return True
+
+    def path(self, a: str, b: str) -> List[str]:
+        """Lowest-latency path from *a* to *b* given current failures/partitions."""
+        self._check(a)
+        self._check(b)
+        if self.is_down(a) or self.is_down(b):
+            raise NoRouteError(f"site down on path {a!r} -> {b!r}")
+        if self.partitioned(a, b):
+            raise NoRouteError(f"{a!r} and {b!r} are in different partitions")
+        if a == b:
+            return [a]
+        usable = self._graph.subgraph(
+            [node for node in self._graph.nodes if node not in self._down])
+        try:
+            return nx.shortest_path(
+                usable, a, b, weight=lambda u, v, data: data["spec"].latency)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NoRouteError(f"no path from {a!r} to {b!r}") from exc
+
+    def path_cost(self, a: str, b: str, size_bytes: int) -> Tuple[float, int, float]:
+        """(transfer seconds, hop count, worst loss rate) for a message of *size_bytes*."""
+        route = self.path(a, b)
+        if len(route) == 1:
+            return 0.0, 0, 0.0
+        total = 0.0
+        loss = 0.0
+        for u, v in zip(route, route[1:]):
+            spec: LinkSpec = self._graph.edges[u, v]["spec"]
+            total += spec.latency
+            if spec.bandwidth > 0:
+                total += size_bytes / spec.bandwidth
+            loss = max(loss, spec.loss_rate)
+        return total, len(route) - 1, loss
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check(self, name: str) -> None:
+        if name not in self._graph:
+            raise UnknownSiteError(f"unknown site {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __repr__(self) -> str:
+        return (f"Topology({self._graph.number_of_nodes()} sites, "
+                f"{self._graph.number_of_edges()} links, down={sorted(self._down)})")
+
+
+# ---------------------------------------------------------------------------
+# Canned topologies used throughout tests, examples and benchmarks
+# ---------------------------------------------------------------------------
+
+def lan(site_names: Sequence[str], latency: float = 0.002,
+        bandwidth: float = 1_250_000.0, loss_rate: float = 0.0) -> Topology:
+    """A fully connected LAN of the given sites (the paper's basic setting)."""
+    topo = Topology()
+    for name in site_names:
+        topo.add_site(name)
+    spec = LinkSpec(latency=latency, bandwidth=bandwidth, loss_rate=loss_rate)
+    names = list(site_names)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            topo.add_link(a, b, spec)
+    return topo
+
+
+def two_clusters(cluster_a: Sequence[str], cluster_b: Sequence[str],
+                 wan_latency: float = 0.090, wan_bandwidth: float = 250_000.0,
+                 lan_latency: float = 0.002) -> Topology:
+    """Two LANs joined by one slow WAN link — the Tromsø/Cornell configuration."""
+    topo = Topology()
+    for name in list(cluster_a) + list(cluster_b):
+        topo.add_site(name)
+    lan_spec = LinkSpec(latency=lan_latency)
+    for cluster in (list(cluster_a), list(cluster_b)):
+        for i, a in enumerate(cluster):
+            for b in cluster[i + 1:]:
+                topo.add_link(a, b, lan_spec)
+    gateway_a, gateway_b = cluster_a[0], cluster_b[0]
+    topo.add_link(gateway_a, gateway_b,
+                  LinkSpec(latency=wan_latency, bandwidth=wan_bandwidth))
+    return topo
+
+
+def ring(site_names: Sequence[str], latency: float = 0.005,
+         bandwidth: float = 1_250_000.0) -> Topology:
+    """A ring of sites; used by itinerary and rear-guard experiments."""
+    topo = Topology()
+    names = list(site_names)
+    for name in names:
+        topo.add_site(name)
+    spec = LinkSpec(latency=latency, bandwidth=bandwidth)
+    for a, b in zip(names, names[1:] + names[:1]):
+        if a != b:
+            topo.add_link(a, b, spec)
+    return topo
+
+
+def star(hub: str, leaves: Sequence[str], latency: float = 0.003,
+         bandwidth: float = 1_250_000.0) -> Topology:
+    """A hub-and-spoke topology; used by the StormCast sensor network."""
+    topo = Topology()
+    topo.add_site(hub)
+    spec = LinkSpec(latency=latency, bandwidth=bandwidth)
+    for leaf in leaves:
+        topo.add_site(leaf)
+        topo.add_link(hub, leaf, spec)
+    return topo
+
+
+def random_topology(n_sites: int, edge_probability: float = 0.3,
+                    seed: Optional[int] = None, latency_range: Tuple[float, float] = (0.002, 0.020),
+                    bandwidth: float = 1_250_000.0) -> Topology:
+    """A connected Erdős–Rényi-style topology used by the diffusion experiment (E2)."""
+    rng = random.Random(seed)
+    names = [f"site{i:02d}" for i in range(n_sites)]
+    topo = Topology()
+    for name in names:
+        topo.add_site(name)
+    # Guarantee connectivity with a random spanning chain, then sprinkle edges.
+    shuffled = names[:]
+    rng.shuffle(shuffled)
+    for a, b in zip(shuffled, shuffled[1:]):
+        spec = LinkSpec(latency=rng.uniform(*latency_range), bandwidth=bandwidth)
+        topo.add_link(a, b, spec)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if rng.random() < edge_probability:
+                spec = LinkSpec(latency=rng.uniform(*latency_range), bandwidth=bandwidth)
+                topo.add_link(a, b, spec)
+    return topo

@@ -1,0 +1,137 @@
+"""Transport abstraction: how messages move between sites.
+
+The paper's prototype had three implementations of the ``rexec`` mechanism:
+UNIX ``rsh``, Tcl/TCP, and Tcl/Horus.  Here the analogous layer is the
+:class:`Transport`: the kernel hands it a :class:`~repro.net.message.Message`
+and the transport decides how long delivery takes (setup + latency + bytes /
+bandwidth), whether the message is lost (link loss, site crash, partition)
+and finally invokes the destination site's handler.
+
+Concrete transports: :class:`~repro.net.rsh.RshTransport`,
+:class:`~repro.net.tcp.TcpTransport` and
+:class:`~repro.net.horus.HorusTransport`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Dict, Optional
+
+from repro.core.errors import NoRouteError, SiteDownError, TransportError
+from repro.net.message import Message
+from repro.net.simclock import Event, EventLoop
+from repro.net.stats import NetworkStats
+from repro.net.topology import Topology
+
+__all__ = ["Transport", "DeliveryHandler"]
+
+#: a site-side callback invoked with each delivered message
+DeliveryHandler = Callable[[Message], None]
+
+
+class Transport(abc.ABC):
+    """Base class for all transports.
+
+    Subclasses customise :meth:`setup_delay` (per-message connection /
+    process start-up cost) and may override :meth:`on_site_down` to drop
+    cached state (e.g. TCP connections).
+    """
+
+    #: human-readable transport name, used in benchmark output
+    name = "abstract"
+
+    def __init__(self, loop: EventLoop, topology: Topology,
+                 stats: Optional[NetworkStats] = None,
+                 rng: Optional[random.Random] = None):
+        self.loop = loop
+        self.topology = topology
+        self.stats = stats if stats is not None else NetworkStats()
+        self.rng = rng if rng is not None else random.Random(0)
+        self._handlers: Dict[str, DeliveryHandler] = {}
+
+    # -- endpoint registration -------------------------------------------------
+
+    def register_endpoint(self, site_name: str, handler: DeliveryHandler) -> None:
+        """Attach the per-site delivery handler (the kernel does this per site)."""
+        self._handlers[site_name] = handler
+
+    def unregister_endpoint(self, site_name: str) -> None:
+        """Detach a site (e.g. permanently removed)."""
+        self._handlers.pop(site_name, None)
+
+    # -- the cost knob each transport provides -----------------------------------
+
+    @abc.abstractmethod
+    def setup_delay(self, message: Message) -> float:
+        """Per-message setup cost in seconds (process start, connection, ...)."""
+
+    def on_site_down(self, site_name: str) -> None:
+        """Hook invoked by the kernel when a site crashes."""
+
+    def on_site_up(self, site_name: str) -> None:
+        """Hook invoked by the kernel when a site recovers."""
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(self, message: Message) -> Optional[Event]:
+        """Queue *message* for delivery.
+
+        Returns the scheduled delivery event, or ``None`` when the message
+        was dropped immediately (source down, no route, random loss).  The
+        caller never gets an exception for in-flight loss — exactly like a
+        real datagram network — but sending *from* an unknown site is a
+        programming error and raises.
+        """
+        source, destination = message.source, message.destination
+        if source not in self.topology:
+            raise TransportError(f"unknown source site {source!r}")
+        if destination not in self.topology:
+            raise TransportError(f"unknown destination site {destination!r}")
+
+        size = message.size_bytes()
+        message.sent_at = self.loop.now
+        self.stats.record_send(source, destination, message.kind, size)
+
+        if self.topology.is_down(source):
+            # A crashed site cannot send; count the drop and stop.
+            self.stats.record_drop(source, destination)
+            return None
+
+        try:
+            transfer, hops, loss = self.topology.path_cost(source, destination, size)
+        except (NoRouteError, SiteDownError):
+            self.stats.record_drop(source, destination)
+            return None
+
+        if loss > 0 and self.rng.random() < loss:
+            self.stats.record_drop(source, destination)
+            return None
+
+        message.hops = hops
+        delay = self.setup_delay(message) + transfer
+        return self.loop.schedule(delay, lambda: self._deliver(message),
+                                  label=f"{self.name}-deliver-{message.message_id}")
+
+    # -- delivery --------------------------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        destination = message.destination
+        if self.topology.is_down(destination) or self.topology.partitioned(
+                message.source, destination):
+            # The destination crashed (or a partition formed) while the
+            # message was in flight.
+            self.stats.record_drop(message.source, destination)
+            return
+        handler = self._handlers.get(destination)
+        if handler is None:
+            self.stats.record_drop(message.source, destination)
+            return
+        message.delivered_at = self.loop.now
+        self.stats.record_delivery(message.size_bytes(), self.loop.now - message.sent_at)
+        if message.kind == "agent-transfer":
+            self.stats.record_migration(message.size_bytes())
+        handler(message)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(endpoints={len(self._handlers)})"

@@ -1,0 +1,61 @@
+"""Monitor agents: reporting site status to brokers (paper sections 4 and 6).
+
+The prototype's scheduling service used four agents; one "is responsible
+for monitoring the status of a site and reporting that to the brokers".
+The monitor below samples the local load metric and ships a ``LOAD_REPORT``
+folder to every broker site through the courier — agents never talk to the
+network directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+from repro.core.folder import Folder
+from repro.scheduling.broker import BROKER_AGENT_NAME
+
+__all__ = ["make_monitor_behaviour", "MONITOR_AGENT_NAME", "LOAD_REPORT_FOLDER"]
+
+#: the name monitor agents run under (one per monitored site)
+MONITOR_AGENT_NAME = "monitor"
+#: the folder name carrying load reports to brokers
+LOAD_REPORT_FOLDER = "LOAD_REPORT"
+
+
+def make_monitor_behaviour(broker_sites: Sequence[str], interval: float = 0.5,
+                           rounds: int = 10,
+                           broker_agent: str = BROKER_AGENT_NAME) -> Callable:
+    """Build a monitor behaviour reporting to the given broker sites.
+
+    The monitor runs for *rounds* reporting cycles, *interval* simulated
+    seconds apart, then terminates (an infinite monitor would keep the
+    discrete-event loop from ever quiescing).  Benchmarks pick ``rounds``
+    to cover the workload duration.
+    """
+    targets = list(broker_sites)
+
+    def monitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
+        reports_sent = 0
+        for _ in range(max(1, int(rounds))):
+            report = {
+                "site": ctx.site_name,
+                "load": ctx.site_load(),
+                "at": ctx.now,
+            }
+            for broker_site in targets:
+                folder = Folder(LOAD_REPORT_FOLDER, [report])
+                if broker_site == ctx.site_name:
+                    # Local broker: meet it directly, no network traffic.
+                    local = Briefcase()
+                    local.add(folder)
+                    yield ctx.meet(broker_agent, local)
+                else:
+                    yield ctx.send_folder(folder, broker_site, broker_agent)
+                reports_sent += 1
+            yield ctx.sleep(interval)
+        briefcase.set("REPORTS_SENT", reports_sent)
+        return reports_sent
+
+    return monitor_behaviour

@@ -1,0 +1,172 @@
+"""Ticket agents: gating access to a scheduled service (paper section 6).
+
+The prototype's scheduling service includes an agent that "issues tickets
+to allow access to the service".  A ticket is a small signed record binding
+a holder to a service and an expiry time.  Providers verify tickets before
+doing work, which gives system administrators the control point section 4
+asks for ("facilities must be provided for system administrators to control
+the resources comprising a site").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.cash.crypto import Signer
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+from repro.core.errors import TicketError
+
+__all__ = ["Ticket", "TicketIssuer", "make_ticket_behaviour", "TICKET_AGENT_NAME"]
+
+#: the well-known name ticket agents are installed under
+TICKET_AGENT_NAME = "ticket"
+
+_ticket_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """A signed, time-limited permission to use a service."""
+
+    ticket_id: int
+    service: str
+    holder: str
+    provider_site: str
+    issued_at: float
+    expires_at: float
+    signature: str
+
+    def to_wire(self) -> Dict[str, object]:
+        """Folder-storable form of the ticket."""
+        return {
+            "ticket_id": self.ticket_id, "service": self.service, "holder": self.holder,
+            "provider_site": self.provider_site, "issued_at": self.issued_at,
+            "expires_at": self.expires_at, "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "Ticket":
+        """Rebuild a ticket from :meth:`to_wire` output."""
+        try:
+            return cls(
+                ticket_id=int(payload["ticket_id"]), service=str(payload["service"]),
+                holder=str(payload["holder"]), provider_site=str(payload["provider_site"]),
+                issued_at=float(payload["issued_at"]), expires_at=float(payload["expires_at"]),
+                signature=str(payload["signature"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TicketError(f"malformed ticket record: {payload!r}") from exc
+
+    def payload(self) -> str:
+        """The canonical string covered by the signature."""
+        return (f"{self.ticket_id}|{self.service}|{self.holder}|"
+                f"{self.provider_site}|{self.expires_at}")
+
+
+class TicketIssuer:
+    """Issues and verifies tickets with a per-issuer signing key."""
+
+    def __init__(self, signer: Optional[Signer] = None, validity: float = 60.0):
+        self.signer = signer or Signer("tacoma-ticket-issuer")
+        self.validity = validity
+        #: tickets issued, redeemed, and rejected — experiment ledger
+        self.issued = 0
+        self.redeemed = 0
+        self.rejected = 0
+        self._redeemed_ids: set = set()
+
+    def issue(self, service: str, holder: str, provider_site: str, now: float) -> Ticket:
+        """Issue a fresh ticket for *holder* to use *service* at *provider_site*."""
+        ticket_id = next(_ticket_ids)
+        body = (f"{ticket_id}|{service}|{holder}|{provider_site}|"
+                f"{now + self.validity}")
+        ticket = Ticket(
+            ticket_id=ticket_id, service=service, holder=holder,
+            provider_site=provider_site, issued_at=now,
+            expires_at=now + self.validity,
+            signature=self.signer.sign(body),
+        )
+        self.issued += 1
+        return ticket
+
+    def verify(self, ticket: Ticket, now: float,
+               expected_site: Optional[str] = None) -> bool:
+        """Check signature, expiry and (optionally) that it targets *expected_site*."""
+        if not self.signer.verify(ticket.payload(), ticket.signature):
+            self.rejected += 1
+            return False
+        if now > ticket.expires_at:
+            self.rejected += 1
+            return False
+        if expected_site is not None and ticket.provider_site != expected_site:
+            self.rejected += 1
+            return False
+        return True
+
+    def redeem(self, ticket: Ticket, now: float,
+               expected_site: Optional[str] = None) -> bool:
+        """Verify and consume the ticket (each ticket is single-use)."""
+        if ticket.ticket_id in self._redeemed_ids:
+            self.rejected += 1
+            return False
+        if not self.verify(ticket, now, expected_site=expected_site):
+            return False
+        self._redeemed_ids.add(ticket.ticket_id)
+        self.redeemed += 1
+        return True
+
+
+def make_ticket_behaviour(issuer: TicketIssuer) -> Callable:
+    """Build the ticket agent behaviour bound to *issuer*.
+
+    Meet protocol:
+
+    * ``OP = "issue"`` with ``SERVICE``, ``HOLDER``, ``PROVIDER_SITE`` —
+      returns the ticket in the ``TICKET`` folder;
+    * ``OP = "verify"`` with ``TICKET`` — ends the meet with True/False;
+    * ``OP = "redeem"`` with ``TICKET`` (and optional ``EXPECTED_SITE``) —
+      verifies, consumes, and ends the meet with True/False.
+    """
+
+    def ticket_behaviour(ctx: AgentContext, briefcase: Briefcase):
+        operation = briefcase.get("OP", "issue")
+
+        if operation == "issue":
+            ticket = issuer.issue(
+                service=briefcase.get("SERVICE", "service"),
+                holder=briefcase.get("HOLDER", "anonymous"),
+                provider_site=briefcase.get("PROVIDER_SITE", ctx.site_name),
+                now=ctx.now,
+            )
+            briefcase.set("TICKET", ticket.to_wire())
+            yield ctx.end_meet(ticket.ticket_id)
+            return ticket.ticket_id
+
+        record = briefcase.get("TICKET")
+        if record is None:
+            briefcase.set("ERROR", "no TICKET folder supplied")
+            yield ctx.end_meet(False)
+            return False
+        try:
+            ticket = Ticket.from_wire(record)
+        except TicketError as exc:
+            briefcase.set("ERROR", str(exc))
+            yield ctx.end_meet(False)
+            return False
+
+        expected_site = briefcase.get("EXPECTED_SITE")
+        if operation == "verify":
+            outcome = issuer.verify(ticket, ctx.now, expected_site=expected_site)
+        elif operation == "redeem":
+            outcome = issuer.redeem(ticket, ctx.now, expected_site=expected_site)
+        else:
+            briefcase.set("ERROR", f"unknown ticket operation {operation!r}")
+            outcome = False
+        briefcase.set("OK", outcome)
+        yield ctx.end_meet(outcome)
+        return outcome
+
+    return ticket_behaviour

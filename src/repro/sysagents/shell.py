@@ -1,0 +1,59 @@
+"""A tiny shell agent: interprets a COMMANDS folder against the local site.
+
+The paper mentions that "the CONTACT folder might contain the name of an
+agent that is a shell or a compiler."  This shell gives examples and tests a
+contact target that is *not* ``ag_py``: instead of carrying code, the
+briefcase carries a list of simple commands that are interpreted against
+the local file cabinets.
+
+Supported commands (each command is a dict pushed onto the ``COMMANDS``
+folder, executed FIFO):
+
+* ``{"op": "put", "cabinet": c, "folder": f, "value": v}``
+* ``{"op": "get", "cabinet": c, "folder": f}`` — appends the value to RESULTS
+* ``{"op": "list", "cabinet": c}`` — appends the folder names to RESULTS
+* ``{"op": "load"}`` — appends the local load metric to RESULTS
+"""
+
+from __future__ import annotations
+
+from repro.core.briefcase import Briefcase
+from repro.core.context import AgentContext
+
+__all__ = ["shell_behaviour"]
+
+
+def shell_behaviour(ctx: AgentContext, briefcase: Briefcase):
+    """Execute the COMMANDS folder and end the meet with the RESULTS folder."""
+    results = briefcase.folder("RESULTS", create=True)
+    if not briefcase.has("COMMANDS"):
+        yield ctx.end_meet(0)
+        return 0
+
+    commands = briefcase.folder("COMMANDS")
+    executed = 0
+    while commands:
+        command = commands.dequeue()
+        if not isinstance(command, dict) or "op" not in command:
+            results.push({"error": f"malformed command: {command!r}"})
+            continue
+        op = command["op"]
+        if op == "put":
+            ctx.cabinet(command.get("cabinet", "default")).put(
+                command["folder"], command.get("value"))
+            executed += 1
+        elif op == "get":
+            value = ctx.cabinet(command.get("cabinet", "default")).get(command["folder"])
+            results.push({"folder": command["folder"], "value": value})
+            executed += 1
+        elif op == "list":
+            names = ctx.cabinet(command.get("cabinet", "default")).names()
+            results.push({"cabinet": command.get("cabinet", "default"), "folders": names})
+            executed += 1
+        elif op == "load":
+            results.push({"site": ctx.site_name, "load": ctx.site_load()})
+            executed += 1
+        else:
+            results.push({"error": f"unknown op {op!r}"})
+    yield ctx.end_meet(executed)
+    return executed

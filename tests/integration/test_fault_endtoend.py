@@ -1,0 +1,87 @@
+"""Integration test: rear guards under randomized failures (paper section 5).
+
+A batch of itinerant computations runs over a network where random sites
+crash mid-run.  Protected computations must all complete exactly once;
+the unprotected baseline loses a substantial fraction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Kernel, KernelConfig
+from repro.fault import completions, launch_ft_computation, launch_plain_computation
+from repro.net import RandomCrasher, lan
+
+
+N_COMPUTATIONS = 6
+SITES = [f"n{i}" for i in range(8)]
+HOME, DELIVERY = SITES[0], SITES[-1]
+INTERMEDIATE = SITES[1:-1]
+
+
+def build_kernel(seed):
+    kernel = Kernel(lan(SITES), transport="tcp", config=KernelConfig(rng_seed=seed))
+    for index, name in enumerate(SITES):
+        kernel.site(name).cabinet("data").put("VALUE", index)
+    return kernel
+
+
+def itinerary_for(index):
+    """A different rotation of the intermediate sites per computation."""
+    rotated = INTERMEDIATE[index % len(INTERMEDIATE):] + INTERMEDIATE[:index % len(INTERMEDIATE)]
+    return rotated + [DELIVERY]
+
+
+def run_batch(protected: bool, seed: int, crash_probability: float = 0.5):
+    kernel = build_kernel(seed)
+    ids = []
+    # Each hop does ~0.25 s of work, so every computation is still in flight
+    # while the crash window (0.2 s - 2.0 s) is active.
+    for index in range(N_COMPUTATIONS):
+        if protected:
+            ids.append(launch_ft_computation(kernel, HOME, itinerary_for(index),
+                                             per_hop=0.5, max_relaunches=4,
+                                             work_seconds=0.25, delay=0.05 * index))
+        else:
+            ids.append(launch_plain_computation(kernel, HOME, itinerary_for(index),
+                                                work_seconds=0.25, delay=0.05 * index))
+    RandomCrasher(crash_probability, window=(0.2, 2.0), recover_after=60.0,
+                  protect=[HOME, DELIVERY], seed=seed).install(kernel)
+    kernel.run(until=400.0)
+    per_id = [len(completions(kernel, DELIVERY, ft_id)) for ft_id in ids]
+    return kernel, per_id
+
+
+class TestFaultToleranceEndToEnd:
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_protected_computations_complete_exactly_once(self, seed):
+        _, per_id = run_batch(protected=True, seed=seed)
+        assert per_id == [1] * N_COMPUTATIONS
+
+    def test_unprotected_baseline_loses_computations(self):
+        lost_anywhere = 0
+        for seed in (101, 202, 303):
+            _, per_id = run_batch(protected=False, seed=seed)
+            assert all(count <= 1 for count in per_id)
+            lost_anywhere += sum(1 for count in per_id if count == 0)
+        assert lost_anywhere > 0, (
+            "with 50% of intermediate sites crashing, some unprotected "
+            "computations must be lost")
+
+    def test_protection_beats_baseline_on_completion_rate(self):
+        protected_total = 0
+        plain_total = 0
+        for seed in (11, 22, 33):
+            _, protected = run_batch(protected=True, seed=seed)
+            _, plain = run_batch(protected=False, seed=seed)
+            protected_total += sum(protected)
+            plain_total += sum(plain)
+        assert protected_total == 3 * N_COMPUTATIONS
+        assert protected_total > plain_total
+
+    def test_without_failures_both_modes_complete_everything(self):
+        _, protected = run_batch(protected=True, seed=7, crash_probability=0.0)
+        _, plain = run_batch(protected=False, seed=7, crash_probability=0.0)
+        assert protected == [1] * N_COMPUTATIONS
+        assert plain == [1] * N_COMPUTATIONS

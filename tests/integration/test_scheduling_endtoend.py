@@ -1,0 +1,75 @@
+"""Integration test: broker scheduling end to end, comparing policies (paper section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import jains_fairness
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.net import lan
+from repro.scheduling import CLIENT_BEHAVIOUR_NAME, install_scheduling
+
+PROVIDERS = [
+    {"site": "fast", "capacity": 4.0},
+    {"site": "medium", "capacity": 2.0},
+    {"site": "slow", "capacity": 1.0},
+]
+
+
+def run_workload(policy, n_clients=24, seed=55, with_tickets=False):
+    sites = ["home", "brokerage", "fast", "medium", "slow"]
+    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=seed))
+    deployment = install_scheduling(kernel, ["brokerage"], PROVIDERS, policy=policy,
+                                    with_tickets=with_tickets, monitor_interval=0.25,
+                                    monitor_rounds=16, work_seconds=0.08)
+    kernel.run(until=0.5)
+    for index in range(n_clients):
+        briefcase = Briefcase()
+        briefcase.set("HOME", "home")
+        briefcase.set("BROKER_SITE", "brokerage")
+        briefcase.set("SERVICE", "compute")
+        briefcase.set("CLIENT", f"client-{index:02d}")
+        kernel.launch("home", CLIENT_BEHAVIOUR_NAME, briefcase, delay=0.5 + index * 0.05)
+    kernel.run()
+    outcomes = deployment.client_outcomes(["home"])
+    return kernel, deployment, outcomes
+
+
+class TestSchedulingEndToEnd:
+    def test_every_client_is_served_under_every_policy(self):
+        for policy in ("least-loaded", "random", "round-robin", "weighted-capacity"):
+            _, _, outcomes = run_workload(policy, n_clients=12)
+            assert len(outcomes) == 12
+            assert all(outcome["status"] == "served" for outcome in outcomes), policy
+
+    def test_least_loaded_respects_capacity_differences(self):
+        _, deployment, _ = run_workload("least-loaded")
+        jobs = deployment.provider_job_counts()
+        assert jobs["fast"] > jobs["slow"]
+        assert sum(jobs.values()) == 24
+
+    def test_round_robin_is_perfectly_even(self):
+        _, deployment, _ = run_workload("round-robin")
+        jobs = deployment.provider_job_counts()
+        assert jains_fairness(list(jobs.values())) == pytest.approx(1.0)
+
+    def test_least_loaded_finishes_sooner_than_round_robin(self):
+        """The load/capacity-aware broker wins on makespan (contended service)."""
+        def makespan(policy):
+            _, _, outcomes = run_workload(policy)
+            return max(outcome["completed_at"] for outcome in outcomes)
+
+        assert makespan("least-loaded") < makespan("round-robin")
+
+    def test_ticketed_deployment_serves_and_redeems(self):
+        _, deployment, outcomes = run_workload("least-loaded", n_clients=8,
+                                               with_tickets=True)
+        assert all(outcome["status"] == "served" for outcome in outcomes)
+        assert deployment.issuer.redeemed == 8
+
+    def test_broker_assignments_match_served_jobs(self):
+        kernel, deployment, outcomes = run_workload("least-loaded", n_clients=10)
+        from repro.scheduling import BROKER_CABINET, broker_state
+        state = broker_state(kernel.site("brokerage").cabinet(BROKER_CABINET))
+        assert sum(state.assignments().values()) == 10
+        assert sum(deployment.provider_job_counts().values()) == 10

@@ -1,0 +1,80 @@
+"""Property-based tests for Briefcase invariants and the wire codec."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Briefcase, Folder
+from repro.core.codec import pack_briefcase, unpack_briefcase, wire_size_of
+
+element_strategy = st.one_of(
+    st.binary(max_size=48),
+    st.text(max_size=24),
+    st.integers(),
+    st.lists(st.integers(), max_size=4),
+)
+
+folder_name_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="_-"),
+    min_size=1, max_size=12)
+
+
+@st.composite
+def briefcases(draw, max_folders=6):
+    names = draw(st.lists(folder_name_strategy, max_size=max_folders, unique=True))
+    briefcase = Briefcase()
+    for name in names:
+        elements = draw(st.lists(element_strategy, max_size=8))
+        briefcase.add(Folder(name, elements))
+    return briefcase
+
+
+@given(briefcases())
+def test_pack_unpack_round_trip(briefcase):
+    assert unpack_briefcase(pack_briefcase(briefcase)) == briefcase
+
+
+@given(briefcases())
+def test_copy_equals_original_but_is_independent(briefcase):
+    clone = briefcase.copy()
+    assert clone == briefcase
+    clone.put("EXTRA_FOLDER_XYZ", b"x")
+    assert not briefcase.has("EXTRA_FOLDER_XYZ")
+
+
+@given(briefcases())
+def test_wire_size_counts_every_folder(briefcase):
+    total = briefcase.wire_size()
+    assert total >= 32
+    assert total == wire_size_of(briefcase)
+    # The whole is the framing plus the parts.
+    parts = sum(folder.wire_size() for folder in briefcase.folders())
+    assert total == 32 + parts
+
+
+@given(briefcases(), briefcases())
+@settings(max_examples=60)
+def test_merge_conserves_element_count(left, right):
+    left_count = sum(len(folder) for folder in left.folders())
+    right_count = sum(len(folder) for folder in right.folders())
+    left.merge(right)
+    merged_count = sum(len(folder) for folder in left.folders())
+    assert merged_count == left_count + right_count
+
+
+@given(briefcases())
+def test_split_then_merge_restores_every_element(briefcase):
+    original_elements = {folder.name: folder.elements() for folder in briefcase.folders()}
+    names = briefcase.names()
+    taken = names[: len(names) // 2]
+    extracted = briefcase.split(taken)
+    briefcase.merge(extracted)
+    restored = {folder.name: folder.elements() for folder in briefcase.folders()}
+    assert restored == original_elements
+
+
+@given(briefcases())
+def test_names_match_folders(briefcase):
+    assert briefcase.names() == [folder.name for folder in briefcase.folders()]
+    assert len(briefcase) == len(briefcase.names())

@@ -1,0 +1,74 @@
+"""Property-based tests for FileCabinet invariants (index consistency, persistence)."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Briefcase, FileCabinet, Folder
+
+element_strategy = st.one_of(st.binary(max_size=32), st.text(max_size=16), st.integers())
+
+
+@given(st.lists(element_strategy, max_size=20), element_strategy)
+def test_contains_element_matches_membership(elements, probe):
+    cabinet = FileCabinet("c")
+    for element in elements:
+        cabinet.put("X", element)
+    expected = probe in elements
+    # The digest index must agree with a linear scan of the decoded values.
+    assert cabinet.contains_element("X", probe) == expected
+
+
+@given(st.lists(element_strategy, max_size=20))
+def test_elements_reflect_every_put_in_order(elements):
+    cabinet = FileCabinet("c")
+    for element in elements:
+        cabinet.put("X", element)
+    assert cabinet.elements("X") == list(elements)
+
+
+@given(st.lists(element_strategy, min_size=1, max_size=15))
+def test_deposit_indexes_everything(elements):
+    cabinet = FileCabinet("c")
+    cabinet.deposit(Briefcase([Folder("F", elements)]))
+    for element in elements:
+        assert cabinet.contains_element("F", element)
+
+
+@given(st.lists(element_strategy, max_size=15))
+def test_withdraw_copies_do_not_alias(elements):
+    cabinet = FileCabinet("c")
+    for element in elements:
+        cabinet.put("F", element)
+    briefcase = cabinet.withdraw(["F"])
+    if elements:
+        briefcase.folder("F").push(b"mutation")
+        assert cabinet.elements("F") == list(elements)
+
+
+@given(st.lists(element_strategy, max_size=12))
+@settings(max_examples=30, deadline=None)
+def test_flush_load_round_trip(elements):
+    cabinet = FileCabinet("persist", site="alpha")
+    for element in elements:
+        cabinet.put("DATA", element)
+    with tempfile.TemporaryDirectory() as directory:
+        path = cabinet.flush(directory)
+        loaded = FileCabinet.load(path)
+    assert loaded.elements("DATA") == cabinet.elements("DATA")
+    assert loaded.name == "persist"
+    assert loaded.site == "alpha"
+
+
+@given(st.lists(element_strategy, max_size=15))
+def test_move_cost_dominates_storage(elements):
+    cabinet = FileCabinet("c")
+    for element in elements:
+        cabinet.put("X", element)
+    assert cabinet.move_cost() >= cabinet.storage_size()
+    if elements:
+        assert cabinet.move_cost() >= FileCabinet.MOVE_COST_FACTOR

@@ -1,0 +1,100 @@
+"""Property-based tests for electronic cash: money is never created or destroyed."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cash import Mint, Wallet
+from repro.core import Briefcase
+from repro.core.errors import InsufficientFundsError, InvalidECUError
+
+
+@given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=20))
+def test_issuing_increases_supply_by_exactly_the_amounts(amounts):
+    mint = Mint(seed=1)
+    mint.issue_many(amounts)
+    assert mint.outstanding_value() == sum(amounts)
+    assert mint.valid_serial_count() == len(amounts)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=15),
+       st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_validation_cycles_conserve_the_money_supply(amounts, rng):
+    """Any sequence of retire-and-reissue operations keeps the supply constant."""
+    mint = Mint(seed=2)
+    live = mint.issue_many(amounts)
+    supply = mint.outstanding_value()
+    for _ in range(min(30, len(live) * 3)):
+        index = rng.randrange(len(live))
+        ecu = live[index]
+        if rng.random() < 0.3 and ecu.amount >= 2:
+            split_point = rng.randint(1, ecu.amount - 1)
+            replacements = mint.retire_and_reissue(ecu, split=[split_point,
+                                                               ecu.amount - split_point])
+        else:
+            replacements = mint.retire_and_reissue(ecu)
+        live.pop(index)
+        live.extend(replacements)
+        assert mint.outstanding_value() == supply
+    assert sum(ecu.amount for ecu in live) == supply
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=10))
+def test_double_spending_never_inflates_the_supply(amounts):
+    mint = Mint(seed=3)
+    ecus = mint.issue_many(amounts)
+    supply = mint.outstanding_value()
+    for ecu in ecus:
+        mint.retire_and_reissue(ecu)
+        # Spending the same record again must always fail.
+        try:
+            mint.retire_and_reissue(ecu)
+            raised = False
+        except InvalidECUError:
+            raised = True
+        assert raised
+    assert mint.outstanding_value() == supply
+    assert mint.double_spend_attempts == len(ecus)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=12),
+       st.integers(min_value=1, max_value=400))
+def test_wallet_payments_conserve_value(amounts, price):
+    mint = Mint(seed=4)
+    payer_briefcase = Briefcase()
+    payee_briefcase = Briefcase()
+    payer = Wallet(payer_briefcase)
+    payer.deposit(mint.issue_many(amounts))
+    total_before = payer.balance()
+
+    try:
+        transferred = payer.pay_into(payee_briefcase, price)
+    except InsufficientFundsError:
+        assert total_before < price
+        assert payer.balance() == total_before
+        return
+
+    payee = Wallet(payee_briefcase)
+    assert transferred >= price
+    assert payer.balance() + payee.balance() == total_before
+
+
+@given(st.integers(min_value=2, max_value=200), st.data())
+def test_split_reissue_preserves_the_exact_amount(amount, data):
+    mint = Mint(seed=5)
+    ecu = mint.issue(amount)
+    pieces = data.draw(st.integers(min_value=1, max_value=min(5, amount)))
+    # Draw a random composition of `amount` into `pieces` positive parts.
+    cut_points = sorted(data.draw(st.lists(st.integers(min_value=1, max_value=amount - 1),
+                                           min_size=pieces - 1, max_size=pieces - 1,
+                                           unique=True))) if pieces > 1 else []
+    split = []
+    previous = 0
+    for cut in cut_points + [amount]:
+        split.append(cut - previous)
+        previous = cut
+    replacements = mint.retire_and_reissue(ecu, split=split)
+    assert sum(replacement.amount for replacement in replacements) == amount
+    assert mint.outstanding_value() == amount

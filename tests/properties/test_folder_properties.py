@@ -1,0 +1,86 @@
+"""Property-based tests for Folder invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Folder
+
+# Elements a folder must accept: raw bytes, text, and picklable structures.
+element_strategy = st.one_of(
+    st.binary(max_size=64),
+    st.text(max_size=32),
+    st.integers(),
+    st.dictionaries(st.text(max_size=8), st.integers(), max_size=4),
+    st.lists(st.integers(), max_size=6),
+)
+
+elements_strategy = st.lists(element_strategy, max_size=25)
+
+
+@given(elements_strategy)
+def test_elements_preserve_insertion_order_and_values(elements):
+    folder = Folder("F", elements)
+    assert folder.elements() == list(elements)
+    assert len(folder) == len(elements)
+
+
+@given(elements_strategy)
+def test_stack_discipline_is_lifo(elements):
+    folder = Folder("F", elements)
+    popped = [folder.pop() for _ in range(len(elements))]
+    assert popped == list(reversed(elements))
+    assert len(folder) == 0
+
+
+@given(elements_strategy)
+def test_queue_discipline_is_fifo(elements):
+    folder = Folder("F")
+    for element in elements:
+        folder.enqueue(element)
+    dequeued = [folder.dequeue() for _ in range(len(elements))]
+    assert dequeued == list(elements)
+
+
+@given(elements_strategy)
+def test_wire_round_trip_is_identity(elements):
+    folder = Folder("F", elements)
+    rebuilt = Folder.from_wire(folder.to_wire())
+    assert rebuilt == folder
+    assert rebuilt.elements() == folder.elements()
+
+
+@given(elements_strategy)
+def test_copy_is_independent_and_equal(elements):
+    folder = Folder("F", elements)
+    clone = folder.copy()
+    assert clone == folder
+    clone.push(b"extra")
+    assert len(clone) == len(folder) + 1
+    assert folder.elements() == list(elements)
+
+
+@given(elements_strategy, element_strategy)
+def test_wire_size_is_monotone_under_push(elements, extra):
+    folder = Folder("F", elements)
+    before = folder.wire_size()
+    folder.push(extra)
+    assert folder.wire_size() > before
+
+
+@given(st.lists(st.binary(max_size=32), max_size=20))
+def test_raw_elements_round_trip_for_bytes(blobs):
+    folder = Folder("F", blobs)
+    assert folder.elements() == blobs
+    # Raw (tagged) elements are always strictly longer than the payload.
+    for stored, original in zip(folder.raw_elements(), blobs):
+        assert len(stored) == len(original) + 1
+
+
+@given(elements_strategy)
+@settings(max_examples=50)
+def test_replace_then_elements_is_identity(elements):
+    folder = Folder("F", ["sentinel"])
+    folder.replace(elements)
+    assert folder.elements() == list(elements)

@@ -1,0 +1,103 @@
+"""Property-based tests for kernel-level invariants.
+
+These drive whole (small) agent systems with generated parameters and check
+global invariants: the agent ledger always balances, itineraries visit what
+they were asked to visit, and the diffusion agent covers exactly the
+reachable part of the network.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Briefcase, Kernel, KernelConfig, register_behaviour
+from repro.core.agent import AgentState
+from repro.net import lan, random_topology
+from repro.sysagents.diffusion import DIFFUSION_CABINET
+
+
+def visitor(ctx, bc):
+    trail = bc.folder("TRAIL", create=True)
+    trail.push(ctx.site_name)
+    itinerary = bc.folder("ITINERARY", create=True)
+    if itinerary:
+        yield ctx.jump(bc, itinerary.dequeue())
+        return "moved"
+    ctx.cabinet("trail_results").put("TRAIL", list(trail.elements()))
+    return "done"
+
+
+register_behaviour("property_visitor", visitor, replace=True)
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=10),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_itinerant_agent_visits_exactly_the_requested_sites(n_sites, hops, seed):
+    sites = [f"s{i}" for i in range(n_sites)]
+    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=seed))
+    import random as _random
+    rng = _random.Random(seed)
+    itinerary = [rng.choice(sites) for _ in range(hops)]
+
+    briefcase = Briefcase()
+    folder = briefcase.folder("ITINERARY", create=True)
+    for site in itinerary:
+        folder.enqueue(site)
+    kernel.launch(sites[0], "property_visitor", briefcase)
+    kernel.run()
+
+    final_site = itinerary[-1] if itinerary else sites[0]
+    trail = kernel.site(final_site).cabinet("trail_results").get("TRAIL")
+    assert trail == [sites[0]] + itinerary
+    # Migrations equal the number of inter-site moves (same-site hops are local).
+    expected_moves = sum(1 for before, after in zip([sites[0]] + itinerary, itinerary)
+                         if before != after)
+    assert kernel.stats.migrations == expected_moves
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_agent_ledger_always_balances(n_agents, seed):
+    kernel = Kernel(lan(["a", "b", "c"]), transport="tcp",
+                    config=KernelConfig(rng_seed=seed))
+
+    def worker(ctx, bc):
+        yield ctx.sleep(ctx.rng.random() * 0.1)
+        if bc.get("EXPLODE"):
+            raise RuntimeError("boom")
+        return "ok"
+
+    import random as _random
+    rng = _random.Random(seed)
+    for index in range(n_agents):
+        briefcase = Briefcase()
+        if rng.random() < 0.3:
+            briefcase.set("EXPLODE", True)
+        kernel.launch(rng.choice(["a", "b", "c"]), worker, briefcase)
+    kernel.run()
+
+    counters = kernel.counters()
+    assert counters["completed"] + counters["failed"] + counters["killed"] == \
+        counters["launched"]
+    for agent in kernel.agents.values():
+        assert AgentState.is_terminal(agent.state)
+
+
+@given(st.integers(min_value=4, max_value=14), st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_diffusion_covers_exactly_the_reachable_sites(n_sites, seed):
+    topology = random_topology(n_sites, edge_probability=0.25, seed=seed)
+    kernel = Kernel(topology, transport="tcp", config=KernelConfig(rng_seed=seed))
+    origin = topology.sites()[0]
+    briefcase = Briefcase()
+    briefcase.set("PAYLOAD", "wave")
+    kernel.launch(origin, "diffusion", briefcase)
+    kernel.run()
+
+    covered = {name for name in kernel.site_names()
+               if kernel.site(name).cabinet(DIFFUSION_CABINET).get("PAYLOAD") == "wave"}
+    reachable = {name for name in kernel.site_names()
+                 if topology.can_communicate(origin, name)}
+    assert covered == reachable

@@ -1,0 +1,65 @@
+"""Property-based tests for the mail system: nothing is lost, nothing is duplicated."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.mail import MailSystem
+from repro.core import Kernel, KernelConfig
+from repro.net import lan
+
+SITES = ["oslo", "tromso", "bergen", "cornell"]
+USERS = ["dag", "fred", "robbert", "ken"]
+
+letters_strategy = st.lists(
+    st.tuples(st.sampled_from(USERS), st.sampled_from(SITES),
+              st.sampled_from(USERS), st.sampled_from(SITES),
+              st.text(min_size=1, max_size=20)),
+    min_size=1, max_size=12)
+
+
+@given(letters_strategy, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_every_letter_between_live_sites_is_delivered_exactly_once(letters, seed):
+    kernel = Kernel(lan(SITES), transport="tcp", config=KernelConfig(rng_seed=seed))
+    mail = MailSystem(kernel)
+    sent_ids = []
+    for index, (from_user, from_site, to_user, to_site, subject) in enumerate(letters):
+        sent_ids.append(mail.send(from_user, from_site, to_user, to_site, subject,
+                                  body=f"body {index}", delay=0.01 * index))
+    kernel.run(until=120.0)
+
+    # Every letter shows up in exactly one inbox, exactly once.
+    delivered_ids = []
+    for site in SITES:
+        for user in USERS:
+            for letter in mail.inbox(site, user):
+                delivered_ids.append(letter["letter_id"])
+                # ... and it is filed at the site and user it was addressed to.
+                assert letter["to_site"] == site
+                assert letter["to_user"] == user
+    assert sorted(delivered_ids) == sorted(sent_ids)
+    assert mail.delivered_count() == len(letters)
+
+
+@given(letters_strategy, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_inbox_contents_preserve_subjects_and_bodies(letters, seed):
+    kernel = Kernel(lan(SITES), transport="tcp", config=KernelConfig(rng_seed=seed))
+    mail = MailSystem(kernel)
+    expected = {}
+    for index, (from_user, from_site, to_user, to_site, subject) in enumerate(letters):
+        letter_id = mail.send(from_user, from_site, to_user, to_site, subject,
+                              body=f"body {index}", delay=0.01 * index)
+        expected[letter_id] = (to_site, to_user, subject, f"body {index}", from_user)
+    kernel.run(until=120.0)
+
+    for letter_id, (to_site, to_user, subject, body, from_user) in expected.items():
+        inbox = mail.inbox(to_site, to_user)
+        match = [letter for letter in inbox if letter["letter_id"] == letter_id]
+        assert len(match) == 1
+        assert match[0]["subject"] == subject
+        assert match[0]["body"] == body
+        assert match[0]["from_user"] == from_user
+        assert match[0]["delivered_at"] is not None

@@ -1,0 +1,53 @@
+"""Property-based tests for the benchmark metric helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.metrics import (coefficient_of_variation, jains_fairness, percentile,
+                                 summarize)
+
+samples = st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                             allow_infinity=False), min_size=1, max_size=50)
+
+
+@given(samples, st.floats(min_value=0.0, max_value=100.0))
+def test_percentile_is_bounded_by_min_and_max(values, pct):
+    result = percentile(values, pct)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(samples)
+def test_percentile_is_monotone_in_pct(values):
+    points = [percentile(values, pct) for pct in (0, 25, 50, 75, 100)]
+    assert points == sorted(points)
+
+
+@given(samples)
+def test_summarize_is_internally_consistent(values):
+    summary = summarize(values)
+    # Floating-point aggregation (fmean, interpolation) may exceed the exact
+    # min/max by an ulp or two; allow a relative tolerance.
+    slack = 1e-9 * max(1.0, summary["max"])
+    assert summary["count"] == len(values)
+    assert summary["min"] - slack <= summary["median"] <= summary["max"] + slack
+    assert summary["min"] - slack <= summary["mean"] <= summary["max"] + slack
+    assert summary["min"] - slack <= summary["p95"] <= summary["max"] + slack
+    assert summary["stdev"] >= 0.0
+
+
+@given(samples)
+def test_jains_fairness_is_within_unit_interval(values):
+    fairness = jains_fairness(values)
+    assert 0.0 < fairness <= 1.0 + 1e-9
+
+
+@given(st.floats(min_value=0.001, max_value=1e5, allow_nan=False), st.integers(2, 30))
+def test_jains_fairness_is_one_for_uniform_loads(value, count):
+    assert jains_fairness([value] * count) > 0.999999
+
+
+@given(samples)
+def test_coefficient_of_variation_is_non_negative(values):
+    assert coefficient_of_variation(values) >= 0.0

@@ -1,0 +1,101 @@
+"""Property-based tests for scheduling policies and broker state invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FileCabinet
+from repro.scheduling import BrokerState, LoadEstimate, ProviderInfo, make_policy
+from repro.scheduling.policies import LeastLoadedPolicy, RoundRobinPolicy
+
+site_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6), min_size=1, max_size=8,
+    unique=True)
+
+
+@st.composite
+def providers_and_loads(draw):
+    names = draw(site_names)
+    providers = [ProviderInfo(service="compute", site=name, agent_name="compute",
+                              capacity=draw(st.floats(min_value=0.1, max_value=16.0)))
+                 for name in names]
+    loads = {}
+    for name in names:
+        if draw(st.booleans()):
+            loads[name] = LoadEstimate(
+                site=name, load=draw(st.floats(min_value=0.0, max_value=50.0)),
+                reported_at=draw(st.floats(min_value=0.0, max_value=100.0)),
+                assigned_since_report=draw(st.integers(min_value=0, max_value=5)))
+    return providers, loads
+
+
+@given(providers_and_loads())
+@settings(max_examples=80, deadline=None)
+def test_least_loaded_picks_the_minimum_normalised_load(data):
+    providers, loads = data
+    chosen = LeastLoadedPolicy().choose(providers, loads)
+
+    def score(provider):
+        estimate = loads.get(provider.site)
+        load = estimate.effective_load() if estimate is not None else 0.0
+        return load / max(provider.capacity, 1e-9)
+
+    best = min(score(provider) for provider in providers)
+    assert score(chosen) <= best + 1e-9
+
+
+@given(providers_and_loads(), st.integers(min_value=1, max_value=40))
+@settings(max_examples=50, deadline=None)
+def test_round_robin_never_skews_by_more_than_one(data, rounds):
+    providers, loads = data
+    policy = RoundRobinPolicy()
+    counts = {provider.key(): 0 for provider in providers}
+    for _ in range(rounds):
+        counts[policy.choose(providers, loads).key()] += 1
+    assert max(counts.values()) - min(counts.values()) <= 1
+    assert sum(counts.values()) == rounds
+
+
+@given(providers_and_loads(), st.integers(min_value=0, max_value=2 ** 30),
+       st.sampled_from(["least-loaded", "random", "round-robin", "weighted-capacity"]))
+@settings(max_examples=60, deadline=None)
+def test_every_policy_returns_one_of_the_candidates(data, seed, policy_name):
+    providers, loads = data
+    chosen = make_policy(policy_name).choose(providers, loads, rng=random.Random(seed))
+    assert chosen in providers
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c", "d"]),
+                          st.floats(min_value=0.0, max_value=20.0),
+                          st.floats(min_value=0.0, max_value=50.0)),
+                max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_broker_state_keeps_only_the_newest_report_per_site(reports):
+    state = BrokerState(FileCabinet("broker"))
+    newest = {}
+    for site, load, at in reports:
+        state.record_report(site, load, at)
+        if site not in newest or at > newest[site][1]:
+            newest[site] = (load, at)
+    loads = state.loads()
+    assert set(loads) == set(newest)
+    for site, (load, at) in newest.items():
+        assert loads[site].reported_at == at
+        assert loads[site].load == load
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_assignment_counts_sum_to_number_of_acquires(assignments):
+    state = BrokerState(FileCabinet("broker"))
+    for site in ("a", "b", "c"):
+        state.record_report(site, 0.0, at=1.0)
+    for site in assignments:
+        state.note_assignment(site)
+    counted = state.assignments()
+    assert sum(counted.values()) == len(assignments)
+    for site in set(assignments):
+        assert counted[site] == assignments.count(site)

@@ -1,0 +1,148 @@
+"""Unit tests for the audit scheme (records, key directory, auditor verdicts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cash.audit import AuditRecord, Auditor, KeyDirectory, make_record, record_payload
+from repro.cash.crypto import Signer
+
+
+@pytest.fixture
+def directory():
+    directory = KeyDirectory()
+    directory.new_signer("customer")
+    directory.new_signer("provider")
+    return directory
+
+
+def records_for_clean_exchange(directory, exchange_id="ex", price=10):
+    customer = directory.signer_for("customer")
+    provider = directory.signer_for("provider")
+    return [
+        make_record(customer, exchange_id, "customer", "paid", price, at=1.0),
+        make_record(provider, exchange_id, "provider", "received-payment", price, at=1.1),
+        make_record(provider, exchange_id, "provider", "provided-service", price, at=1.2),
+        make_record(customer, exchange_id, "customer", "received-service", price, at=1.3),
+    ]
+
+
+class TestAuditRecords:
+    def test_record_payload_is_canonical(self):
+        assert record_payload("ex", "alice", "paid", 10) == "ex|alice|paid|10"
+
+    def test_make_record_signs_verifiably(self, directory):
+        signer = directory.signer_for("customer")
+        record = make_record(signer, "ex", "customer", "paid", 10, at=2.0)
+        assert signer.verify(record_payload("ex", "customer", "paid", 10), record.signature)
+
+    def test_wire_round_trip(self, directory):
+        record = make_record(directory.signer_for("customer"), "ex", "customer", "paid",
+                             10, at=2.0, details={"note": "cash"})
+        rebuilt = AuditRecord.from_wire(record.to_wire())
+        assert rebuilt == record
+
+
+class TestKeyDirectory:
+    def test_new_signer_is_cached(self):
+        directory = KeyDirectory()
+        assert directory.new_signer("a") is directory.new_signer("a")
+        assert "a" in directory
+        assert len(directory) == 1
+
+    def test_register_external_signer(self):
+        directory = KeyDirectory()
+        signer = Signer("external")
+        directory.register(signer)
+        assert directory.signer_for("external") is signer
+
+    def test_unknown_principal_returns_none(self):
+        assert KeyDirectory().signer_for("ghost") is None
+
+
+class TestAuditor:
+    def test_clean_exchange_has_no_violations(self, directory):
+        auditor = Auditor(directory)
+        finding = auditor.audit("ex", records_for_clean_exchange(directory),
+                                expected_price=10)
+        assert finding.clean
+        assert finding.guilty == []
+
+    def test_unknown_exchange_is_noted(self, directory):
+        finding = Auditor(directory).audit("missing", records_for_clean_exchange(directory))
+        assert finding.notes
+
+    def test_forged_record_is_a_violation(self, directory):
+        records = records_for_clean_exchange(directory)
+        forged = AuditRecord(exchange_id="ex", actor="customer", role="customer",
+                             action="paid", amount=999, at=1.0, signature="forged")
+        finding = Auditor(directory).audit("ex", records + [forged])
+        assert any("unverifiable" in violation for violation in finding.violations)
+        assert "customer" in finding.guilty
+
+    def test_record_from_unknown_principal_is_unverifiable(self, directory):
+        stranger = Signer("stranger")
+        record = make_record(stranger, "ex", "customer", "paid", 10, at=1.0)
+        finding = Auditor(directory).audit("ex", [record])
+        assert any("unverifiable" in violation for violation in finding.violations)
+
+    def test_customer_claiming_unwitnessed_payment_is_guilty(self, directory):
+        customer = directory.signer_for("customer")
+        records = [make_record(customer, "ex", "customer", "paid", 10, at=1.0)]
+        finding = Auditor(directory).audit("ex", records, witness_records=[])
+        assert any("claims an unwitnessed payment" in violation
+                   for violation in finding.violations)
+        assert finding.guilty == ["customer"]
+
+    def test_provider_denying_witnessed_payment_is_guilty(self, directory):
+        customer = directory.signer_for("customer")
+        provider = directory.signer_for("provider")
+        records = [
+            make_record(customer, "ex", "customer", "paid", 10, at=1.0),
+            # The provider wrote no received-payment record, but it did
+            # claim to provide the service (so it is identifiable).
+            make_record(provider, "ex", "provider", "provided-service", 10, at=1.2),
+        ]
+        witness = [{"exchange_id": "ex", "action": "validated-payment", "amount": 10}]
+        finding = Auditor(directory).audit("ex", records, witness_records=witness)
+        assert any("denies a payment" in violation for violation in finding.violations)
+        assert "provider" in finding.guilty
+
+    def test_payment_without_service_blames_provider(self, directory):
+        customer = directory.signer_for("customer")
+        provider = directory.signer_for("provider")
+        records = [
+            make_record(customer, "ex", "customer", "paid", 10, at=1.0),
+            make_record(provider, "ex", "provider", "received-payment", 10, at=1.1),
+        ]
+        finding = Auditor(directory).audit("ex", records)
+        assert any("no service was provided" in violation for violation in finding.violations)
+        assert finding.guilty == ["provider"]
+
+    def test_short_payment_blames_customer(self, directory):
+        customer = directory.signer_for("customer")
+        provider = directory.signer_for("provider")
+        records = [
+            make_record(customer, "ex", "customer", "paid", 4, at=1.0),
+            make_record(provider, "ex", "provider", "received-payment", 4, at=1.1),
+            make_record(provider, "ex", "provider", "provided-service", 10, at=1.2),
+            make_record(customer, "ex", "customer", "received-service", 10, at=1.3),
+        ]
+        finding = Auditor(directory).audit("ex", records, expected_price=10)
+        assert any("below the agreed price" in violation for violation in finding.violations)
+        assert "customer" in finding.guilty
+
+    def test_records_from_other_exchanges_are_ignored(self, directory):
+        records = records_for_clean_exchange(directory, exchange_id="other")
+        finding = Auditor(directory).audit("ex", records)
+        assert finding.notes   # nothing relevant found
+        assert finding.clean
+
+    def test_guilty_list_is_deduplicated_and_sorted(self, directory):
+        customer = directory.signer_for("customer")
+        records = [
+            make_record(customer, "ex", "customer", "paid", 3, at=1.0),
+            make_record(customer, "ex", "customer", "paid", 4, at=1.1),
+        ]
+        finding = Auditor(directory).audit("ex", records, expected_price=10)
+        assert finding.guilty == sorted(set(finding.guilty))

@@ -1,0 +1,84 @@
+"""Unit tests for the client-server pull baseline agents (repro.bench.baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (DataGatherParams, build_gather_kernel, install_data_servers,
+                         launch_pull_client, pull_summary)
+from repro.bench.baselines import (DATA_SERVER_NAME, DATA_SINK_NAME, PULL_CABINET,
+                                   data_server_behaviour)
+from repro.core import Briefcase, Folder, Kernel, KernelConfig
+from repro.net import FailureSchedule, lan
+
+
+PARAMS = DataGatherParams(n_sites=3, records_per_site=20, record_bytes=100,
+                          selectivity=0.2, seed=9, topology="lan")
+
+
+@pytest.fixture
+def kernel():
+    kernel = build_gather_kernel(PARAMS)
+    install_data_servers(kernel, PARAMS.home_name, PARAMS.data_site_names())
+    return kernel
+
+
+class TestDataServer:
+    def test_request_without_home_is_ignored(self, kernel):
+        def client(ctx, bc):
+            result = yield ctx.meet(DATA_SERVER_NAME, Briefcase())
+            return result.value
+
+        agent_id = kernel.launch("data00", client)
+        kernel.run()
+        assert kernel.result_of(agent_id) == 0
+        assert kernel.stats.messages_sent == 0
+
+    def test_served_records_are_tagged_with_their_origin(self, kernel):
+        request = Folder("REQUEST", [{"home": PARAMS.home_name, "requested_at": 0.0}])
+
+        def requester(ctx, bc):
+            result = yield ctx.send_folder(request, "data01", DATA_SERVER_NAME)
+            return result.value
+
+        kernel.launch(PARAMS.home_name, requester)
+        kernel.run()
+        cabinet = kernel.site(PARAMS.home_name).cabinet(PULL_CABINET)
+        assert cabinet.elements("responded") == ["data01"]
+        assert len(cabinet.elements("raw")) == PARAMS.records_per_site
+
+
+class TestPullClient:
+    def test_full_pull_gathers_everything(self, kernel):
+        launch_pull_client(kernel, PARAMS.home_name, PARAMS.data_site_names())
+        kernel.run(until=PARAMS.run_until)
+        summary = pull_summary(kernel, PARAMS.home_name)
+        assert summary["sites_responded"] == PARAMS.n_sites
+        assert summary["records_received"] == PARAMS.n_sites * PARAMS.records_per_site
+        assert summary["relevant_found"] > 0
+
+    def test_pull_summary_empty_before_any_run(self):
+        kernel = Kernel(lan(["home"]), config=KernelConfig(rng_seed=1))
+        assert pull_summary(kernel, "home") == {}
+
+    def test_crashed_data_site_is_reported_as_missing(self, kernel):
+        FailureSchedule().crash("data02", at=0.0).install(kernel)
+        launch_pull_client(kernel, PARAMS.home_name, PARAMS.data_site_names(),
+                           poll_interval=0.05, max_polls=20)
+        kernel.run(until=PARAMS.run_until)
+        summary = pull_summary(kernel, PARAMS.home_name)
+        assert summary["sites_responded"] == PARAMS.n_sites - 1
+        assert summary["records_received"] == (PARAMS.n_sites - 1) * PARAMS.records_per_site
+        # The client burned its poll budget waiting for the dead site.
+        assert summary["polls"] == 20
+
+    def test_pull_does_not_modify_the_data_sites(self, kernel):
+        from repro.bench.workloads import DATA_CABINET, RECORDS_FOLDER
+        before = {site: len(kernel.site(site).cabinet(DATA_CABINET).folder(RECORDS_FOLDER,
+                                                                           create=True))
+                  for site in PARAMS.data_site_names()}
+        launch_pull_client(kernel, PARAMS.home_name, PARAMS.data_site_names())
+        kernel.run(until=PARAMS.run_until)
+        after = {site: len(kernel.site(site).cabinet(DATA_CABINET).folder(RECORDS_FOLDER))
+                 for site in PARAMS.data_site_names()}
+        assert before == after

@@ -1,0 +1,97 @@
+"""Unit tests for the benchmark table/report renderer."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.report import Report, Table
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_add_row_positional(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2.5)
+        assert len(table) == 1
+        assert table.rows[0] == ["1", "2.5"]
+
+    def test_add_row_by_name(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(b=3, a="x")
+        assert table.rows[0] == ["x", "3"]
+        # Missing named cells default to empty strings.
+        table.add_row(a="only")
+        assert table.rows[1] == ["only", ""]
+
+    def test_add_row_wrong_arity_raises(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_add_row_mixed_styles_raises(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1, b=2)
+
+    def test_cell_formatting(self):
+        table = Table("t", ["value"])
+        table.add_row(True)
+        table.add_row(0.12345)
+        table.add_row(123456.0)
+        table.add_row(0.0001)
+        assert table.rows[0] == ["yes"]
+        assert table.rows[1] == ["0.123"]
+        assert table.rows[2] == ["1.23e+05"]
+        assert table.rows[3] == ["0.0001"]
+
+    def test_column_accessor(self):
+        table = Table("t", ["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("name") == ["x", "y"]
+
+    def test_render_aligns_columns_and_shows_notes(self):
+        table = Table("Experiment", ["transport", "latency"])
+        table.add_row("rsh", 0.25)
+        table.add_row("tcp", 0.002)
+        table.add_note("lower is better")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Experiment"
+        assert "transport" in lines[2]
+        assert any("note: lower is better" in line for line in lines)
+        # All data rows have the same width.
+        assert len(lines[4]) == len(lines[5])
+
+
+class TestReport:
+    def test_report_collects_tables(self):
+        report = Report("E1", "bandwidth comparison")
+        table = report.table("results", ["mode", "bytes"])
+        table.add_row("agent", 100)
+        text = report.render()
+        assert "[E1]" in text
+        assert "results" in text
+        assert "agent" in text
+
+    def test_report_save_writes_file(self, tmp_path):
+        report = Report("E9", "scratch")
+        report.table("t", ["x"]).add_row(1)
+        path = report.save(str(tmp_path))
+        assert os.path.exists(path)
+        assert path.endswith("e9.txt")
+        with open(path, encoding="utf-8") as handle:
+            assert "[E9]" in handle.read()
+
+    def test_report_print_goes_to_stdout(self, capsys):
+        report = Report("E2", "diffusion")
+        report.table("t", ["x"]).add_row(42)
+        report.print()
+        captured = capsys.readouterr()
+        assert "[E2]" in captured.out
+        assert "42" in captured.out

@@ -1,0 +1,158 @@
+"""Unit tests for repro.core.briefcase.Briefcase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Folder
+from repro.core.errors import BriefcaseError, MissingFolderError
+
+
+class TestFolderManagement:
+    def test_add_and_fetch(self):
+        briefcase = Briefcase()
+        folder = briefcase.add(Folder("DATA", [1]))
+        assert briefcase.folder("DATA") is folder
+
+    def test_add_rejects_non_folder(self):
+        with pytest.raises(BriefcaseError):
+            Briefcase().add("not a folder")  # type: ignore[arg-type]
+
+    def test_add_duplicate_name_refused_without_replace(self):
+        briefcase = Briefcase([Folder("X")])
+        with pytest.raises(BriefcaseError):
+            briefcase.add(Folder("X"))
+
+    def test_add_duplicate_name_with_replace(self):
+        briefcase = Briefcase([Folder("X", [1])])
+        briefcase.add(Folder("X", [2]), replace=True)
+        assert briefcase.folder("X").elements() == [2]
+
+    def test_folder_create_flag(self):
+        briefcase = Briefcase()
+        folder = briefcase.folder("NEW", create=True)
+        assert folder.name == "NEW"
+        assert briefcase.has("NEW")
+
+    def test_missing_folder_raises(self):
+        with pytest.raises(MissingFolderError):
+            Briefcase().folder("ABSENT")
+
+    def test_remove_returns_folder(self):
+        briefcase = Briefcase([Folder("X", [1])])
+        folder = briefcase.remove("X")
+        assert folder.elements() == [1]
+        assert not briefcase.has("X")
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(MissingFolderError):
+            Briefcase().remove("X")
+
+    def test_discard_is_silent_for_missing(self):
+        assert Briefcase().discard("X") is None
+
+    def test_names_and_folders_preserve_insertion_order(self):
+        briefcase = Briefcase([Folder("B"), Folder("A"), Folder("C")])
+        assert briefcase.names() == ["B", "A", "C"]
+        assert [folder.name for folder in briefcase.folders()] == ["B", "A", "C"]
+
+
+class TestElementConveniences:
+    def test_put_appends_and_creates(self):
+        briefcase = Briefcase()
+        briefcase.put("LOG", "one")
+        briefcase.put("LOG", "two")
+        assert briefcase.folder("LOG").elements() == ["one", "two"]
+
+    def test_set_replaces_contents(self):
+        briefcase = Briefcase()
+        briefcase.put("V", 1)
+        briefcase.put("V", 2)
+        briefcase.set("V", 3)
+        assert briefcase.folder("V").elements() == [3]
+
+    def test_get_returns_top_element(self):
+        briefcase = Briefcase()
+        briefcase.put("V", 1)
+        briefcase.put("V", 2)
+        assert briefcase.get("V") == 2
+
+    def test_get_default_for_missing_or_empty(self):
+        briefcase = Briefcase()
+        assert briefcase.get("V", "fallback") == "fallback"
+        briefcase.folder("V", create=True)
+        assert briefcase.get("V", "fallback") == "fallback"
+
+    def test_take_pops_top(self):
+        briefcase = Briefcase()
+        briefcase.put("V", 1)
+        assert briefcase.take("V") == 1
+        assert briefcase.get("V") is None
+
+
+class TestWholeBriefcaseOperations:
+    def test_merge_appends_same_named_folders(self):
+        left = Briefcase([Folder("X", [1])])
+        right = Briefcase([Folder("X", [2]), Folder("Y", ["y"])])
+        left.merge(right)
+        assert left.folder("X").elements() == [1, 2]
+        assert left.folder("Y").elements() == ["y"]
+
+    def test_merge_with_replace_overwrites(self):
+        left = Briefcase([Folder("X", [1])])
+        right = Briefcase([Folder("X", [2])])
+        left.merge(right, replace=True)
+        assert left.folder("X").elements() == [2]
+
+    def test_merge_copies_folders_not_references(self):
+        left = Briefcase()
+        right = Briefcase([Folder("X", [1])])
+        left.merge(right)
+        right.folder("X").push(2)
+        assert left.folder("X").elements() == [1]
+
+    def test_split_extracts_named_folders(self):
+        briefcase = Briefcase([Folder("A", [1]), Folder("B", [2]), Folder("C", [3])])
+        extracted = briefcase.split(["A", "C"])
+        assert sorted(extracted.names()) == ["A", "C"]
+        assert briefcase.names() == ["B"]
+
+    def test_split_missing_folder_raises(self):
+        with pytest.raises(MissingFolderError):
+            Briefcase().split(["A"])
+
+    def test_copy_is_deep_for_folder_lists(self):
+        original = Briefcase([Folder("X", [1])])
+        clone = original.copy()
+        clone.folder("X").push(2)
+        assert original.folder("X").elements() == [1]
+
+    def test_clear_removes_everything(self):
+        briefcase = Briefcase([Folder("X"), Folder("Y")])
+        briefcase.clear()
+        assert len(briefcase) == 0
+
+    def test_equality(self):
+        assert Briefcase([Folder("X", [1])]) == Briefcase([Folder("X", [1])])
+        assert Briefcase([Folder("X", [1])]) != Briefcase([Folder("X", [2])])
+        assert Briefcase() != 42
+
+    def test_contains_len_iter(self):
+        briefcase = Briefcase([Folder("X"), Folder("Y")])
+        assert "X" in briefcase
+        assert "Z" not in briefcase
+        assert len(briefcase) == 2
+        assert [folder.name for folder in briefcase] == ["X", "Y"]
+
+
+class TestWireModel:
+    def test_wire_size_counts_all_folders(self):
+        briefcase = Briefcase()
+        base = briefcase.wire_size()
+        briefcase.put("A", "x" * 100)
+        assert briefcase.wire_size() > base + 100
+
+    def test_to_wire_from_wire_round_trip(self):
+        briefcase = Briefcase([Folder("A", [b"raw"]), Folder("B", ["text", {"n": 1}])])
+        rebuilt = Briefcase.from_wire(briefcase.to_wire())
+        assert rebuilt == briefcase

@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.cabinet.FileCabinet."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import Briefcase, FileCabinet, Folder
+from repro.core.errors import CabinetError, CabinetPersistenceError, MissingFolderError
+
+
+class TestBasicAccess:
+    def test_requires_name(self):
+        with pytest.raises(CabinetError):
+            FileCabinet("")
+
+    def test_add_and_folder(self):
+        cabinet = FileCabinet("c")
+        folder = cabinet.add(Folder("X", [1]))
+        assert cabinet.folder("X") is folder
+
+    def test_add_duplicate_refused(self):
+        cabinet = FileCabinet("c")
+        cabinet.add(Folder("X"))
+        with pytest.raises(CabinetError):
+            cabinet.add(Folder("X"))
+
+    def test_add_duplicate_with_replace(self):
+        cabinet = FileCabinet("c")
+        cabinet.add(Folder("X", [1]))
+        cabinet.add(Folder("X", [2]), replace=True)
+        assert cabinet.folder("X").elements() == [2]
+
+    def test_folder_create(self):
+        cabinet = FileCabinet("c")
+        assert cabinet.folder("NEW", create=True).name == "NEW"
+
+    def test_missing_folder_raises(self):
+        with pytest.raises(MissingFolderError):
+            FileCabinet("c").folder("ABSENT")
+
+    def test_remove(self):
+        cabinet = FileCabinet("c")
+        cabinet.add(Folder("X", [1]))
+        assert cabinet.remove("X").elements() == [1]
+        assert not cabinet.has("X")
+        with pytest.raises(MissingFolderError):
+            cabinet.remove("X")
+
+    def test_put_get_defaults(self):
+        cabinet = FileCabinet("c")
+        assert cabinet.get("missing", default="d") == "d"
+        cabinet.put("V", 10)
+        cabinet.put("V", 20)
+        assert cabinet.get("V") == 20
+
+    def test_names_and_folders(self):
+        cabinet = FileCabinet("c")
+        cabinet.put("A", 1)
+        cabinet.put("B", 2)
+        assert cabinet.names() == ["A", "B"]
+        assert len(cabinet.folders()) == 2
+        assert "A" in cabinet
+        assert len(cabinet) == 2
+
+    def test_access_count_increases_on_lookups(self):
+        cabinet = FileCabinet("c")
+        cabinet.put("A", 1)
+        before = cabinet.access_count
+        cabinet.get("A")
+        cabinet.contains_element("A", 1)
+        assert cabinet.access_count > before
+
+
+class TestElementIndex:
+    def test_contains_element_after_put(self):
+        cabinet = FileCabinet("c")
+        cabinet.put("VISITED", "site-a")
+        assert cabinet.contains_element("VISITED", "site-a")
+        assert not cabinet.contains_element("VISITED", "site-b")
+
+    def test_contains_element_for_missing_folder(self):
+        assert not FileCabinet("c").contains_element("X", "anything")
+
+    def test_contains_element_after_add_indexes_existing(self):
+        cabinet = FileCabinet("c")
+        cabinet.add(Folder("X", ["a", "b"]))
+        assert cabinet.contains_element("X", "a")
+        assert cabinet.contains_element("X", "b")
+
+    def test_elements_for_missing_folder_is_empty(self):
+        assert FileCabinet("c").elements("nope") == []
+
+    def test_elements_returns_decoded_values(self):
+        cabinet = FileCabinet("c")
+        cabinet.put("X", {"k": 1})
+        assert cabinet.elements("X") == [{"k": 1}]
+
+
+class TestBriefcaseInterchange:
+    def test_deposit_copies_folders(self):
+        cabinet = FileCabinet("c")
+        briefcase = Briefcase([Folder("RESULTS", [1, 2])])
+        cabinet.deposit(briefcase)
+        briefcase.folder("RESULTS").push(3)
+        assert cabinet.elements("RESULTS") == [1, 2]
+
+    def test_deposit_merges_into_existing_folder(self):
+        cabinet = FileCabinet("c")
+        cabinet.put("RESULTS", 0)
+        cabinet.deposit(Briefcase([Folder("RESULTS", [1])]))
+        assert cabinet.elements("RESULTS") == [0, 1]
+        assert cabinet.contains_element("RESULTS", 1)
+
+    def test_deposit_with_name_filter(self):
+        cabinet = FileCabinet("c")
+        cabinet.deposit(Briefcase([Folder("KEEP", [1]), Folder("SKIP", [2])]),
+                        names=["KEEP"])
+        assert cabinet.has("KEEP")
+        assert not cabinet.has("SKIP")
+
+    def test_withdraw_copies_and_keeps(self):
+        cabinet = FileCabinet("c")
+        cabinet.put("X", 1)
+        briefcase = cabinet.withdraw(["X", "MISSING"])
+        assert briefcase.folder("X").elements() == [1]
+        assert cabinet.has("X")
+        assert not briefcase.has("MISSING")
+
+
+class TestCostModel:
+    def test_move_cost_exceeds_storage_size(self):
+        cabinet = FileCabinet("c")
+        cabinet.put("X", "x" * 500)
+        assert cabinet.move_cost() == cabinet.storage_size() * FileCabinet.MOVE_COST_FACTOR
+        assert cabinet.move_cost() > cabinet.storage_size()
+
+    def test_briefcase_is_cheaper_to_move_than_cabinet_with_same_content(self):
+        """The design point of paper section 2: briefcases move, cabinets stay."""
+        briefcase = Briefcase([Folder("X", ["x" * 100] * 10)])
+        cabinet = FileCabinet("c")
+        cabinet.deposit(briefcase)
+        assert briefcase.wire_size() < cabinet.move_cost()
+
+
+class TestPersistence:
+    def test_flush_and_load_round_trip(self, tmp_path):
+        cabinet = FileCabinet("weather", site="tromso")
+        cabinet.put("READINGS", {"wind": 30.5})
+        cabinet.put("READINGS", {"wind": 12.0})
+        cabinet.put("NOTES", b"\x00binary\xff")
+        path = cabinet.flush(str(tmp_path))
+        assert os.path.exists(path)
+
+        loaded = FileCabinet.load(path)
+        assert loaded.name == "weather"
+        assert loaded.site == "tromso"
+        assert loaded.elements("READINGS") == [{"wind": 30.5}, {"wind": 12.0}]
+        assert loaded.elements("NOTES") == [b"\x00binary\xff"]
+        assert loaded.contains_element("READINGS", {"wind": 12.0})
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(CabinetPersistenceError):
+            FileCabinet.load(str(tmp_path / "nope.cabinet.json"))
+
+    def test_load_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.cabinet.json"
+        path.write_text("{not json")
+        with pytest.raises(CabinetPersistenceError):
+            FileCabinet.load(str(path))
+
+    def test_flush_to_unwritable_directory_raises(self):
+        cabinet = FileCabinet("c")
+        with pytest.raises(CabinetPersistenceError):
+            cabinet.flush("/proc/definitely/not/writable")

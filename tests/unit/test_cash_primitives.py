@@ -1,0 +1,168 @@
+"""Unit tests for the electronic-cash primitives: crypto, ECU records, the mint."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cash.crypto import Signer, generate_serial, serial_certificate, verify_certificate
+from repro.cash.ecu import ECU
+from repro.cash.mint import Mint
+from repro.core.errors import InvalidECUError
+
+
+class TestCrypto:
+    def test_serials_are_large_and_vary(self):
+        rng = random.Random(1)
+        serials = {generate_serial(rng) for _ in range(100)}
+        assert len(serials) == 100
+        assert all(0 <= serial < 2 ** 128 for serial in serials)
+
+    def test_certificate_verifies(self):
+        secret = b"\x01" * 32
+        certificate = serial_certificate(secret, 12345, 10)
+        assert verify_certificate(secret, 12345, 10, certificate)
+
+    def test_certificate_fails_for_wrong_amount(self):
+        secret = b"\x01" * 32
+        certificate = serial_certificate(secret, 12345, 10)
+        assert not verify_certificate(secret, 12345, 999, certificate)
+
+    def test_certificate_fails_for_wrong_secret(self):
+        certificate = serial_certificate(b"\x01" * 32, 12345, 10)
+        assert not verify_certificate(b"\x02" * 32, 12345, 10, certificate)
+
+    def test_signer_sign_verify(self):
+        signer = Signer("alice")
+        signature = signer.sign("I paid 10 ECUs")
+        assert signer.verify("I paid 10 ECUs", signature)
+        assert not signer.verify("I paid 99 ECUs", signature)
+
+    def test_different_signers_produce_different_signatures(self):
+        assert Signer("alice").sign("x") != Signer("bob").sign("x")
+
+    def test_signer_with_explicit_secret_is_reproducible(self):
+        secret = b"\x07" * 32
+        assert Signer("a", secret=secret).sign("x") == Signer("a", secret=secret).sign("x")
+
+
+class TestECU:
+    def test_positive_amount_required(self):
+        with pytest.raises(InvalidECUError):
+            ECU(amount=0, serial=1, certificate="c")
+        with pytest.raises(InvalidECUError):
+            ECU(amount=-5, serial=1, certificate="c")
+
+    def test_non_negative_serial_required(self):
+        with pytest.raises(InvalidECUError):
+            ECU(amount=1, serial=-1, certificate="c")
+
+    def test_wire_round_trip(self):
+        ecu = ECU(amount=25, serial=987654321, certificate="cert", mint_id="m")
+        assert ECU.from_wire(ecu.to_wire()) == ecu
+
+    def test_from_wire_rejects_malformed_records(self):
+        with pytest.raises(InvalidECUError):
+            ECU.from_wire({"amount": 10})
+        with pytest.raises(InvalidECUError):
+            ECU.from_wire({"amount": "lots", "serial": "x", "certificate": 1})
+
+    def test_is_frozen(self):
+        ecu = ECU(amount=1, serial=1, certificate="c")
+        with pytest.raises(AttributeError):
+            ecu.amount = 100   # type: ignore[misc]
+
+
+class TestMint:
+    def test_issue_creates_valid_ecus(self):
+        mint = Mint(seed=1)
+        ecu = mint.issue(10)
+        ok, reason = mint.check(ecu)
+        assert ok and reason == "valid"
+        assert mint.outstanding_value() == 10
+        assert mint.issued_count == 1
+
+    def test_issue_rejects_non_positive_amounts(self):
+        with pytest.raises(InvalidECUError):
+            Mint(seed=1).issue(0)
+
+    def test_issue_many(self):
+        mint = Mint(seed=1)
+        ecus = mint.issue_many([1, 2, 3])
+        assert [ecu.amount for ecu in ecus] == [1, 2, 3]
+        assert mint.outstanding_value() == 6
+
+    def test_foreign_mint_is_rejected(self):
+        mint_a = Mint("mint-a", seed=1)
+        mint_b = Mint("mint-b", seed=2)
+        ecu = mint_a.issue(5)
+        ok, reason = mint_b.check(ecu)
+        assert not ok and reason == "foreign mint"
+
+    def test_forged_certificate_is_rejected(self):
+        mint = Mint(seed=1)
+        ecu = mint.issue(5)
+        forged = ECU(amount=ecu.amount, serial=ecu.serial, certificate="forged",
+                     mint_id=ecu.mint_id)
+        ok, reason = mint.check(forged)
+        assert not ok and "forged" in reason
+
+    def test_amount_tampering_is_rejected(self):
+        mint = Mint(seed=1)
+        ecu = mint.issue(5)
+        inflated = ECU(amount=500, serial=ecu.serial, certificate=ecu.certificate,
+                       mint_id=ecu.mint_id)
+        ok, _ = mint.check(inflated)
+        assert not ok
+
+    def test_retire_and_reissue_preserves_value(self):
+        mint = Mint(seed=1)
+        ecu = mint.issue(10)
+        fresh = mint.retire_and_reissue(ecu)
+        assert sum(replacement.amount for replacement in fresh) == 10
+        assert mint.outstanding_value() == 10
+        # The old serial is now worthless.
+        ok, reason = mint.check(ecu)
+        assert not ok and "double spend" in reason
+
+    def test_retire_with_split_makes_change(self):
+        mint = Mint(seed=1)
+        ecu = mint.issue(10)
+        fresh = mint.retire_and_reissue(ecu, split=[7, 2, 1])
+        assert sorted(replacement.amount for replacement in fresh) == [1, 2, 7]
+        assert mint.outstanding_value() == 10
+
+    def test_split_must_preserve_amount(self):
+        mint = Mint(seed=1)
+        ecu = mint.issue(10)
+        with pytest.raises(InvalidECUError):
+            mint.retire_and_reissue(ecu, split=[5, 6])
+        with pytest.raises(InvalidECUError):
+            mint.retire_and_reissue(ecu, split=[10, 0])
+
+    def test_double_spend_is_detected_and_counted(self):
+        mint = Mint(seed=1)
+        ecu = mint.issue(10)
+        mint.retire_and_reissue(ecu)
+        with pytest.raises(InvalidECUError):
+            mint.retire_and_reissue(ecu)
+        assert mint.double_spend_attempts == 1
+        assert mint.rejected_count == 1
+
+    def test_validated_and_retired_value_ledgers(self):
+        mint = Mint(seed=1)
+        for amount in (5, 7):
+            mint.retire_and_reissue(mint.issue(amount))
+        assert mint.validated_count == 2
+        assert mint.retired_value() == 12
+        assert mint.outstanding_value() == 12
+
+    def test_serials_never_reused(self):
+        mint = Mint(seed=1)
+        seen = set()
+        for _ in range(50):
+            ecu = mint.issue(1)
+            assert ecu.serial not in seen
+            seen.add(ecu.serial)
+            mint.retire_and_reissue(ecu)

@@ -1,0 +1,96 @@
+"""Unit tests for failure injection (repro.net.failures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Kernel, KernelConfig
+from repro.net import FailureSchedule, RandomCrasher, lan
+from repro.net.failures import FailureAction
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(lan(["a", "b", "c", "d"]), transport="tcp",
+                  config=KernelConfig(rng_seed=1))
+
+
+class TestFailureSchedule:
+    def test_builder_collects_actions_in_order(self):
+        schedule = (FailureSchedule()
+                    .crash("a", at=1.0)
+                    .recover("a", at=2.0)
+                    .partition([["a"], ["b"]], at=3.0)
+                    .heal(at=4.0))
+        kinds = [action.kind for action in schedule.actions]
+        assert kinds == ["crash", "recover", "partition", "heal"]
+
+    def test_crash_and_recover_are_applied_at_the_right_times(self, kernel):
+        FailureSchedule().crash("b", at=1.0).recover("b", at=2.0).install(kernel)
+        kernel.run(until=1.5)
+        assert not kernel.site("b").alive
+        kernel.run(until=2.5)
+        assert kernel.site("b").alive
+
+    def test_partition_and_heal(self, kernel):
+        (FailureSchedule()
+         .partition([["a", "b"], ["c", "d"]], at=1.0)
+         .heal(at=2.0)
+         .install(kernel))
+        kernel.run(until=1.5)
+        assert kernel.topology.partitioned("a", "c")
+        kernel.run(until=2.5)
+        assert not kernel.topology.partitioned("a", "c")
+
+    def test_unknown_action_kind_raises_when_fired(self, kernel):
+        schedule = FailureSchedule(actions=[FailureAction(at=0.1, kind="meteor")])
+        schedule.install(kernel)
+        with pytest.raises(ValueError):
+            kernel.run()
+
+
+class TestRandomCrasher:
+    def test_probability_must_be_valid(self):
+        with pytest.raises(ValueError):
+            RandomCrasher(1.5, window=(0, 1))
+        with pytest.raises(ValueError):
+            RandomCrasher(-0.1, window=(0, 1))
+
+    def test_zero_probability_crashes_nothing(self, kernel):
+        crasher = RandomCrasher(0.0, window=(0, 5), seed=1)
+        schedule = crasher.install(kernel)
+        assert schedule.actions == []
+
+    def test_full_probability_crashes_every_unprotected_site(self, kernel):
+        crasher = RandomCrasher(1.0, window=(0, 5), protect=["a"], seed=1)
+        schedule = crasher.build_schedule(kernel.site_names())
+        crashed = {action.site for action in schedule.actions if action.kind == "crash"}
+        assert crashed == {"b", "c", "d"}
+
+    def test_crash_times_are_within_window(self, kernel):
+        crasher = RandomCrasher(1.0, window=(2.0, 3.0), seed=5)
+        schedule = crasher.build_schedule(kernel.site_names())
+        for action in schedule.actions:
+            if action.kind == "crash":
+                assert 2.0 <= action.at <= 3.0
+
+    def test_recover_after_adds_recovery_actions(self, kernel):
+        crasher = RandomCrasher(1.0, window=(0.0, 1.0), recover_after=2.0, seed=5)
+        schedule = crasher.build_schedule(kernel.site_names())
+        crashes = [action for action in schedule.actions if action.kind == "crash"]
+        recoveries = [action for action in schedule.actions if action.kind == "recover"]
+        assert len(crashes) == len(recoveries)
+        for crash, recovery in zip(crashes, recoveries):
+            assert recovery.at == pytest.approx(crash.at + 2.0)
+
+    def test_plan_is_deterministic_for_a_seed(self, kernel):
+        plan_a = RandomCrasher(0.5, window=(0, 5), seed=42).build_schedule(kernel.site_names())
+        plan_b = RandomCrasher(0.5, window=(0, 5), seed=42).build_schedule(kernel.site_names())
+        assert [(action.kind, action.site, action.at) for action in plan_a.actions] == \
+               [(action.kind, action.site, action.at) for action in plan_b.actions]
+
+    def test_install_applies_to_kernel(self, kernel):
+        RandomCrasher(1.0, window=(0.5, 0.6), protect=["a"], seed=3).install(kernel)
+        kernel.run(until=1.0)
+        assert kernel.site("a").alive
+        assert not kernel.site("b").alive

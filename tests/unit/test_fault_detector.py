@@ -1,0 +1,97 @@
+"""Unit tests for failure detection (repro.fault.detector)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cabinet import FileCabinet
+from repro.fault.detector import (SUSPICION_CABINET, Suspicion, TimeoutDetector,
+                                  subscribe_horus_suspicions)
+from repro.net.horus import HorusTransport
+from repro.net.simclock import EventLoop
+from repro.net.stats import NetworkStats
+from repro.net.topology import lan
+
+
+class TestTimeoutDetector:
+    def test_rejects_non_positive_per_hop(self):
+        with pytest.raises(ValueError):
+            TimeoutDetector(per_hop_time=0.0, remaining_hops=1)
+
+    def test_deadline_scales_with_remaining_hops(self):
+        short = TimeoutDetector(per_hop_time=1.0, remaining_hops=1, minimum=0.0)
+        long = TimeoutDetector(per_hop_time=1.0, remaining_hops=5, minimum=0.0)
+        assert long.deadline_from(0.0) > short.deadline_from(0.0)
+
+    def test_deadline_respects_minimum(self):
+        detector = TimeoutDetector(per_hop_time=0.001, remaining_hops=1, minimum=2.0)
+        assert detector.deadline_from(10.0) == pytest.approx(12.0)
+
+    def test_expired(self):
+        detector = TimeoutDetector(per_hop_time=1.0, remaining_hops=1,
+                                   safety_factor=2.0, minimum=0.0)
+        start = 5.0
+        deadline = detector.deadline_from(start)
+        assert not detector.expired(start, deadline - 0.01)
+        assert detector.expired(start, deadline)
+
+    def test_poll_interval_is_a_fraction_of_the_horizon(self):
+        detector = TimeoutDetector(per_hop_time=1.0, remaining_hops=2, minimum=0.4)
+        assert 0.0 < detector.poll_interval() <= detector.deadline_from(0.0)
+
+    def test_remaining_hops_floor_of_one(self):
+        detector = TimeoutDetector(per_hop_time=1.0, remaining_hops=0)
+        assert detector.remaining_hops == 1
+
+
+class TestSuspicionRecord:
+    def test_wire_form(self):
+        suspicion = Suspicion(site="s1", suspected_at=2.0, source="timeout", detail="quiet")
+        wire = suspicion.to_wire()
+        assert wire["site"] == "s1"
+        assert wire["source"] == "timeout"
+
+
+class TestHorusSuspicions:
+    def make_horus(self):
+        loop = EventLoop()
+        topology = lan(["a", "b", "c"])
+        transport = HorusTransport(loop, topology, NetworkStats(), rng=random.Random(0))
+        return transport, loop, topology
+
+    def test_member_loss_is_recorded_as_suspicion(self):
+        transport, loop, topology = self.make_horus()
+        transport.create_group("guards", ["a", "b", "c"])
+        cabinet = FileCabinet("watch")
+        seen = []
+        subscribe_horus_suspicions(transport, "guards", cabinet, on_suspect=seen.append)
+        topology.mark_down("b")
+        transport.on_site_down("b")
+        loop.run()
+        suspicions = cabinet.elements(SUSPICION_CABINET)
+        assert [entry["site"] for entry in suspicions] == ["b"]
+        assert seen and seen[0].site == "b"
+        assert seen[0].source == "horus-view"
+
+    def test_voluntary_join_does_not_create_suspicions(self):
+        transport, loop, topology = self.make_horus()
+        transport.create_group("guards", ["a"])
+        cabinet = FileCabinet("watch")
+        subscribe_horus_suspicions(transport, "guards", cabinet)
+        transport.join("guards", "b")
+        loop.run()
+        assert cabinet.elements(SUSPICION_CABINET) == []
+
+    def test_successive_losses_each_recorded(self):
+        transport, loop, topology = self.make_horus()
+        transport.create_group("guards", ["a", "b", "c"])
+        cabinet = FileCabinet("watch")
+        subscribe_horus_suspicions(transport, "guards", cabinet)
+        for victim in ("b", "c"):
+            topology.mark_down(victim)
+            transport.on_site_down(victim)
+            loop.run()
+        suspected = [entry["site"] for entry in cabinet.elements(SUSPICION_CABINET)]
+        assert suspected == ["b", "c"]

@@ -1,0 +1,172 @@
+"""Unit tests for repro.core.folder.Folder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Folder
+from repro.core.errors import EmptyFolderError, FolderError
+
+
+class TestConstruction:
+    def test_requires_nonempty_string_name(self):
+        with pytest.raises(FolderError):
+            Folder("")
+
+    def test_requires_string_name(self):
+        with pytest.raises(FolderError):
+            Folder(123)  # type: ignore[arg-type]
+
+    def test_initial_elements_are_pushed_in_order(self):
+        folder = Folder("F", ["a", "b", "c"])
+        assert folder.elements() == ["a", "b", "c"]
+
+    def test_starts_empty_without_elements(self):
+        folder = Folder("F")
+        assert len(folder) == 0
+        assert not folder
+
+
+class TestStackDiscipline:
+    def test_push_pop_is_lifo(self):
+        folder = Folder("F")
+        folder.push("first")
+        folder.push("second")
+        assert folder.pop() == "second"
+        assert folder.pop() == "first"
+
+    def test_peek_does_not_remove(self):
+        folder = Folder("F", ["x"])
+        assert folder.peek() == "x"
+        assert len(folder) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(EmptyFolderError):
+            Folder("F").pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(EmptyFolderError):
+            Folder("F").peek()
+
+
+class TestQueueDiscipline:
+    def test_enqueue_dequeue_is_fifo(self):
+        folder = Folder("F")
+        folder.enqueue(1)
+        folder.enqueue(2)
+        folder.enqueue(3)
+        assert folder.dequeue() == 1
+        assert folder.dequeue() == 2
+        assert folder.dequeue() == 3
+
+    def test_front_does_not_remove(self):
+        folder = Folder("F", ["head", "tail"])
+        assert folder.front() == "head"
+        assert len(folder) == 2
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(EmptyFolderError):
+            Folder("F").dequeue()
+
+    def test_front_empty_raises(self):
+        with pytest.raises(EmptyFolderError):
+            Folder("F").front()
+
+    def test_mixed_stack_and_queue_access(self):
+        folder = Folder("F", ["a", "b", "c"])
+        assert folder.dequeue() == "a"   # oldest
+        assert folder.pop() == "c"       # newest
+        assert folder.elements() == ["b"]
+
+
+class TestElementEncoding:
+    def test_bytes_round_trip(self):
+        folder = Folder("F")
+        folder.push(b"\x00\x01raw")
+        assert folder.pop() == b"\x00\x01raw"
+
+    def test_bytearray_becomes_bytes(self):
+        folder = Folder("F")
+        folder.push(bytearray(b"data"))
+        assert folder.pop() == b"data"
+
+    def test_text_round_trip(self):
+        folder = Folder("F")
+        folder.push("blåbærsyltetøy")
+        assert folder.pop() == "blåbærsyltetøy"
+
+    def test_arbitrary_object_round_trip(self):
+        folder = Folder("F")
+        folder.push({"nested": [1, 2, {"x": None}]})
+        assert folder.pop() == {"nested": [1, 2, {"x": None}]}
+
+    def test_unpicklable_object_raises_folder_error(self):
+        folder = Folder("F")
+        with pytest.raises(FolderError):
+            folder.push(lambda x: x)   # local lambdas cannot be pickled
+
+    def test_raw_elements_are_tagged_bytes(self):
+        folder = Folder("F", [b"raw", "text", 42])
+        raw = folder.raw_elements()
+        assert all(isinstance(item, bytes) for item in raw)
+        assert len(raw) == 3
+
+
+class TestWholeFolderOperations:
+    def test_clear_empties(self):
+        folder = Folder("F", [1, 2, 3])
+        folder.clear()
+        assert len(folder) == 0
+
+    def test_extend_appends_in_order(self):
+        folder = Folder("F", [1])
+        folder.extend([2, 3])
+        assert folder.elements() == [1, 2, 3]
+
+    def test_replace_swaps_contents(self):
+        folder = Folder("F", [1, 2])
+        folder.replace(["a", "b", "c"])
+        assert folder.elements() == ["a", "b", "c"]
+
+    def test_copy_is_independent(self):
+        folder = Folder("F", [1])
+        clone = folder.copy()
+        clone.push(2)
+        assert folder.elements() == [1]
+        assert clone.elements() == [1, 2]
+        assert clone.name == "F"
+
+    def test_iteration_yields_decoded_elements(self):
+        folder = Folder("F", ["a", "b"])
+        assert list(folder) == ["a", "b"]
+
+    def test_equality_compares_name_and_elements(self):
+        assert Folder("F", [1]) == Folder("F", [1])
+        assert Folder("F", [1]) != Folder("G", [1])
+        assert Folder("F", [1]) != Folder("F", [2])
+        assert Folder("F") != "not a folder"
+
+    def test_repr_mentions_name_and_count(self):
+        assert "F" in repr(Folder("F", [1, 2]))
+        assert "2" in repr(Folder("F", [1, 2]))
+
+
+class TestWireModel:
+    def test_wire_size_grows_with_content(self):
+        small = Folder("F", ["x"])
+        large = Folder("F", ["x" * 1000])
+        assert large.wire_size() > small.wire_size()
+
+    def test_wire_size_includes_per_element_framing(self):
+        empty = Folder("F")
+        one = Folder("F", [b""])
+        assert one.wire_size() > empty.wire_size()
+
+    def test_to_wire_from_wire_round_trip(self):
+        folder = Folder("F", [b"raw", "text", {"k": 1}])
+        rebuilt = Folder.from_wire(folder.to_wire())
+        assert rebuilt == folder
+
+    def test_from_wire_rejects_non_bytes_elements(self):
+        with pytest.raises(FolderError):
+            Folder.from_wire({"name": "F", "elements": ["not-bytes"]})

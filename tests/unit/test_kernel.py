@@ -1,0 +1,477 @@
+"""Unit tests for the kernel: launching, syscalls, failure handling, ledgers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.core.agent import AgentState
+from repro.core.errors import (KernelError, MeetError, SyscallError, UnknownAgentError,
+                               UnknownSiteError)
+from repro.core.syscalls import Syscall
+from repro.net import RshTransport, TcpTransport, lan
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(lan(["a", "b", "c"]), transport="tcp", config=KernelConfig(rng_seed=3))
+
+
+class TestConstruction:
+    def test_default_topology_and_transport(self):
+        kernel = Kernel()
+        assert len(kernel.site_names()) == 3
+        assert kernel.transport.name == "tcp"
+
+    def test_transport_by_name(self):
+        assert Kernel(lan(["a", "b"]), transport="rsh").transport.name == "rsh"
+
+    def test_transport_by_class(self):
+        assert isinstance(Kernel(lan(["a", "b"]), transport=RshTransport).transport,
+                          RshTransport)
+
+    def test_transport_by_instance(self):
+        kernel = Kernel(lan(["a", "b"]))
+        other = Kernel(lan(["a", "b"]), transport=kernel.transport)
+        assert other.transport is kernel.transport
+
+    def test_unknown_transport_name_raises(self):
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), transport="carrier-pigeon")
+
+    def test_invalid_transport_object_raises(self):
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), transport=42)
+
+    def test_system_agents_installed_everywhere_by_default(self, kernel):
+        for site_name in kernel.site_names():
+            assert kernel.site(site_name).is_installed("rexec")
+            assert kernel.site(site_name).is_installed("ag_py")
+
+    def test_system_agents_can_be_skipped(self):
+        kernel = Kernel(lan(["a", "b"]), install_system_agents=False)
+        assert not kernel.site("a").is_installed("rexec")
+
+    def test_unknown_site_lookup_raises(self, kernel):
+        with pytest.raises(UnknownSiteError):
+            kernel.site("ghost")
+
+
+class TestLaunchingAndResults:
+    def test_launch_callable_and_read_result(self, kernel):
+        def agent(ctx, bc):
+            yield ctx.sleep(0.01)
+            return "value"
+
+        agent_id = kernel.launch("a", agent)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "value"
+        assert kernel.agent(agent_id).ok
+
+    def test_plain_function_behaviour_runs_to_completion(self, kernel):
+        def plain(ctx, bc):
+            return 99
+
+        agent_id = kernel.launch("a", plain)
+        kernel.run()
+        assert kernel.result_of(agent_id) == 99
+
+    def test_launch_by_installed_name(self, kernel):
+        def named(ctx, bc):
+            yield ctx.sleep(0)
+            return "installed"
+
+        kernel.install_agent("a", "named", named)
+        agent_id = kernel.launch("a", "named")
+        kernel.run()
+        assert kernel.result_of(agent_id) == "installed"
+
+    def test_launch_unknown_name_raises(self, kernel):
+        with pytest.raises(UnknownAgentError):
+            kernel.launch("a", "no-such-behaviour-anywhere")
+
+    def test_launch_garbage_behaviour_raises(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.launch("a", 123)
+
+    def test_launch_at_unknown_site_raises(self, kernel):
+        with pytest.raises(UnknownSiteError):
+            kernel.launch("ghost", lambda ctx, bc: None)
+
+    def test_result_of_unfinished_agent_raises(self, kernel):
+        def sleeper(ctx, bc):
+            yield ctx.sleep(100)
+
+        agent_id = kernel.launch("a", sleeper)
+        kernel.run(until=0.1)
+        with pytest.raises(KernelError):
+            kernel.result_of(agent_id)
+
+    def test_result_of_failed_agent_raises(self, kernel):
+        def broken(ctx, bc):
+            yield ctx.sleep(0)
+            raise RuntimeError("exploded")
+
+        agent_id = kernel.launch("a", broken)
+        kernel.run()
+        assert kernel.agent(agent_id).state == AgentState.FAILED
+        with pytest.raises(KernelError):
+            kernel.result_of(agent_id)
+
+    def test_failure_before_first_yield_is_recorded(self, kernel):
+        def immediately_broken(ctx, bc):
+            raise ValueError("bad agent")
+            yield  # pragma: no cover
+
+        agent_id = kernel.launch("a", immediately_broken)
+        kernel.run()
+        assert kernel.agent(agent_id).state == AgentState.FAILED
+        assert kernel.failed == 1
+
+    def test_unknown_agent_id_raises(self, kernel):
+        with pytest.raises(UnknownAgentError):
+            kernel.agent("agent-999999")
+
+    def test_agents_named(self, kernel):
+        def agent(ctx, bc):
+            yield ctx.sleep(0)
+
+        kernel.launch("a", agent, name="worker")
+        kernel.launch("b", agent, name="worker")
+        kernel.run()
+        assert len(kernel.agents_named("worker")) == 2
+
+    def test_launch_delay_defers_start(self, kernel):
+        started = []
+
+        def agent(ctx, bc):
+            started.append(ctx.now)
+            yield ctx.sleep(0)
+
+        kernel.launch("a", agent, delay=0.75)
+        kernel.run()
+        assert started[0] == pytest.approx(0.75)
+
+    def test_counters_snapshot(self, kernel):
+        def agent(ctx, bc):
+            yield ctx.sleep(0)
+            return 1
+
+        kernel.launch("a", agent)
+        kernel.run()
+        counters = kernel.counters()
+        assert counters["launched"] == 1
+        assert counters["completed"] == 1
+        assert counters["failed"] == 0
+
+
+class TestSyscalls:
+    def test_sleep_advances_simulated_time(self, kernel):
+        times = []
+
+        def agent(ctx, bc):
+            times.append(ctx.now)
+            yield ctx.sleep(2.5)
+            times.append(ctx.now)
+
+        kernel.launch("a", agent)
+        kernel.run()
+        assert times[1] - times[0] >= 2.5
+
+    def test_spawn_creates_independent_child(self, kernel):
+        child_results = []
+
+        def child(ctx, bc):
+            yield ctx.sleep(0.01)
+            child_results.append(bc.get("N"))
+            return "child-done"
+
+        def parent(ctx, bc):
+            payload = Briefcase()
+            payload.set("N", 7)
+            child_id = yield ctx.spawn(child, payload)
+            return child_id
+
+        parent_id = kernel.launch("a", parent)
+        kernel.run()
+        child_id = kernel.result_of(parent_id)
+        assert kernel.result_of(child_id) == "child-done"
+        assert child_results == [7]
+        assert child_id in kernel.agent(parent_id).children
+
+    def test_spawn_by_unknown_name_delivers_error_to_parent(self, kernel):
+        def parent(ctx, bc):
+            try:
+                yield ctx.spawn("missing-behaviour")
+            except UnknownAgentError:
+                return "caught"
+            return "not-caught"
+
+        parent_id = kernel.launch("a", parent)
+        kernel.run()
+        assert kernel.result_of(parent_id) == "caught"
+
+    def test_terminate_syscall_finishes_agent(self, kernel):
+        def agent(ctx, bc):
+            yield ctx.terminate("early-exit")
+            return "never-reached"    # pragma: no cover
+
+        agent_id = kernel.launch("a", agent)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "early-exit"
+
+    def test_transmit_denied_for_ordinary_agents(self, kernel):
+        def ordinary(ctx, bc):
+            try:
+                yield ctx.transmit("b", "ag_py", Briefcase())
+            except SyscallError:
+                return "denied"
+            return "allowed"
+
+        agent_id = kernel.launch("a", ordinary)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "denied"
+
+    def test_transmit_to_unknown_site_errors_for_system_agent(self, kernel):
+        def system_agent(ctx, bc):
+            try:
+                yield ctx.transmit("ghost", "ag_py", Briefcase())
+            except SyscallError:
+                return "no-route"
+            return "sent"
+
+        agent_id = kernel.launch("a", system_agent, system=True)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "no-route"
+
+    def test_yielding_non_syscall_delivers_error(self, kernel):
+        def confused(ctx, bc):
+            try:
+                yield "not a syscall"
+            except SyscallError:
+                return "told-off"
+            return "accepted"
+
+        agent_id = kernel.launch("a", confused)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "told-off"
+
+    def test_yielding_unknown_syscall_subclass_delivers_error(self, kernel):
+        class Mystery(Syscall):
+            pass
+
+        def agent(ctx, bc):
+            try:
+                yield Mystery()
+            except SyscallError:
+                return "unsupported"
+            return "supported"
+
+        agent_id = kernel.launch("a", agent)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "unsupported"
+
+    def test_runaway_agent_is_killed(self):
+        kernel = Kernel(lan(["a"]), config=KernelConfig(max_agent_steps=50, rng_seed=1))
+
+        def runaway(ctx, bc):
+            while True:
+                yield ctx.sleep(0)
+
+        agent_id = kernel.launch("a", runaway)
+        kernel.run(max_events=5000)
+        assert kernel.agent(agent_id).state == AgentState.KILLED
+        assert kernel.killed == 1
+
+
+class TestMeetSemantics:
+    def test_meet_returns_callee_value_and_briefcase(self, kernel):
+        def service(ctx, bc):
+            bc.set("ANSWER", 42)
+            yield ctx.end_meet("ok")
+
+        kernel.install_agent("a", "service", service)
+
+        def client(ctx, bc):
+            request = Briefcase()
+            result = yield ctx.meet("service", request)
+            return (result.value, request.get("ANSWER"))
+
+        agent_id = kernel.launch("a", client)
+        kernel.run()
+        assert kernel.result_of(agent_id) == ("ok", 42)
+
+    def test_meet_implicit_end_on_return(self, kernel):
+        def service(ctx, bc):
+            yield ctx.sleep(0.01)
+            return "implicit"
+
+        kernel.install_agent("a", "service", service)
+
+        def client(ctx, bc):
+            result = yield ctx.meet("service")
+            return result.value
+
+        agent_id = kernel.launch("a", client)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "implicit"
+
+    def test_meet_unknown_agent_raises_in_caller(self, kernel):
+        def client(ctx, bc):
+            try:
+                yield ctx.meet("nonexistent")
+            except MeetError:
+                return "missing"
+            return "found"
+
+        agent_id = kernel.launch("a", client)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "missing"
+
+    def test_meet_callee_failure_propagates_as_meet_error(self, kernel):
+        def broken_service(ctx, bc):
+            yield ctx.sleep(0)
+            raise RuntimeError("service blew up")
+
+        kernel.install_agent("a", "broken", broken_service)
+
+        def client(ctx, bc):
+            try:
+                yield ctx.meet("broken")
+            except MeetError:
+                return "callee-failed"
+            return "fine"
+
+        agent_id = kernel.launch("a", client)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "callee-failed"
+        assert kernel.failed == 1
+
+    def test_callee_continues_after_end_meet(self, kernel):
+        def service(ctx, bc):
+            yield ctx.end_meet("early-answer")
+            yield ctx.sleep(0.5)
+            ctx.cabinet("after").put("done", ctx.now)
+            return "late-finish"
+
+        kernel.install_agent("a", "service", service)
+
+        def client(ctx, bc):
+            result = yield ctx.meet("service")
+            return (result.value, ctx.now)
+
+        agent_id = kernel.launch("a", client)
+        kernel.run()
+        value, client_resumed_at = kernel.result_of(agent_id)
+        assert value == "early-answer"
+        # The caller resumed long before the callee finished.
+        assert kernel.site("a").cabinet("after").get("done") > client_resumed_at
+
+    def test_nested_meets(self, kernel):
+        def inner(ctx, bc):
+            bc.set("TRACE", "inner")
+            yield ctx.end_meet("inner-value")
+
+        def outer(ctx, bc):
+            nested = Briefcase()
+            result = yield ctx.meet("inner", nested)
+            bc.set("TRACE", f"outer({result.value})")
+            yield ctx.end_meet("outer-value")
+
+        kernel.install_agent("a", "inner", inner)
+        kernel.install_agent("a", "outer", outer)
+
+        def client(ctx, bc):
+            request = Briefcase()
+            result = yield ctx.meet("outer", request)
+            return (result.value, request.get("TRACE"))
+
+        agent_id = kernel.launch("a", client)
+        kernel.run()
+        assert kernel.result_of(agent_id) == ("outer-value", "outer(inner-value)")
+
+    def test_meets_counter(self, kernel):
+        def service(ctx, bc):
+            yield ctx.end_meet(None)
+
+        kernel.install_agent("a", "service", service)
+
+        def client(ctx, bc):
+            yield ctx.meet("service")
+            yield ctx.meet("service")
+            return "done"
+
+        kernel.launch("a", client)
+        kernel.run()
+        assert kernel.meets == 2
+
+
+class TestFailureInjection:
+    def test_crash_kills_resident_agents(self, kernel):
+        def sleeper(ctx, bc):
+            yield ctx.sleep(10)
+
+        victim = kernel.launch("b", sleeper)
+        survivor = kernel.launch("a", sleeper)
+        kernel.loop.schedule(1.0, lambda: kernel.crash_site("b"))
+        kernel.run()
+        assert kernel.agent(victim).state == AgentState.KILLED
+        assert kernel.agent(survivor).state == AgentState.DONE
+
+    def test_crash_is_idempotent(self, kernel):
+        kernel.crash_site("b")
+        kernel.crash_site("b")
+        assert kernel.site("b").crash_count == 1
+
+    def test_recover_is_idempotent(self, kernel):
+        kernel.crash_site("b")
+        kernel.recover_site("b")
+        kernel.recover_site("b")
+        assert kernel.site("b").alive
+
+    def test_launch_on_crashed_site_kills_agent(self, kernel):
+        kernel.crash_site("b")
+
+        def agent(ctx, bc):
+            yield ctx.sleep(0)
+
+        agent_id = kernel.launch("b", agent)
+        kernel.run()
+        assert kernel.agent(agent_id).state == AgentState.KILLED
+
+    def test_partition_blocks_migration(self, kernel):
+        from repro.core.codec import code_for
+
+        kernel.partition([["a"], ["b", "c"]])
+
+        def mover(ctx, bc):
+            request = Briefcase()
+            request.set("HOST", "b")
+            request.set("CONTACT", "ag_py")
+            request.set("CODE", code_for("shell"))
+            result = yield ctx.meet("rexec", request)
+            return result.value
+
+        agent_id = kernel.launch("a", mover)
+        kernel.run()
+        assert kernel.result_of(agent_id) is False
+        kernel.heal_partition()
+
+    def test_site_load_counts_active_agents(self, kernel):
+        def sleeper(ctx, bc):
+            yield ctx.sleep(5)
+
+        kernel.launch("a", sleeper)
+        kernel.launch("a", sleeper)
+        kernel.run(until=1.0)
+        assert kernel.site_load("a") == pytest.approx(2.0)
+        assert len(kernel.agents_at("a")) == 2
+
+    def test_event_log_records_agent_messages(self, kernel):
+        def chatty(ctx, bc):
+            ctx.log("hello log")
+            yield ctx.sleep(0)
+
+        kernel.launch("a", chatty)
+        kernel.run()
+        assert any("hello log" in entry[3] for entry in kernel.event_log)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.net.message and repro.net.stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.message import Message, MessageKind
+from repro.net.stats import LinkStats, NetworkStats
+
+
+class TestMessage:
+    def test_declared_size_takes_precedence(self):
+        message = Message(source="a", destination="b", kind=MessageKind.DATA,
+                          payload={"big": "x" * 10_000}, declared_size=100)
+        assert message.size_bytes() == Message.HEADER_BYTES + 100
+
+    def test_estimated_size_from_payload(self):
+        small = Message(source="a", destination="b", kind=MessageKind.CONTROL,
+                        payload={"k": 1})
+        large = Message(source="a", destination="b", kind=MessageKind.CONTROL,
+                        payload={"k": "x" * 5000})
+        assert large.size_bytes() > small.size_bytes()
+        assert small.size_bytes() > Message.HEADER_BYTES
+
+    def test_message_ids_are_unique(self):
+        a = Message(source="a", destination="b", kind=MessageKind.DATA)
+        b = Message(source="a", destination="b", kind=MessageKind.DATA)
+        assert a.message_id != b.message_id
+
+    def test_latency_seconds(self):
+        message = Message(source="a", destination="b", kind=MessageKind.DATA,
+                          declared_size=1000)
+        latency = message.latency_seconds(0.01, 10_000.0)
+        assert latency == pytest.approx(0.01 + (Message.HEADER_BYTES + 1000) / 10_000.0)
+
+    def test_latency_with_zero_bandwidth_is_just_latency(self):
+        message = Message(source="a", destination="b", kind=MessageKind.DATA,
+                          declared_size=1000)
+        assert message.latency_seconds(0.02, 0.0) == 0.02
+
+    def test_kinds_catalogue(self):
+        assert MessageKind.AGENT_TRANSFER in MessageKind.ALL
+        assert len(set(MessageKind.ALL)) == len(MessageKind.ALL)
+
+
+class TestNetworkStats:
+    def test_record_send_and_delivery(self):
+        stats = NetworkStats()
+        stats.record_send("a", "b", MessageKind.DATA, 100)
+        stats.record_delivery(100, latency=0.05)
+        assert stats.messages_sent == 1
+        assert stats.messages_delivered == 1
+        assert stats.bytes_sent == 100
+        assert stats.bytes_delivered == 100
+        assert stats.mean_latency() == pytest.approx(0.05)
+        assert stats.delivery_ratio() == 1.0
+
+    def test_per_kind_accounting(self):
+        stats = NetworkStats()
+        stats.record_send("a", "b", MessageKind.DATA, 100)
+        stats.record_send("a", "b", MessageKind.AGENT_TRANSFER, 300)
+        assert stats.per_kind[MessageKind.DATA] == 1
+        assert stats.bytes_for_kind(MessageKind.AGENT_TRANSFER) == 300
+        assert stats.bytes_for_kind("never-sent") == 0
+
+    def test_per_link_accounting(self):
+        stats = NetworkStats()
+        stats.record_send("a", "b", MessageKind.DATA, 10)
+        stats.record_send("a", "b", MessageKind.DATA, 20)
+        stats.record_drop("a", "b")
+        link = stats.per_link[("a", "b")]
+        assert isinstance(link, LinkStats)
+        assert link.messages == 2
+        assert link.bytes == 30
+        assert link.drops == 1
+
+    def test_delivery_ratio_with_drops(self):
+        stats = NetworkStats()
+        stats.record_send("a", "b", MessageKind.DATA, 10)
+        stats.record_send("a", "b", MessageKind.DATA, 10)
+        stats.record_delivery(10, 0.01)
+        stats.record_drop("a", "b")
+        assert stats.delivery_ratio() == pytest.approx(0.5)
+
+    def test_delivery_ratio_when_nothing_sent(self):
+        assert NetworkStats().delivery_ratio() == 1.0
+
+    def test_mean_latency_none_when_nothing_delivered(self):
+        assert NetworkStats().mean_latency() is None
+
+    def test_migration_accounting(self):
+        stats = NetworkStats()
+        stats.record_migration(500)
+        stats.record_migration(700)
+        assert stats.migrations == 2
+        assert stats.migration_bytes == 1200
+
+    def test_snapshot_keys(self):
+        stats = NetworkStats()
+        stats.record_send("a", "b", MessageKind.DATA, 10)
+        snapshot = stats.snapshot()
+        for key in ("messages_sent", "bytes_sent", "migrations", "delivery_ratio",
+                    "mean_latency"):
+            assert key in snapshot
+
+    def test_reset_zeroes_everything(self):
+        stats = NetworkStats()
+        stats.record_send("a", "b", MessageKind.DATA, 10)
+        stats.record_migration(10)
+        stats.reset()
+        assert stats.messages_sent == 0
+        assert stats.migrations == 0
+        assert stats.per_link == {}

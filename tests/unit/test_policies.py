@@ -1,0 +1,130 @@
+"""Unit tests for the scheduling assignment policies."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import NoProviderError, SchedulingError
+from repro.scheduling.policies import (POLICY_NAMES, LeastLoadedPolicy, LoadEstimate,
+                                       ProviderInfo, RandomPolicy, RoundRobinPolicy,
+                                       WeightedCapacityPolicy, make_policy)
+
+
+def provider(site, capacity=1.0, service="compute"):
+    return ProviderInfo(service=service, site=site, agent_name="compute", capacity=capacity)
+
+
+def load(site, value, at=1.0, assigned=0):
+    return LoadEstimate(site=site, load=value, reported_at=at,
+                        assigned_since_report=assigned)
+
+
+class TestProviderInfo:
+    def test_key_is_stable_and_unique_per_site(self):
+        assert provider("a").key() == provider("a").key()
+        assert provider("a").key() != provider("b").key()
+
+    def test_effective_load_adds_local_assignments(self):
+        estimate = load("a", 2.0, assigned=3)
+        assert estimate.effective_load() == pytest.approx(5.0)
+
+
+class TestLeastLoaded:
+    def test_picks_the_least_loaded_site(self):
+        providers = [provider("busy"), provider("idle")]
+        loads = {"busy": load("busy", 5.0), "idle": load("idle", 0.5)}
+        assert LeastLoadedPolicy().choose(providers, loads).site == "idle"
+
+    def test_normalises_by_capacity(self):
+        providers = [provider("big", capacity=10.0), provider("small", capacity=1.0)]
+        loads = {"big": load("big", 5.0), "small": load("small", 1.0)}
+        # 5/10 = 0.5 beats 1/1 = 1.0.
+        assert LeastLoadedPolicy().choose(providers, loads).site == "big"
+
+    def test_unreported_sites_count_as_idle(self):
+        providers = [provider("reported"), provider("unknown")]
+        loads = {"reported": load("reported", 3.0)}
+        assert LeastLoadedPolicy().choose(providers, loads).site == "unknown"
+
+    def test_own_assignments_since_report_break_dogpiling(self):
+        providers = [provider("a"), provider("b")]
+        loads = {"a": load("a", 1.0, assigned=5), "b": load("b", 1.5)}
+        assert LeastLoadedPolicy().choose(providers, loads).site == "b"
+
+    def test_ties_break_deterministically(self):
+        providers = [provider("b"), provider("a")]
+        loads = {}
+        picks = {LeastLoadedPolicy().choose(providers, loads).site for _ in range(5)}
+        assert picks == {"a"}
+
+    def test_empty_providers_raise(self):
+        with pytest.raises(NoProviderError):
+            LeastLoadedPolicy().choose([], {})
+
+
+class TestRandom:
+    def test_uses_supplied_rng(self):
+        providers = [provider("a"), provider("b"), provider("c")]
+        first = RandomPolicy().choose(providers, {}, rng=random.Random(5)).site
+        second = RandomPolicy().choose(providers, {}, rng=random.Random(5)).site
+        assert first == second
+
+    def test_covers_all_providers_over_many_draws(self):
+        providers = [provider("a"), provider("b"), provider("c")]
+        rng = random.Random(0)
+        picks = {RandomPolicy().choose(providers, {}, rng=rng).site for _ in range(100)}
+        assert picks == {"a", "b", "c"}
+
+    def test_empty_providers_raise(self):
+        with pytest.raises(NoProviderError):
+            RandomPolicy().choose([], {})
+
+
+class TestRoundRobin:
+    def test_cycles_in_deterministic_order(self):
+        policy = RoundRobinPolicy()
+        providers = [provider("c"), provider("a"), provider("b")]
+        picks = [policy.choose(providers, {}).site for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_independent_cycles_per_service(self):
+        policy = RoundRobinPolicy()
+        compute = [provider("a"), provider("b")]
+        storage = [provider("x", service="storage"), provider("y", service="storage")]
+        assert policy.choose(compute, {}).site == "a"
+        assert policy.choose(storage, {}).site == "x"
+        assert policy.choose(compute, {}).site == "b"
+
+    def test_empty_providers_raise(self):
+        with pytest.raises(NoProviderError):
+            RoundRobinPolicy().choose([], {})
+
+
+class TestWeightedCapacity:
+    def test_distribution_tracks_capacity(self):
+        providers = [provider("big", capacity=8.0), provider("small", capacity=1.0)]
+        rng = random.Random(1)
+        counts = Counter(WeightedCapacityPolicy().choose(providers, {}, rng=rng).site
+                         for _ in range(500))
+        assert counts["big"] > counts["small"] * 3
+
+    def test_single_provider_always_chosen(self):
+        assert WeightedCapacityPolicy().choose([provider("only")], {},
+                                               rng=random.Random(0)).site == "only"
+
+    def test_empty_providers_raise(self):
+        with pytest.raises(NoProviderError):
+            WeightedCapacityPolicy().choose([], {})
+
+
+class TestFactory:
+    def test_every_listed_policy_is_constructible(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(SchedulingError):
+            make_policy("clairvoyant")

@@ -1,0 +1,134 @@
+"""Unit tests for broker-mediated access to protected agents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.net import lan
+from repro.scheduling.protected import (GUARDIAN_CABINET, admit_all, admit_authorized,
+                                        admit_rate_limited, make_guardian_behaviour)
+
+
+def protected_service(ctx, bc):
+    """The agent whose name is kept secret: doubles a number."""
+    bc.set("DOUBLED", bc.get("N", 0) * 2)
+    ctx.cabinet("protected").put("met_by", bc.get("CALLER", "unknown"))
+    yield ctx.end_meet("served")
+
+
+@pytest.fixture
+def kernel():
+    kernel = Kernel(lan(["fort"]), transport="tcp", config=KernelConfig(rng_seed=4))
+    kernel.install_agent("fort", "secret_service_xyzzy", protected_service, replace=True)
+    return kernel
+
+
+def request_via_guardian(kernel, requester="alice", n=21, op="request"):
+    """Meet the guardian and return (granted, response briefcase)."""
+    inner = Briefcase()
+    inner.set("N", n)
+    inner.set("CALLER", requester)
+    outer = Briefcase()
+    outer.set("OP", op)
+    outer.set("REQUESTER", requester)
+    outer.set("REQUEST", inner.to_wire())
+    box = {}
+
+    def client(ctx, bc):
+        result = yield ctx.meet("guardian", outer)
+        box["value"] = result.value
+        return result.value
+
+    kernel.launch("fort", client)
+    kernel.run()
+    return box["value"], outer
+
+
+class TestAdmissionPolicies:
+    def test_admit_all(self, kernel):
+        kernel.install_agent("fort", "guardian",
+                             make_guardian_behaviour("secret_service_xyzzy", admit_all),
+                             replace=True)
+        granted, outer = request_via_guardian(kernel)
+        assert granted is True
+        response = Briefcase.from_wire(outer.get("RESPONSE"))
+        assert response.get("DOUBLED") == 42
+        assert kernel.site("fort").cabinet("protected").get("met_by") == "alice"
+
+    def test_admit_authorized_allows_listed_principals(self, kernel):
+        kernel.install_agent(
+            "fort", "guardian",
+            make_guardian_behaviour("secret_service_xyzzy",
+                                    admit_authorized({"alice"})),
+            replace=True)
+        granted, _ = request_via_guardian(kernel, requester="alice")
+        assert granted is True
+
+    def test_admit_authorized_queues_strangers(self, kernel):
+        kernel.install_agent(
+            "fort", "guardian",
+            make_guardian_behaviour("secret_service_xyzzy",
+                                    admit_authorized({"alice"})),
+            replace=True)
+        granted, outer = request_via_guardian(kernel, requester="mallory")
+        assert granted is False
+        assert outer.get("QUEUED_POSITION") == 1
+        pending = kernel.site("fort").cabinet(GUARDIAN_CABINET).elements("pending")
+        assert len(pending) == 1
+        assert pending[0]["requester"] == "mallory"
+
+    def test_rate_limit_queues_excess_requests(self, kernel):
+        kernel.install_agent(
+            "fort", "guardian",
+            make_guardian_behaviour("secret_service_xyzzy",
+                                    admit_rate_limited(max_per_window=2, window=100.0)),
+            replace=True)
+        outcomes = [request_via_guardian(kernel, requester=f"user{i}")[0] for i in range(4)]
+        assert outcomes == [True, True, False, False]
+
+    def test_request_records_are_always_kept(self, kernel):
+        kernel.install_agent("fort", "guardian",
+                             make_guardian_behaviour("secret_service_xyzzy"), replace=True)
+        request_via_guardian(kernel, requester="alice")
+        request_via_guardian(kernel, requester="bob")
+        requests = kernel.site("fort").cabinet(GUARDIAN_CABINET).elements("requests")
+        assert {entry["requester"] for entry in requests} == {"alice", "bob"}
+
+
+class TestQueueAndDrain:
+    def test_queue_by_default_then_drain(self, kernel):
+        kernel.install_agent(
+            "fort", "guardian",
+            make_guardian_behaviour("secret_service_xyzzy", admit_all,
+                                    queue_by_default=True),
+            replace=True)
+        granted, _ = request_via_guardian(kernel, requester="alice")
+        assert granted is False
+
+        forwarded, _ = request_via_guardian(kernel, op="drain")
+        assert forwarded == 1
+        # Draining met the protected agent with the queued briefcase.
+        assert kernel.site("fort").cabinet("protected").get("met_by") == "alice"
+        assert kernel.site("fort").cabinet(GUARDIAN_CABINET).elements("pending") == []
+
+    def test_drain_keeps_requests_the_policy_still_refuses(self, kernel):
+        kernel.install_agent(
+            "fort", "guardian",
+            make_guardian_behaviour("secret_service_xyzzy", admit_authorized({"nobody"}),
+                                    queue_by_default=True),
+            replace=True)
+        request_via_guardian(kernel, requester="mallory")
+        forwarded, _ = request_via_guardian(kernel, op="drain")
+        assert forwarded == 0
+        assert len(kernel.site("fort").cabinet(GUARDIAN_CABINET).elements("pending")) == 1
+
+    def test_protected_name_never_appears_in_responses(self, kernel):
+        """The whole point: the requester never learns the protected agent's name."""
+        kernel.install_agent("fort", "guardian",
+                             make_guardian_behaviour("secret_service_xyzzy"), replace=True)
+        granted, outer = request_via_guardian(kernel)
+        assert granted is True
+        import pickle
+        blob = repr(outer.to_wire()) + repr(pickle.dumps(outer.to_wire()))
+        assert "secret_service_xyzzy" not in blob

@@ -1,0 +1,142 @@
+"""Unit tests for the rear-guard machinery (guards, releases, relaunches)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Folder, Kernel, KernelConfig
+from repro.core.codec import code_for
+from repro.fault.rearguard import (REARGUARD_CABINET, RELEASE_AGENT_NAME, guard_snapshot,
+                                   install_fault_agents, make_release_folder, pending_guards,
+                                   rear_guard_behaviour, release_agent_behaviour)
+from repro.net import lan
+
+
+@pytest.fixture
+def kernel():
+    kernel = Kernel(lan(["a", "b", "c"]), transport="tcp", config=KernelConfig(rng_seed=7))
+    install_fault_agents(kernel)
+    return kernel
+
+
+def make_snapshot(target="b", ft_id="ft-1"):
+    """A minimal shippable snapshot: runs the shell agent at the target."""
+    shipment = Briefcase()
+    shipment.set("FT_ID", ft_id)
+    shipment.set("TARGET_SITE", target)
+    shipment.set("CODE", code_for("shell"))
+    shipment.folder("ITINERARY", create=True).enqueue("c")
+    return shipment
+
+
+def spawn_guard(kernel, site="a", ft_id="ft-1", protects_seq=1, per_hop=0.2,
+                max_relaunches=2, snapshot=None):
+    briefcase = guard_snapshot(ft_id, protects_seq,
+                               snapshot if snapshot is not None else make_snapshot(ft_id=ft_id),
+                               per_hop_time=per_hop, max_relaunches=max_relaunches)
+    return kernel.launch(site, rear_guard_behaviour, briefcase, name="guard")
+
+
+class TestReleaseAgent:
+    def test_release_folder_shape(self):
+        folder = make_release_folder("ft-1", 3, done=True)
+        assert folder.name == "FT_RELEASE"
+        assert folder.elements() == [{"ft_id": "ft-1", "reached_seq": 3, "done": True}]
+
+    def test_release_agent_records_notices(self, kernel):
+        def sender(ctx, bc):
+            result = yield ctx.send_folder(make_release_folder("ft-1", 2), "b",
+                                           RELEASE_AGENT_NAME)
+            return result.value
+
+        agent_id = kernel.launch("a", sender)
+        kernel.run()
+        assert kernel.result_of(agent_id) is True
+        releases = kernel.site("b").cabinet(REARGUARD_CABINET).elements("releases")
+        assert releases == [{"ft_id": "ft-1", "reached_seq": 2, "done": False}]
+
+    def test_release_agent_ignores_malformed_notices(self, kernel):
+        def sender(ctx, bc):
+            folder = Folder("FT_RELEASE", ["not a dict", {"no_ft_id": 1}])
+            result = yield ctx.send_folder(folder, "b", RELEASE_AGENT_NAME)
+            return result.value
+
+        kernel.launch("a", sender)
+        kernel.run()
+        assert kernel.site("b").cabinet(REARGUARD_CABINET).elements("releases") == []
+
+    def test_install_fault_agents_covers_every_site(self, kernel):
+        for name in kernel.site_names():
+            assert kernel.site(name).is_installed(RELEASE_AGENT_NAME)
+
+
+class TestRearGuard:
+    def test_guard_terminates_when_release_arrives(self, kernel):
+        guard_id = spawn_guard(kernel, protects_seq=1)
+        # A release saying the computation reached hop 2 retires a guard
+        # protecting hop 1.
+        kernel.site("a").cabinet(REARGUARD_CABINET).put(
+            "releases", {"ft_id": "ft-1", "reached_seq": 2, "done": False})
+        kernel.run(until=30.0)
+        assert kernel.result_of(guard_id) == "released"
+        assert kernel.stats.migrations == 0     # never had to relaunch
+
+    def test_done_release_retires_guard_regardless_of_seq(self, kernel):
+        guard_id = spawn_guard(kernel, protects_seq=5)
+        kernel.site("a").cabinet(REARGUARD_CABINET).put(
+            "releases", {"ft_id": "ft-1", "reached_seq": 0, "done": True})
+        kernel.run(until=30.0)
+        assert kernel.result_of(guard_id) == "released"
+
+    def test_release_for_other_computation_is_ignored(self, kernel):
+        guard_id = spawn_guard(kernel, protects_seq=1, max_relaunches=0, per_hop=0.1)
+        kernel.site("a").cabinet(REARGUARD_CABINET).put(
+            "releases", {"ft_id": "other", "reached_seq": 99, "done": True})
+        kernel.run(until=30.0)
+        assert kernel.result_of(guard_id) == "gave-up"
+
+    def test_silence_triggers_relaunch_of_the_snapshot(self, kernel):
+        guard_id = spawn_guard(kernel, protects_seq=1, per_hop=0.1, max_relaunches=1)
+        kernel.run(until=30.0)
+        # The guard relaunched the snapshot: an agent transfer went to b and
+        # the shell agent there was started by ag_py.
+        assert kernel.stats.migrations >= 1
+        relaunches = kernel.site("a").cabinet(REARGUARD_CABINET).elements("relaunches")
+        assert relaunches and relaunches[0]["accepted"] is True
+        assert kernel.result_of(guard_id) in ("relaunched", "gave-up")
+
+    def test_guard_gives_up_after_max_relaunches(self, kernel):
+        guard_id = spawn_guard(kernel, protects_seq=1, per_hop=0.05, max_relaunches=2)
+        kernel.run(until=60.0)
+        outcomes = kernel.site("a").cabinet(REARGUARD_CABINET).elements("guard_outcomes")
+        assert outcomes[-1]["outcome"] == "gave-up"
+        assert outcomes[-1]["relaunches"] == 2
+        assert kernel.result_of(guard_id) == "gave-up"
+
+    def test_relaunch_skips_unreachable_target(self, kernel):
+        kernel.crash_site("b")
+        snapshot = make_snapshot(target="b")
+        guard_id = spawn_guard(kernel, per_hop=0.1, max_relaunches=1, snapshot=snapshot)
+        kernel.run(until=30.0)
+        # b is down, so the relaunch skipped ahead to the itinerary entry c.
+        relaunches = kernel.site("a").cabinet(REARGUARD_CABINET).elements("relaunches")
+        assert relaunches and relaunches[0]["accepted"] is True
+        assert kernel.arrivals == 1
+        assert kernel.agents_at("c", active_only=False)   # the shell ran at c
+        assert kernel.result_of(guard_id) in ("relaunched", "gave-up")
+
+    def test_relaunch_with_everything_down_is_not_accepted(self, kernel):
+        kernel.crash_site("b")
+        kernel.crash_site("c")
+        spawn_guard(kernel, per_hop=0.1, max_relaunches=1)
+        kernel.run(until=30.0)
+        relaunches = kernel.site("a").cabinet(REARGUARD_CABINET).elements("relaunches")
+        assert relaunches and relaunches[0]["accepted"] is False
+
+    def test_pending_guards_reports_outcomes_across_sites(self, kernel):
+        spawn_guard(kernel, site="a", ft_id="ft-1", per_hop=0.05, max_relaunches=0)
+        spawn_guard(kernel, site="b", ft_id="ft-2", per_hop=0.05, max_relaunches=0)
+        kernel.run(until=30.0)
+        outcomes = pending_guards(kernel)
+        assert len(outcomes) == 2
+        assert {entry["guard_site"] for entry in outcomes} == {"a", "b"}

@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event clock and event loop (repro.net.simclock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import KernelError
+from repro.net.simclock import Event, EventLoop, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(KernelError):
+            clock._advance_to(5.0)
+
+    def test_advance_forward(self):
+        clock = SimClock()
+        clock._advance_to(3.5)
+        assert clock.now == 3.5
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0.3, lambda: fired.append("late"))
+        loop.schedule(0.1, lambda: fired.append("early"))
+        loop.schedule(0.2, lambda: fired.append("middle"))
+        loop.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for index in range(5):
+            loop.schedule(1.0, lambda index=index: fired.append(index))
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_times(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(0.5, lambda: times.append(loop.now))
+        loop.schedule(1.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [0.5, 1.5]
+
+    def test_negative_delay_is_rejected(self):
+        with pytest.raises(KernelError):
+            EventLoop().schedule(-0.1, lambda: None)
+
+    def test_zero_delay_is_allowed(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0.0, lambda: fired.append(True))
+        loop.run()
+        assert fired == [True]
+
+    def test_cancel_prevents_firing(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(0.1, lambda: fired.append(True))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule(0.1, lambda: None)
+        cancel = loop.schedule(0.2, lambda: None)
+        cancel.cancel()
+        assert loop.pending == 1
+        del keep
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append("first")
+            loop.schedule(0.1, lambda: fired.append("nested"))
+
+        loop.schedule(0.1, first)
+        loop.run()
+        assert fired == ["first", "nested"]
+
+    def test_run_returns_number_of_events(self):
+        loop = EventLoop()
+        for _ in range(3):
+            loop.schedule(0.1, lambda: None)
+        assert loop.run() == 3
+        assert loop.processed == 3
+
+    def test_run_with_max_events(self):
+        loop = EventLoop()
+        for _ in range(10):
+            loop.schedule(0.1, lambda: None)
+        assert loop.run(max_events=4) == 4
+        assert loop.pending == 6
+
+    def test_run_until_respects_horizon(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0.5, lambda: fired.append("early"))
+        loop.schedule(2.0, lambda: fired.append("late"))
+        loop.run_until(1.0)
+        assert fired == ["early"]
+        assert loop.now == pytest.approx(1.0)
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_at(2.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [pytest.approx(2.5)]
+
+    def test_schedule_at_past_time_fires_immediately(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        times = []
+        loop.schedule_at(0.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [pytest.approx(1.0)]
+
+    def test_step_on_empty_loop_returns_false(self):
+        assert EventLoop().step() is False
+
+    def test_event_ordering_dataclass(self):
+        early = Event(time=1.0, seq=0, callback=lambda: None)
+        late = Event(time=2.0, seq=1, callback=lambda: None)
+        assert early < late

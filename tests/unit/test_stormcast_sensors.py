@@ -1,0 +1,116 @@
+"""Unit tests for the StormCast synthetic sensors and weather generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.stormcast import (READINGS_FOLDER, SENSOR_CABINET, WeatherGenerator,
+                                  WeatherReading, populate_sensor_site,
+                                  populate_sensor_sites)
+from repro.core import Kernel, KernelConfig
+from repro.net import star
+
+
+class TestWeatherReading:
+    def test_wire_round_trip_preserves_values_and_padding(self):
+        reading = WeatherReading(station="st", timestamp=60.0, wind_speed=12.5,
+                                 pressure=1001.0, temperature=-3.2, humidity=80.0,
+                                 raw_payload_bytes=128)
+        rebuilt = WeatherReading.from_wire(reading.to_wire())
+        assert rebuilt == reading
+        assert len(reading.to_wire()["padding"]) == 128
+
+    def test_precursor_predicate_wind(self):
+        windy = WeatherReading("st", 0, wind_speed=25.0, pressure=1010.0,
+                               temperature=0, humidity=50)
+        assert windy.is_storm_precursor()
+
+    def test_precursor_predicate_pressure(self):
+        low = WeatherReading("st", 0, wind_speed=5.0, pressure=980.0,
+                             temperature=0, humidity=50)
+        assert low.is_storm_precursor()
+
+    def test_calm_reading_is_not_a_precursor(self):
+        calm = WeatherReading("st", 0, wind_speed=5.0, pressure=1013.0,
+                              temperature=0, humidity=50)
+        assert not calm.is_storm_precursor()
+
+    def test_custom_thresholds(self):
+        reading = WeatherReading("st", 0, wind_speed=15.0, pressure=1000.0,
+                                 temperature=0, humidity=50)
+        assert not reading.is_storm_precursor()
+        assert reading.is_storm_precursor(wind_threshold=10.0)
+
+
+class TestWeatherGenerator:
+    def test_rejects_invalid_storm_rate(self):
+        with pytest.raises(ValueError):
+            WeatherGenerator(storm_rate=1.5)
+
+    def test_generates_requested_count(self):
+        readings = WeatherGenerator(seed=1).readings_for("st", 50)
+        assert len(readings) == 50
+        assert all(reading.station == "st" for reading in readings)
+
+    def test_deterministic_per_seed_and_station(self):
+        first = WeatherGenerator(seed=3).readings_for("st", 20)
+        second = WeatherGenerator(seed=3).readings_for("st", 20)
+        assert first == second
+
+    def test_different_stations_get_different_weather(self):
+        generator = WeatherGenerator(seed=3)
+        assert generator.readings_for("north", 20) != generator.readings_for("south", 20)
+
+    def test_timestamps_are_spaced_by_interval(self):
+        readings = WeatherGenerator(seed=1).readings_for("st", 5, start_time=100.0,
+                                                         interval=30.0)
+        assert [reading.timestamp for reading in readings] == [100, 130, 160, 190, 220]
+
+    def test_zero_storm_rate_produces_mostly_calm_weather(self):
+        readings = WeatherGenerator(seed=2, storm_rate=0.0).readings_for("st", 300)
+        precursors = [reading for reading in readings if reading.is_storm_precursor()]
+        assert len(precursors) < len(readings) * 0.05
+
+    def test_high_storm_rate_produces_many_precursors(self):
+        readings = WeatherGenerator(seed=2, storm_rate=0.8).readings_for("st", 300)
+        precursors = [reading for reading in readings if reading.is_storm_precursor()]
+        assert len(precursors) > len(readings) * 0.1
+
+    def test_payload_bytes_are_attached(self):
+        readings = WeatherGenerator(seed=1, raw_payload_bytes=64).readings_for("st", 3)
+        assert all(reading.raw_payload_bytes == 64 for reading in readings)
+
+    def test_values_stay_in_plausible_ranges(self):
+        readings = WeatherGenerator(seed=5, storm_rate=0.3).readings_for("st", 500)
+        for reading in readings:
+            assert 0.0 <= reading.wind_speed < 60.0
+            assert 950.0 <= reading.pressure <= 1045.0
+            assert 0.0 <= reading.humidity <= 100.0
+
+
+class TestPopulation:
+    def make_kernel(self):
+        return Kernel(star("hub", ["sensor00", "sensor01"]),
+                      config=KernelConfig(rng_seed=1))
+
+    def test_populate_single_site(self):
+        kernel = self.make_kernel()
+        generator = WeatherGenerator(seed=1)
+        stored = populate_sensor_site(kernel, "sensor00", generator.readings_for("sensor00", 10))
+        assert stored == 10
+        cabinet = kernel.site("sensor00").cabinet(SENSOR_CABINET)
+        assert len(cabinet.folder(READINGS_FOLDER)) == 10
+
+    def test_populate_many_sites(self):
+        kernel = self.make_kernel()
+        counts = populate_sensor_sites(kernel, ["sensor00", "sensor01"], 25)
+        assert counts == {"sensor00": 25, "sensor01": 25}
+        for name in counts:
+            assert len(kernel.site(name).cabinet(SENSOR_CABINET).folder(READINGS_FOLDER)) == 25
+
+    def test_stored_records_decode_back_to_readings(self):
+        kernel = self.make_kernel()
+        populate_sensor_sites(kernel, ["sensor00"], 5)
+        records = kernel.site("sensor00").cabinet(SENSOR_CABINET).elements(READINGS_FOLDER)
+        decoded = [WeatherReading.from_wire(record) for record in records]
+        assert all(reading.station == "sensor00" for reading in decoded)

@@ -1,0 +1,144 @@
+"""Unit tests for tickets and the ticket-issuing agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.core.errors import TicketError
+from repro.net import lan
+from repro.scheduling.ticket import (TICKET_AGENT_NAME, Ticket, TicketIssuer,
+                                     make_ticket_behaviour)
+
+
+class TestTicketRecord:
+    def test_wire_round_trip(self):
+        issuer = TicketIssuer()
+        ticket = issuer.issue("compute", "alice", "s1", now=1.0)
+        assert Ticket.from_wire(ticket.to_wire()) == ticket
+
+    def test_malformed_wire_record_raises(self):
+        with pytest.raises(TicketError):
+            Ticket.from_wire({"ticket_id": "x"})
+
+
+class TestTicketIssuer:
+    def test_issue_and_verify(self):
+        issuer = TicketIssuer(validity=10.0)
+        ticket = issuer.issue("compute", "alice", "s1", now=0.0)
+        assert issuer.verify(ticket, now=5.0)
+        assert issuer.issued == 1
+
+    def test_expired_ticket_is_rejected(self):
+        issuer = TicketIssuer(validity=10.0)
+        ticket = issuer.issue("compute", "alice", "s1", now=0.0)
+        assert not issuer.verify(ticket, now=11.0)
+        assert issuer.rejected == 1
+
+    def test_tampered_ticket_is_rejected(self):
+        issuer = TicketIssuer()
+        ticket = issuer.issue("compute", "alice", "s1", now=0.0)
+        forged = Ticket(ticket_id=ticket.ticket_id, service=ticket.service,
+                        holder="mallory", provider_site=ticket.provider_site,
+                        issued_at=ticket.issued_at, expires_at=ticket.expires_at,
+                        signature=ticket.signature)
+        assert not issuer.verify(forged, now=1.0)
+
+    def test_ticket_from_another_issuer_is_rejected(self):
+        ticket = TicketIssuer().issue("compute", "alice", "s1", now=0.0)
+        assert not TicketIssuer().verify(ticket, now=1.0)
+
+    def test_wrong_site_is_rejected(self):
+        issuer = TicketIssuer()
+        ticket = issuer.issue("compute", "alice", "s1", now=0.0)
+        assert not issuer.verify(ticket, now=1.0, expected_site="s2")
+        assert issuer.verify(ticket, now=1.0, expected_site="s1")
+
+    def test_redeem_is_single_use(self):
+        issuer = TicketIssuer()
+        ticket = issuer.issue("compute", "alice", "s1", now=0.0)
+        assert issuer.redeem(ticket, now=1.0)
+        assert not issuer.redeem(ticket, now=1.5)
+        assert issuer.redeemed == 1
+        assert issuer.rejected == 1
+
+    def test_redeem_expired_fails(self):
+        issuer = TicketIssuer(validity=1.0)
+        ticket = issuer.issue("compute", "alice", "s1", now=0.0)
+        assert not issuer.redeem(ticket, now=5.0)
+
+
+class TestTicketAgent:
+    @pytest.fixture
+    def kernel(self):
+        kernel = Kernel(lan(["a"]), transport="tcp", config=KernelConfig(rng_seed=1))
+        self.issuer = TicketIssuer(validity=100.0)
+        kernel.install_agent("a", TICKET_AGENT_NAME, make_ticket_behaviour(self.issuer),
+                             replace=True)
+        return kernel
+
+    def meet_ticket_agent(self, kernel, briefcase):
+        box = {}
+
+        def client(ctx, bc):
+            result = yield ctx.meet(TICKET_AGENT_NAME, briefcase)
+            box["value"] = result.value
+            return result.value
+
+        kernel.launch("a", client)
+        kernel.run()
+        return box["value"], briefcase
+
+    def test_issue_op_returns_ticket(self, kernel):
+        request = Briefcase()
+        request.set("OP", "issue")
+        request.set("SERVICE", "compute")
+        request.set("HOLDER", "alice")
+        request.set("PROVIDER_SITE", "a")
+        ticket_id, briefcase = self.meet_ticket_agent(kernel, request)
+        assert ticket_id is not None
+        assert briefcase.get("TICKET")["holder"] == "alice"
+
+    def test_verify_op(self, kernel):
+        ticket = self.issuer.issue("compute", "alice", "a", now=0.0)
+        request = Briefcase()
+        request.set("OP", "verify")
+        request.set("TICKET", ticket.to_wire())
+        ok, _ = self.meet_ticket_agent(kernel, request)
+        assert ok is True
+
+    def test_redeem_op_consumes(self, kernel):
+        ticket = self.issuer.issue("compute", "alice", "a", now=0.0)
+        request = Briefcase()
+        request.set("OP", "redeem")
+        request.set("TICKET", ticket.to_wire())
+        ok, _ = self.meet_ticket_agent(kernel, request)
+        assert ok is True
+        again = Briefcase()
+        again.set("OP", "redeem")
+        again.set("TICKET", ticket.to_wire())
+        ok2, _ = self.meet_ticket_agent(kernel, again)
+        assert ok2 is False
+
+    def test_missing_ticket_reports_error(self, kernel):
+        request = Briefcase()
+        request.set("OP", "verify")
+        ok, briefcase = self.meet_ticket_agent(kernel, request)
+        assert ok is False
+        assert briefcase.get("ERROR")
+
+    def test_malformed_ticket_reports_error(self, kernel):
+        request = Briefcase()
+        request.set("OP", "verify")
+        request.set("TICKET", {"bogus": True})
+        ok, briefcase = self.meet_ticket_agent(kernel, request)
+        assert ok is False
+
+    def test_unknown_op_reports_error(self, kernel):
+        ticket = self.issuer.issue("compute", "alice", "a", now=0.0)
+        request = Briefcase()
+        request.set("OP", "frame")
+        request.set("TICKET", ticket.to_wire())
+        ok, briefcase = self.meet_ticket_agent(kernel, request)
+        assert ok is False
+        assert "unknown ticket operation" in briefcase.get("ERROR")

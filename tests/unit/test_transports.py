@@ -1,0 +1,166 @@
+"""Unit tests for the point-to-point transports (rsh, tcp) and the Transport base."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.net.message import Message, MessageKind
+from repro.net.rsh import RshTransport
+from repro.net.simclock import EventLoop
+from repro.net.stats import NetworkStats
+from repro.net.tcp import TcpTransport
+from repro.net.topology import LinkSpec, Topology, lan
+
+
+def make_transport(transport_cls, topology=None, seed=0):
+    loop = EventLoop()
+    topology = topology or lan(["a", "b", "c"])
+    stats = NetworkStats()
+    transport = transport_cls(loop, topology, stats, rng=random.Random(seed))
+    return transport, loop, topology, stats
+
+
+def agent_message(source="a", destination="b", size=1000):
+    return Message(source=source, destination=destination,
+                   kind=MessageKind.AGENT_TRANSFER, payload={}, declared_size=size)
+
+
+class TestDeliveryPath:
+    def test_message_is_delivered_to_registered_handler(self):
+        transport, loop, _, stats = make_transport(TcpTransport)
+        received = []
+        transport.register_endpoint("b", received.append)
+        event = transport.send(agent_message())
+        assert event is not None
+        loop.run()
+        assert len(received) == 1
+        assert received[0].delivered_at is not None
+        assert stats.messages_delivered == 1
+        assert stats.migrations == 1   # agent transfers count as migrations
+
+    def test_unknown_source_raises(self):
+        transport, _, _, _ = make_transport(TcpTransport)
+        with pytest.raises(TransportError):
+            transport.send(agent_message(source="ghost"))
+
+    def test_unknown_destination_raises(self):
+        transport, _, _, _ = make_transport(TcpTransport)
+        with pytest.raises(TransportError):
+            transport.send(agent_message(destination="ghost"))
+
+    def test_send_from_down_site_is_dropped(self):
+        transport, loop, topology, stats = make_transport(TcpTransport)
+        topology.mark_down("a")
+        assert transport.send(agent_message()) is None
+        assert stats.messages_dropped == 1
+
+    def test_send_to_down_site_is_dropped(self):
+        transport, loop, topology, stats = make_transport(TcpTransport)
+        topology.mark_down("b")
+        assert transport.send(agent_message()) is None
+        assert stats.messages_dropped == 1
+
+    def test_destination_crash_while_in_flight_drops(self):
+        transport, loop, topology, stats = make_transport(TcpTransport)
+        received = []
+        transport.register_endpoint("b", received.append)
+        transport.send(agent_message())
+        topology.mark_down("b")      # crashes before the delivery event fires
+        loop.run()
+        assert received == []
+        assert stats.messages_dropped == 1
+
+    def test_partition_in_flight_drops(self):
+        transport, loop, topology, stats = make_transport(TcpTransport)
+        received = []
+        transport.register_endpoint("b", received.append)
+        transport.send(agent_message())
+        topology.set_partition([["a"], ["b", "c"]])
+        loop.run()
+        assert received == []
+
+    def test_unregistered_destination_counts_as_drop(self):
+        transport, loop, _, stats = make_transport(TcpTransport)
+        transport.send(agent_message())
+        loop.run()
+        assert stats.messages_dropped == 1
+
+    def test_lossy_link_drops_randomly(self):
+        topology = Topology()
+        topology.add_site("a")
+        topology.add_site("b")
+        topology.add_link("a", "b", LinkSpec(loss_rate=1.0))
+        transport, loop, _, stats = make_transport(TcpTransport, topology=topology)
+        transport.register_endpoint("b", lambda message: None)
+        assert transport.send(agent_message()) is None
+        assert stats.messages_dropped == 1
+
+    def test_unregister_endpoint(self):
+        transport, loop, _, stats = make_transport(TcpTransport)
+        transport.register_endpoint("b", lambda message: None)
+        transport.unregister_endpoint("b")
+        transport.send(agent_message())
+        loop.run()
+        assert stats.messages_delivered == 0
+
+
+class TestRshCostModel:
+    def test_agent_transfers_cost_more_than_control(self):
+        transport, _, _, _ = make_transport(RshTransport)
+        agent = transport.setup_delay(agent_message())
+        control = transport.setup_delay(Message(source="a", destination="b",
+                                                 kind=MessageKind.CONTROL))
+        assert agent > control
+
+    def test_setup_never_cached(self):
+        transport, _, _, _ = make_transport(RshTransport)
+        first = transport.setup_delay(agent_message())
+        second = transport.setup_delay(agent_message())
+        # Both pay the full per-transfer start-up cost (with jitter).
+        assert first >= RshTransport.AGENT_SETUP
+        assert second >= RshTransport.AGENT_SETUP
+
+    def test_rsh_is_much_slower_than_tcp_for_repeat_traffic(self):
+        rsh, _, _, _ = make_transport(RshTransport)
+        tcp, _, _, _ = make_transport(TcpTransport)
+        rsh_cost = sum(rsh.setup_delay(agent_message()) for _ in range(5))
+        tcp_cost = sum(tcp.setup_delay(agent_message()) for _ in range(5))
+        assert rsh_cost > 3 * tcp_cost
+
+
+class TestTcpConnectionCache:
+    def test_first_contact_pays_connect_cost(self):
+        transport, _, _, _ = make_transport(TcpTransport)
+        assert transport.setup_delay(agent_message()) == TcpTransport.CONNECT_SETUP
+
+    def test_established_connection_is_cheap(self):
+        transport, _, _, _ = make_transport(TcpTransport)
+        transport.setup_delay(agent_message())
+        assert transport.setup_delay(agent_message()) == TcpTransport.ESTABLISHED_SETUP
+
+    def test_connection_is_bidirectional(self):
+        transport, _, _, _ = make_transport(TcpTransport)
+        transport.setup_delay(agent_message(source="a", destination="b"))
+        reverse = transport.setup_delay(agent_message(source="b", destination="a"))
+        assert reverse == TcpTransport.ESTABLISHED_SETUP
+
+    def test_connection_count_and_connect_ledger(self):
+        transport, _, _, _ = make_transport(TcpTransport)
+        transport.setup_delay(agent_message(source="a", destination="b"))
+        transport.setup_delay(agent_message(source="a", destination="c"))
+        assert transport.connection_count() == 2
+        assert transport.connects[("a", "b")] == 1
+
+    def test_site_crash_tears_down_its_connections(self):
+        transport, _, _, _ = make_transport(TcpTransport)
+        transport.setup_delay(agent_message(source="a", destination="b"))
+        transport.setup_delay(agent_message(source="a", destination="c"))
+        transport.on_site_down("b")
+        assert transport.connection_count() == 1
+        # Reconnecting to the crashed-and-recovered site pays the setup again.
+        assert transport.setup_delay(agent_message(source="a", destination="b")) \
+            == TcpTransport.CONNECT_SETUP
+        assert transport.connects[("a", "b")] == 2

@@ -1,0 +1,201 @@
+"""Unit tests for the validation agent and the vendor/shopper exchange protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cash import (ECUS_FOLDER, KeyDirectory, Mint, VALIDATION_AGENT_NAME, Wallet,
+                        identity_for, make_validation_behaviour, make_vendor_behaviour,
+                        shopper_behaviour)
+from repro.core import Briefcase, Kernel, KernelConfig, register_behaviour
+from repro.net import lan
+
+
+@pytest.fixture
+def world():
+    """A kernel with a market site, a validation agent and a mint."""
+    kernel = Kernel(lan(["home", "market"]), transport="tcp",
+                    config=KernelConfig(rng_seed=6))
+    mint = Mint(seed=6)
+    directory = KeyDirectory()
+    kernel.install_agent("market", VALIDATION_AGENT_NAME,
+                         make_validation_behaviour(mint), replace=True)
+    register_behaviour("shopper", shopper_behaviour, replace=True)
+    return kernel, mint, directory
+
+
+def run_validation(kernel, ecus, operation="validate", split=None, exchange_id=None):
+    """Meet the validation agent at the market with the given ECU records."""
+    outcome = {}
+
+    def client(ctx, bc):
+        request = Briefcase()
+        submit = request.folder("SUBMIT", create=True)
+        for ecu in ecus:
+            submit.push(ecu.to_wire() if hasattr(ecu, "to_wire") else ecu)
+        if operation != "validate":
+            request.set("OP", operation)
+        if split is not None:
+            request.folder("SPLIT", create=True).extend(split)
+        if exchange_id is not None:
+            request.set("EXCHANGE_ID", exchange_id)
+        result = yield ctx.meet(VALIDATION_AGENT_NAME, request)
+        outcome["value"] = result.value
+        outcome["fresh"] = request.folder("FRESH").elements()
+        outcome["rejected"] = request.folder("REJECTED").elements()
+        return result.value
+
+    kernel.launch("market", client)
+    kernel.run()
+    return outcome
+
+
+class TestValidationAgent:
+    def test_valid_ecus_are_replaced_with_fresh_ones(self, world):
+        kernel, mint, _ = world
+        ecus = mint.issue_many([5, 5])
+        outcome = run_validation(kernel, ecus)
+        assert outcome["value"] == 10
+        assert len(outcome["fresh"]) == 2
+        fresh_serials = {record["serial"] for record in outcome["fresh"]}
+        assert fresh_serials.isdisjoint({ecu.serial for ecu in ecus})
+
+    def test_spent_copies_are_rejected(self, world):
+        kernel, mint, _ = world
+        ecu = mint.issue(10)
+        mint.retire_and_reissue(ecu)      # someone already spent it
+        outcome = run_validation(kernel, [ecu])
+        assert outcome["value"] == 0
+        assert len(outcome["rejected"]) == 1
+        assert "double spend" in outcome["rejected"][0]["reason"]
+
+    def test_malformed_records_are_rejected_not_fatal(self, world):
+        kernel, mint, _ = world
+        outcome = run_validation(kernel, [{"amount": "garbage"}, mint.issue(5)])
+        assert outcome["value"] == 5
+        assert len(outcome["rejected"]) == 1
+
+    def test_split_operation_makes_change(self, world):
+        kernel, mint, _ = world
+        ecu = mint.issue(10)
+        outcome = run_validation(kernel, [ecu], operation="split", split=[7, 3])
+        assert outcome["value"] == 10
+        assert sorted(record["amount"] for record in outcome["fresh"]) == [3, 7]
+
+    def test_witness_record_written_for_exchange(self, world):
+        kernel, mint, _ = world
+        run_validation(kernel, [mint.issue(5)], exchange_id="ex-1")
+        witnesses = kernel.site("market").cabinet("audit").elements("witness")
+        assert witnesses and witnesses[0]["exchange_id"] == "ex-1"
+        assert witnesses[0]["amount"] == 5
+
+    def test_money_supply_is_conserved_by_validation(self, world):
+        kernel, mint, _ = world
+        before = mint.outstanding_value() + 15
+        run_validation(kernel, mint.issue_many([5, 5, 5]))
+        assert mint.outstanding_value() == before
+
+
+def launch_shopper(kernel, mint, directory, name, price=10, cheat=None, fund=15):
+    """Build, fund and launch a shopper; returns its briefcase for inspection."""
+    signer = directory.new_signer(name)
+    briefcase = Briefcase()
+    briefcase.set("HOME", "home")
+    briefcase.set("VENDOR_SITE", "market")
+    briefcase.set("VENDOR_NAME", "vendor")
+    briefcase.set("PRICE", price)
+    briefcase.set("EXCHANGE_ID", f"exchange-{name}")
+    briefcase.set("IDENTITY", identity_for(signer))
+    if cheat is not None:
+        briefcase.set("CHEAT", cheat)
+    if cheat == "double_spend":
+        spent = mint.issue_many([5, 5])
+        for ecu in spent:
+            mint.retire_and_reissue(ecu)
+        copies = briefcase.folder("SPENT_COPIES", create=True)
+        for ecu in spent:
+            copies.push(ecu.to_wire())
+    elif fund:
+        Wallet(briefcase).deposit(mint.issue_many([5] * (fund // 5)))
+    kernel.launch("home", "shopper", briefcase, name=name)
+    return briefcase
+
+
+def outcomes_at_home(kernel):
+    return kernel.site("home").cabinet("purchases").elements("outcomes")
+
+
+class TestExchange:
+    def install_vendor(self, kernel, directory, cheat=None, price=10):
+        kernel.install_agent("market", "vendor",
+                             make_vendor_behaviour(price=price,
+                                                   signer=directory.new_signer("vendor"),
+                                                   cheat=cheat),
+                             replace=True)
+
+    def test_honest_exchange_delivers_service_for_payment(self, world):
+        kernel, mint, directory = world
+        self.install_vendor(kernel, directory)
+        launch_shopper(kernel, mint, directory, "alice")
+        kernel.run()
+        outcome = outcomes_at_home(kernel)[0]
+        assert outcome["got_service"] is True
+        assert outcome["vendor_summary"]["paid_enough"] is True
+        # 15 funded, 10 paid: 5 comes back as change.
+        assert outcome["remaining_balance"] == 5
+
+    def test_vendor_till_banks_fresh_ecus(self, world):
+        kernel, mint, directory = world
+        self.install_vendor(kernel, directory)
+        launch_shopper(kernel, mint, directory, "alice")
+        kernel.run()
+        till = kernel.site("market").cabinet("till")
+        till_value = sum(record["amount"] for record in till.elements(ECUS_FOLDER))
+        assert till_value == 10
+
+    def test_double_spender_gets_no_service(self, world):
+        kernel, mint, directory = world
+        self.install_vendor(kernel, directory)
+        launch_shopper(kernel, mint, directory, "mallory", cheat="double_spend")
+        kernel.run()
+        outcome = outcomes_at_home(kernel)[0]
+        assert outcome["got_service"] is False
+        assert outcome["vendor_summary"]["paid_enough"] is False
+        assert mint.double_spend_attempts >= 1
+
+    def test_claim_paid_cheat_gets_no_service(self, world):
+        kernel, mint, directory = world
+        self.install_vendor(kernel, directory)
+        launch_shopper(kernel, mint, directory, "carol", cheat="claim_paid")
+        kernel.run()
+        outcome = outcomes_at_home(kernel)[0]
+        assert outcome["got_service"] is False
+
+    def test_underfunded_shopper_reports_insufficient_funds(self, world):
+        kernel, mint, directory = world
+        self.install_vendor(kernel, directory)
+        launch_shopper(kernel, mint, directory, "pauper", fund=5)
+        kernel.run()
+        outcome = outcomes_at_home(kernel)[0]
+        assert outcome["outcome"] == "insufficient-funds"
+        assert outcome["got_service"] is False
+
+    def test_cheating_vendor_takes_payment_without_service(self, world):
+        kernel, mint, directory = world
+        self.install_vendor(kernel, directory, cheat="no_service")
+        launch_shopper(kernel, mint, directory, "victim")
+        kernel.run()
+        outcome = outcomes_at_home(kernel)[0]
+        assert outcome["got_service"] is False
+        assert outcome["vendor_summary"]["paid_enough"] is True
+
+    def test_money_is_conserved_across_the_whole_exchange(self, world):
+        kernel, mint, directory = world
+        self.install_vendor(kernel, directory)
+        launch_shopper(kernel, mint, directory, "alice")
+        kernel.run()
+        outcome = outcomes_at_home(kernel)[0]
+        till = kernel.site("market").cabinet("till")
+        till_value = sum(record["amount"] for record in till.elements(ECUS_FOLDER))
+        assert outcome["remaining_balance"] + till_value == 15
+        assert mint.outstanding_value() == 15
