@@ -9,11 +9,15 @@ from repro.bench.baselines import (DATA_SERVER_NAME, DATA_SINK_NAME, PULL_CABINE
 from repro.bench.metrics import (bytes_human, coefficient_of_variation, jains_fairness,
                                  load_imbalance, percentile, ratio, speedup, summarize)
 from repro.bench.report import Report, Table
-from repro.bench.workloads import (DATA_CABINET, GATHER_AGENT_NAME, RECORDS_FOLDER,
-                                   DataGatherParams, GatherResult, ItineraryParams,
-                                   ItineraryResult, build_gather_kernel,
+from repro.bench.workloads import (DATA_CABINET, GATHER_AGENT_NAME,
+                                   POPULATION_WORKER_NAME, RECORDS_FOLDER,
+                                   DataGatherParams, GatherResult,
+                                   HighPopulationParams, HighPopulationResult,
+                                   ItineraryParams, ItineraryResult,
+                                   build_gather_kernel, execute_high_population,
                                    populate_data_sites, run_agent_gather,
-                                   run_client_server_gather, run_itinerary)
+                                   run_client_server_gather, run_high_population,
+                                   run_itinerary)
 
 __all__ = [
     "summarize", "percentile", "ratio", "speedup", "jains_fairness",
@@ -22,7 +26,9 @@ __all__ = [
     "DataGatherParams", "GatherResult", "build_gather_kernel", "populate_data_sites",
     "run_agent_gather", "run_client_server_gather",
     "ItineraryParams", "ItineraryResult", "run_itinerary",
-    "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME",
+    "HighPopulationParams", "HighPopulationResult", "execute_high_population",
+    "run_high_population",
+    "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME", "POPULATION_WORKER_NAME",
     "install_data_servers", "launch_pull_client", "pull_summary",
     "DATA_SERVER_NAME", "DATA_SINK_NAME", "PULL_CABINET",
 ]

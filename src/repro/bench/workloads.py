@@ -28,7 +28,9 @@ __all__ = [
     "DataGatherParams", "GatherResult", "build_gather_kernel", "populate_data_sites",
     "run_agent_gather", "run_client_server_gather",
     "ItineraryParams", "ItineraryResult", "run_itinerary",
-    "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME",
+    "HighPopulationParams", "HighPopulationResult", "execute_high_population",
+    "run_high_population",
+    "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME", "POPULATION_WORKER_NAME",
 ]
 
 #: cabinet each data site stores its records in
@@ -37,6 +39,8 @@ DATA_CABINET = "data"
 RECORDS_FOLDER = "RECORDS"
 #: registered name of the gathering agent
 GATHER_AGENT_NAME = "data_gatherer"
+#: registered name of the high-population throughput worker
+POPULATION_WORKER_NAME = "population_worker"
 #: home-side cabinet where gather summaries land
 GATHER_RESULTS_CABINET = "gather_results"
 
@@ -220,6 +224,119 @@ def run_client_server_gather(params: DataGatherParams) -> GatherResult:
         records_total=summary.get("records_received", 0),
         sites_covered=summary.get("sites_responded", 0),
     )
+
+
+# ---------------------------------------------------------------------------
+# high-population load-balancing workload — E9
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HighPopulationParams:
+    """The E9 throughput scenario: thousands of short agents over many sites.
+
+    A launcher balances each wave of agents onto the currently least-loaded
+    sites (one ``site_load`` probe per site per placement, exactly what the
+    scheduling monitors and brokers do), so per-site queries are the hot
+    path: with the flat-ledger kernel each probe cost O(all agents ever
+    launched) and the run went quadratic.
+    """
+
+    n_sites: int = 20
+    n_agents: int = 10_000
+    #: agents placed per wave before letting the event loop drain a little
+    wave_size: int = 500
+    #: simulated seconds of work each agent performs
+    work_seconds: float = 0.05
+    transport: str = "tcp"
+    seed: int = 7
+    link_latency: float = 0.005
+    link_bandwidth: float = 1_250_000.0
+
+    def site_names(self) -> List[str]:
+        return [f"node{i:02d}" for i in range(max(2, self.n_sites))]
+
+
+@dataclass
+class HighPopulationResult:
+    """Outcome of one high-population run."""
+
+    agents_launched: int
+    agents_completed: int
+    sim_seconds: float
+    #: largest resident population observed at any one site (wave sampling)
+    peak_residents: int
+    #: total site_load probes the balancer issued (the indexed hot path)
+    load_queries: int
+    #: launched-count spread between the busiest and idlest site
+    placement_spread: int
+
+
+def _population_worker(ctx: AgentContext, briefcase: Briefcase):
+    """One unit of balanced work: probe the local load, work, finish."""
+    briefcase.set("LOAD_AT_START", ctx.site_load())
+    yield ctx.sleep(float(briefcase.get("WORK", 0.05)))
+    return ctx.site_name
+
+
+register_behaviour(POPULATION_WORKER_NAME, _population_worker, replace=True)
+
+
+def execute_high_population(params: HighPopulationParams):
+    """Run the scenario; returns ``(kernel, result)`` so callers can inspect
+    the populated kernel (the E9 benchmark times queries against it)."""
+    sites = params.site_names()
+    kernel = Kernel(lan(sites, latency=params.link_latency,
+                        bandwidth=params.link_bandwidth),
+                    transport=params.transport,
+                    config=KernelConfig(rng_seed=params.seed))
+    placements = {name: 0 for name in sites}
+    load_queries = 0
+    peak_residents = 0
+    launched = 0
+
+    while launched < params.n_agents:
+        wave = min(params.wave_size, params.n_agents - launched)
+        requests = []
+        wave_assigned = {name: 0 for name in sites}
+        for _ in range(wave):
+            # Least-loaded placement: one probe per site, like the brokers —
+            # plus the broker's own-assignment correction so one wave does
+            # not dog-pile a single site between two probes.
+            best, best_load = sites[0], float("inf")
+            for name in sites:
+                load = kernel.site_load(name) + wave_assigned[name]
+                load_queries += 1
+                if load < best_load:
+                    best, best_load = name, load
+            briefcase = Briefcase()
+            briefcase.set("WORK", params.work_seconds)
+            requests.append((best, POPULATION_WORKER_NAME, briefcase))
+            placements[best] += 1
+            wave_assigned[best] += 1
+        kernel.launch_many(requests)
+        launched += wave
+        # Start the wave so the index reflects the new residents...
+        kernel.run(max_events=wave)
+        peak_residents = max(peak_residents,
+                             max(kernel.site(name).resident_count() for name in sites))
+        # ...then let part of it drain before placing the next wave.
+        kernel.run(until=kernel.now + params.work_seconds)
+
+    kernel.run()
+    result = HighPopulationResult(
+        agents_launched=kernel.launched,
+        agents_completed=kernel.completed,
+        sim_seconds=kernel.now,
+        peak_residents=peak_residents,
+        load_queries=load_queries,
+        placement_spread=max(placements.values()) - min(placements.values()),
+    )
+    return kernel, result
+
+
+def run_high_population(params: HighPopulationParams) -> HighPopulationResult:
+    """Run the high-population load-balancing scenario for *params*."""
+    return execute_high_population(params)[1]
 
 
 # ---------------------------------------------------------------------------

@@ -121,6 +121,25 @@ class AgentInstance:
         self.error = RuntimeError(reason)
         self.finished_at = at
 
+    def close_generator(self) -> None:
+        """Close the behaviour generator, running its ``finally:`` blocks.
+
+        Every terminal path must call this: an abandoned suspended generator
+        keeps its frame (and everything the frame references) alive and its
+        cleanup code never runs.  Closing an exhausted or never-started
+        generator is a no-op; a generator that refuses to stop (swallows
+        GeneratorExit or raises during cleanup) is abandoned rather than
+        allowed to take the kernel down.
+        """
+        generator = self.generator
+        if generator is None:
+            return
+        self.generator = None
+        try:
+            generator.close()
+        except Exception:
+            pass
+
     def __repr__(self) -> str:
         return (f"AgentInstance({self.agent_id} name={self.name!r} "
                 f"site={self.site_name!r} state={self.state})")

@@ -125,12 +125,21 @@ class Briefcase:
         When both briefcases have a folder of the same name the elements of
         the other folder are appended, unless *replace* is set, in which case
         the other folder wins wholesale.
+
+        Both paths copy what they take: the append path used to splice the
+        other folder's stored element objects straight into ``mine``, so a
+        mutable stored buffer (anything that slipped past the bytes
+        normalisation) was shared between the two briefcases — while the
+        replace path always copied.  Merged elements are now normalised to
+        immutable ``bytes``, matching the folder contract.
         """
         for folder in other.folders():
             if folder.name in self._folders and not replace:
                 mine = self._folders[folder.name]
                 for stored in folder.raw_elements():
-                    mine._elements.append(stored)  # noqa: SLF001 - same-class access
+                    # noqa: SLF001 - same-class access
+                    mine._elements.append(stored if type(stored) is bytes
+                                          else bytes(stored))
             else:
                 self._folders[folder.name] = folder.copy()
 

@@ -35,7 +35,8 @@ from repro.core.registry import BehaviourRegistry, default_registry
 
 __all__ = [
     "code_for", "code_from_source", "behaviour_from_code", "code_element_of",
-    "pack_briefcase", "unpack_briefcase", "attach_code", "wire_size_of",
+    "code_element_copy", "pack_briefcase", "unpack_briefcase", "attach_code",
+    "wire_size_of",
 ]
 
 
@@ -74,6 +75,17 @@ def code_element_of(behaviour: Any,
         raise UnknownBehaviourError(
             f"behaviour {behaviour!r} is not registered; register it or ship source")
     raise CodecError(f"cannot derive a CODE element from {behaviour!r}")
+
+
+def code_element_copy(element: Optional[Dict[str, str]]) -> Optional[Dict[str, str]]:
+    """An independent copy of a CODE element (or ``None``).
+
+    CODE elements are flat string dicts, so a shallow copy is a full copy.
+    The kernel memoises :func:`code_element_of` results per behaviour and
+    hands each agent its own copy, so one agent rewriting its element (e.g.
+    switching to shipped source) cannot leak into its siblings.
+    """
+    return dict(element) if element is not None else None
 
 
 def behaviour_from_code(code_element: Dict[str, Any],

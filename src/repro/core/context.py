@@ -81,6 +81,13 @@ class AgentContext:
         """Current load metric of a site (defaults to the local site)."""
         return self._kernel.site_load(site_name or self._site.name)
 
+    def resident_count(self, site_name: Optional[str] = None) -> int:
+        """How many active agents are resident at a site (O(1), via the
+        kernel's per-site index; defaults to the local site)."""
+        if site_name is None:
+            return self._site.resident_count()
+        return self._kernel.site(site_name).resident_count()
+
     # -- local storage -------------------------------------------------------------
 
     def cabinet(self, name: str = "default") -> FileCabinet:

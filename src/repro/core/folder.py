@@ -144,9 +144,16 @@ class Folder:
         self.extend(elements)
 
     def copy(self) -> "Folder":
-        """Return an independent copy of this folder."""
+        """Return an independent copy of this folder.
+
+        Stored elements are normalised to immutable ``bytes`` on the way, so
+        a mutable buffer smuggled into the source cannot be shared by the
+        clone (copying an immutable ``bytes`` object is free — CPython
+        returns the same object).
+        """
         clone = Folder(self.name)
-        clone._elements = list(self._elements)
+        clone._elements = [stored if type(stored) is bytes else bytes(stored)
+                           for stored in self._elements]
         return clone
 
     # -- size model ----------------------------------------------------------

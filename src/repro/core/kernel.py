@@ -26,7 +26,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 
 from repro.core.agent import AgentInstance, AgentSpec, AgentState
 from repro.core.briefcase import Briefcase
-from repro.core.codec import code_element_of, pack_briefcase, unpack_briefcase, wire_size_of
+from repro.core.codec import (code_element_copy, code_element_of, pack_briefcase,
+                              unpack_briefcase, wire_size_of)
 from repro.core.context import AgentContext
 from repro.core.errors import (KernelError, MeetError, SyscallError, UnknownAgentError,
                                UnknownSiteError)
@@ -114,6 +115,13 @@ class Kernel:
 
         self.agents: Dict[str, AgentInstance] = {}
         self.event_log: List[tuple] = []
+        #: memo for _best_effort_code: deriving a CODE element per
+        #: launch/meet/arrival re-ran registry reverse lookups (and raised
+        #: exceptions for unregistered callables) on every hot-path call.
+        #: Cleared whenever the registry mutates, and size-capped so a
+        #: kernel launching unique closures cannot pin them forever.
+        self._code_cache: Dict[Any, Optional[dict]] = {}
+        self._code_cache_version = self.registry.version
 
         # Ledger counters read by experiments and tests.
         self.launched = 0
@@ -173,14 +181,27 @@ class Kernel:
             site.install(name, behaviour, system=system, replace=replace)
 
     def agents_at(self, site_name: str, active_only: bool = True) -> List[AgentInstance]:
-        """Agent instances located at *site_name*."""
+        """Agent instances located at *site_name*.
+
+        The active (default) query reads the site's live resident index —
+        O(residents at the site).  The historical query (``active_only=
+        False``) still scans the full ledger, since terminal agents are
+        dropped from the index the moment they finish.
+        """
+        if active_only:
+            site = self.sites.get(site_name)
+            return site.residents() if site is not None else []
+        return self._agents_at_scan(site_name, active_only=False)
+
+    def _agents_at_scan(self, site_name: str, active_only: bool = True) -> List[AgentInstance]:
+        """Brute-force O(all agents) scan; the reference the index is checked against."""
         return [agent for agent in self.agents.values()
                 if agent.site_name == site_name and (not active_only or not agent.finished)]
 
     def site_load(self, site_name: str) -> float:
         """The load metric of a site (what monitor agents report to brokers)."""
         site = self.site(site_name)
-        return site.load_metric(len(self.agents_at(site_name)))
+        return site.load_metric(site.resident_count())
 
     # ------------------------------------------------------------------
     # launching agents
@@ -211,6 +232,44 @@ class Kernel:
                            label=f"start-{instance.agent_id}")
         return instance.agent_id
 
+    def launch_many(self, requests: Sequence[tuple], delay: float = 0.0) -> List[str]:
+        """Launch a batch of top-level agents with one scheduler pass.
+
+        Each request is ``(site_name, behaviour)`` or ``(site_name,
+        behaviour, briefcase)``.  The batch is atomic: every site and
+        behaviour reference is resolved before any agent is registered, so
+        a bad entry raises without leaving earlier entries half-launched.
+        All start events go through :meth:`EventLoop.schedule_many`, which
+        is what high-population workloads (thousands of agents per wave)
+        want.
+        """
+        if delay < 0:
+            raise KernelError(f"cannot schedule agent starts {delay} seconds "
+                              f"in the past")
+        specs: List[tuple] = []
+        for request in requests:
+            site_name, behaviour = request[0], request[1]
+            briefcase = request[2] if len(request) > 2 else None
+            site = self.site(site_name)
+            resolved, resolved_system = self._resolve_behaviour(site, behaviour)
+            specs.append((site_name, AgentSpec(
+                behaviour=resolved,
+                briefcase=briefcase if briefcase is not None else Briefcase(),
+                name=behaviour if isinstance(behaviour, str) else None,
+                site=site_name,
+                code_element=self._best_effort_code(behaviour, resolved),
+                system=resolved_system,
+            )))
+        instances: List[AgentInstance] = []
+        for site_name, spec in specs:
+            instance = AgentInstance(spec, site_name)
+            self._register(instance)
+            instances.append(instance)
+        self.loop.schedule_many(
+            [(delay, (lambda inst=instance: self._start(inst)),
+              f"start-{instance.agent_id}") for instance in instances])
+        return [instance.agent_id for instance in instances]
+
     def _resolve_behaviour(self, site: Site, behaviour: Union[str, Callable]):
         """Resolve a behaviour reference to (callable, is_system)."""
         if callable(behaviour):
@@ -225,17 +284,57 @@ class Kernel:
                 f"nor registered")
         raise KernelError(f"cannot launch {behaviour!r}: expected a name or a callable")
 
+    _CODE_UNSET = object()
+    #: _code_cache entries keep strong references to behaviour callables, so
+    #: the cache is cleared rather than allowed to grow past this.
+    _CODE_CACHE_MAX = 4096
+
     def _best_effort_code(self, original: Any, resolved: Callable) -> Optional[dict]:
+        """Derive (and memoise) the CODE element for a behaviour reference.
+
+        Launch/meet/arrival all pass through here, so the derivation —
+        registry reverse lookup, or a raised-and-swallowed exception for
+        unregistered callables — is cached per (original, resolved) pair.
+        Any registry mutation (register, replace, unregister) bumps the
+        registry version and flushes the memo, so cached elements can never
+        name a behaviour the registry has since rebound.
+        """
+        if self._code_cache_version != self.registry.version:
+            self._code_cache.clear()
+            self._code_cache_version = self.registry.version
+        key: Any = (original, resolved)
+        try:
+            cached = self._code_cache.get(key, self._CODE_UNSET)
+        except TypeError:  # unhashable reference (e.g. a raw CODE dict)
+            key = None
+        else:
+            if cached is not self._CODE_UNSET:
+                return code_element_copy(cached)
+        element: Optional[dict] = None
         for candidate in (original, resolved):
             try:
-                return code_element_of(candidate, self.registry)
+                element = code_element_of(candidate, self.registry)
+                break
             except Exception:
                 continue
-        return None
+        if key is not None:
+            if len(self._code_cache) >= self._CODE_CACHE_MAX:
+                self._code_cache.clear()
+            self._code_cache[key] = code_element_copy(element)
+        return element
 
     def _register(self, instance: AgentInstance) -> None:
         self.agents[instance.agent_id] = instance
         self.launched += 1
+        site = self.sites.get(instance.site_name)
+        if site is not None:
+            site.add_resident(instance)
+
+    def _unindex(self, instance: AgentInstance) -> None:
+        """Drop a terminal instance from its site's resident index."""
+        site = self.sites.get(instance.site_name)
+        if site is not None:
+            site.remove_resident(instance.agent_id)
 
     # ------------------------------------------------------------------
     # running the simulation
@@ -307,9 +406,8 @@ class Kernel:
         site.mark_crashed()
         self.topology.mark_down(name)
         self.transport.on_site_down(name)
-        for agent in self.agents_at(name, active_only=True):
-            agent.mark_killed(self.loop.now, reason=f"site {name} crashed")
-            self.killed += 1
+        for agent in site.residents():  # snapshot: _kill unindexes as it goes
+            self._kill(agent, reason=f"site {name} crashed")
         self.log_event("kernel", name, "site crashed")
 
     def recover_site(self, name: str) -> None:
@@ -336,13 +434,26 @@ class Kernel:
     # behaviour execution
     # ------------------------------------------------------------------
 
+    def _kill(self, instance: AgentInstance, reason: str) -> None:
+        """Terminate an agent from outside: crash, enforcement, dead site.
+
+        All kill paths funnel through here so the generator is always
+        closed (its ``finally:`` blocks run, its frame is released) and the
+        site resident index stays exact.
+        """
+        if instance.finished:
+            return
+        instance.mark_killed(self.loop.now, reason=reason)
+        self.killed += 1
+        instance.close_generator()
+        self._unindex(instance)
+
     def _start(self, instance: AgentInstance) -> None:
         if instance.finished:
             return
         site = self.sites[instance.site_name]
         if not site.alive:
-            instance.mark_killed(self.loop.now, reason=f"site {site.name} is down")
-            self.killed += 1
+            self._kill(instance, reason=f"site {site.name} is down")
             return
         instance.started_at = self.loop.now
         context = AgentContext(self, site, instance)
@@ -364,8 +475,7 @@ class Kernel:
             return
         site = self.sites[instance.site_name]
         if not site.alive:
-            instance.mark_killed(self.loop.now, reason=f"site {site.name} is down")
-            self.killed += 1
+            self._kill(instance, reason=f"site {site.name} is down")
             return
         instance.mark_running()
         try:
@@ -381,8 +491,7 @@ class Kernel:
             return
         instance.steps += 1
         if instance.steps > self.config.max_agent_steps:
-            instance.mark_killed(self.loop.now, reason="runaway agent exceeded step budget")
-            self.killed += 1
+            self._kill(instance, reason="runaway agent exceeded step budget")
             self._release_meet_parent_on_abnormal_end(
                 instance, MeetError(f"met agent {instance.name!r} was killed as a runaway"))
             return
@@ -478,11 +587,12 @@ class Kernel:
         child = AgentInstance(spec, site.name, parent_id=parent.agent_id)
         self._register(child)
         parent.children.append(child.agent_id)
-        self.loop.schedule(self.config.spawn_overhead, lambda: self._start(child),
-                           label=f"spawn-{child.agent_id}")
-        self.loop.schedule(self.config.step_cost,
-                           lambda: self._resume(parent, child.agent_id),
-                           label=f"spawned-{parent.agent_id}")
+        self.loop.schedule_many((
+            (self.config.spawn_overhead, lambda: self._start(child),
+             f"spawn-{child.agent_id}"),
+            (self.config.step_cost, lambda: self._resume(parent, child.agent_id),
+             f"spawned-{parent.agent_id}"),
+        ))
 
     def _do_transmit(self, sender: AgentInstance, request: Transmit) -> None:
         if not sender.system:
@@ -516,6 +626,8 @@ class Kernel:
             return
         instance.mark_done(result, self.loop.now)
         self.completed += 1
+        instance.close_generator()
+        self._unindex(instance)
         self._release_meet_parent(instance, result)
 
     def _fail(self, instance: AgentInstance, error: BaseException) -> None:
@@ -523,6 +635,8 @@ class Kernel:
             return
         instance.mark_failed(error, self.loop.now)
         self.failed += 1
+        instance.close_generator()
+        self._unindex(instance)
         self.log_event(instance.agent_id, instance.site_name, f"failed: {error!r}")
         self._release_meet_parent_on_abnormal_end(
             instance, MeetError(f"met agent {instance.name!r} failed: {error!r}"))
@@ -563,6 +677,15 @@ class Kernel:
     def _on_message(self, site_name: str, message: Message) -> None:
         site = self.sites.get(site_name)
         if site is None or not site.alive:
+            # The network delivered to a site the kernel cannot serve (the
+            # site crashed kernel-side while the link stayed up, or was never
+            # registered).  These used to vanish without touching the
+            # undeliverable ledgers, so crash experiments undercounted loss.
+            if site is not None:
+                site.undeliverable += 1
+            self.undeliverable += 1
+            self.log_event("kernel", site_name,
+                           f"message {message.kind!r} dropped: site unavailable")
             return
         hook = site.message_hook(message.kind)
         if hook is not None:

@@ -25,6 +25,18 @@ class BehaviourRegistry:
 
     def __init__(self) -> None:
         self._behaviours: Dict[str, Callable] = {}
+        #: reverse index (behaviour id -> name) so :meth:`name_of` — which the
+        #: kernel consults on every launch/meet/arrival to derive CODE
+        #: elements — is O(1) instead of a scan over every registration.
+        self._names_by_id: Dict[int, str] = {}
+        #: bumped on every mutation; callers caching derived data (the
+        #: kernel's CODE-element memo) invalidate against this.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (register/unregister both bump it)."""
+        return self._version
 
     def register(self, name: str, behaviour: Optional[Callable] = None,
                  replace: bool = False) -> Callable:
@@ -41,7 +53,14 @@ class BehaviourRegistry:
         if name in self._behaviours and not replace and self._behaviours[name] is not behaviour:
             raise UnknownBehaviourError(
                 f"behaviour name {name!r} is already registered to a different callable")
+        previous = self._behaviours.get(name)
+        if previous is not None and self._names_by_id.get(id(previous)) == name:
+            del self._names_by_id[id(previous)]
         self._behaviours[name] = behaviour
+        # First registration wins the reverse lookup (matching the historical
+        # scan order when one callable is registered under several names).
+        self._names_by_id.setdefault(id(behaviour), name)
+        self._version += 1
         return behaviour
 
     def resolve(self, name: str) -> Callable:
@@ -53,14 +72,24 @@ class BehaviourRegistry:
 
     def name_of(self, behaviour: Callable) -> Optional[str]:
         """Reverse lookup: the name *behaviour* is registered under, if any."""
+        name = self._names_by_id.get(id(behaviour))
+        if name is not None and self._behaviours.get(name) is behaviour:
+            return name
+        # Slow path: the reverse index only records one name per callable;
+        # fall back to the scan when that entry went stale (e.g. replaced).
         for name, registered in self._behaviours.items():
             if registered is behaviour:
+                self._names_by_id[id(behaviour)] = name
                 return name
         return None
 
     def unregister(self, name: str) -> None:
         """Remove a registration (mostly for tests)."""
-        self._behaviours.pop(name, None)
+        behaviour = self._behaviours.pop(name, None)
+        if behaviour is not None:
+            self._version += 1
+            if self._names_by_id.get(id(behaviour)) == name:
+                del self._names_by_id[id(behaviour)]
 
     def __contains__(self, name: str) -> bool:
         return name in self._behaviours

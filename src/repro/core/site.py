@@ -10,11 +10,14 @@ experiments manipulate.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.cabinet import FileCabinet
 from repro.core.errors import UnknownAgentError
 from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.agent import AgentInstance
 
 __all__ = ["Site"]
 
@@ -41,6 +44,10 @@ class Site:
         self._message_hooks: Dict[str, MessageHook] = {}
         #: total messages that arrived addressed to an unknown contact
         self.undeliverable = 0
+        #: live index of resident (non-terminal) agent instances, keyed by
+        #: agent id.  Maintained by the kernel on start/finish/kill/arrival
+        #: so per-site queries cost O(residents), not O(all agents ever).
+        self._residents: Dict[str, "AgentInstance"] = {}
 
     # -- installed agents ---------------------------------------------------------
 
@@ -73,6 +80,24 @@ class Site:
         except KeyError:
             raise UnknownAgentError(
                 f"site {self.name!r} has no agent installed under {name!r}") from None
+
+    # -- resident agents ----------------------------------------------------------
+
+    def add_resident(self, instance: "AgentInstance") -> None:
+        """Index *instance* as resident here (kernel-maintained)."""
+        self._residents[instance.agent_id] = instance
+
+    def remove_resident(self, agent_id: str) -> None:
+        """Drop an agent from the resident index (no effect if absent)."""
+        self._residents.pop(agent_id, None)
+
+    def residents(self) -> List["AgentInstance"]:
+        """The resident (non-terminal) agent instances, in arrival order."""
+        return list(self._residents.values())
+
+    def resident_count(self) -> int:
+        """How many non-terminal agents are currently resident (O(1))."""
+        return len(self._residents)
 
     # -- file cabinets ----------------------------------------------------------------
 
@@ -125,4 +150,4 @@ class Site:
     def __repr__(self) -> str:
         status = "up" if self.alive else "DOWN"
         return (f"Site({self.name!r}, {status}, {len(self._installed)} agents installed, "
-                f"{len(self._cabinets)} cabinets)")
+                f"{len(self._residents)} resident, {len(self._cabinets)} cabinets)")

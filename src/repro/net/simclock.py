@@ -4,22 +4,33 @@ Every component of the reproduction — sites, transports, agents, failure
 schedules — runs on one :class:`EventLoop`.  Time is simulated seconds
 (floats).  Events at the same timestamp fire in the order they were
 scheduled, which keeps runs deterministic for a fixed random seed.
+
+The loop is a kernel hot path: high-population workloads schedule one or
+more events per agent step, so :class:`Event` is a ``__slots__`` class
+(not a dataclass) and cancellation uses lazy deletion with periodic
+compaction — ``pending`` is an O(1) counter and cancelled entries are
+purged in bulk once they outnumber half the heap instead of being paid
+for on every pop.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import KernelError
 
 __all__ = ["Event", "EventLoop", "SimClock"]
 
+#: timestamps this far in the past are forgiven (float jitter from callers
+#: computing ``now + dt - dt``); anything older is a scheduling bug.
+PAST_EPSILON = 1e-9
+
 
 class SimClock:
     """Monotonic simulated clock, advanced only by the event loop."""
+
+    __slots__ = ("_now",)
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
@@ -39,35 +50,82 @@ class SimClock:
         return f"SimClock(now={self._now:.6f})"
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordering is (time, sequence number)."""
+    """A scheduled callback.  Ordering is (time, sequence number).
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    Plain ``__slots__`` class rather than a dataclass: millions of these
+    are created per benchmark run and the slot layout roughly halves the
+    per-event memory and construction cost.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "_loop")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any],
+                 label: str = "", cancelled: bool = False,
+                 _loop: Optional["EventLoop"] = None):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        self._loop = _loop
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (the heap entry stays, inert)."""
+        """Prevent the callback from firing (the heap entry stays, inert).
+
+        Cancelling an event that already fired (or left the heap) is a
+        no-op: the loop clears ``_loop`` when it pops an entry, so a late
+        cancel cannot corrupt the live/dead counters.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        loop, self._loop = self._loop, None
+        if loop is not None:
+            loop._note_cancelled()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.seq) <= (other.time, other.seq)
+
+    def __gt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) > (other.time, other.seq)
+
+    def __ge__(self, other: "Event") -> bool:
+        return (self.time, self.seq) >= (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state}, {self.label!r})"
+
+
+#: one ``schedule_many`` entry: (delay, callback) or (delay, callback, label)
+ScheduleEntry = Tuple
 
 
 class EventLoop:
     """A heap-based discrete-event scheduler.
 
-    The loop deliberately stays tiny: ``schedule``, ``run``, ``run_until``
-    and ``step``.  Everything that looks like concurrency in the agent
-    system (meets, migrations, timers, failure injection) is expressed as
-    callbacks scheduled here.
+    The loop deliberately stays tiny: ``schedule``, ``schedule_many``,
+    ``run``, ``run_until`` and ``step``.  Everything that looks like
+    concurrency in the agent system (meets, migrations, timers, failure
+    injection) is expressed as callbacks scheduled here.
     """
+
+    #: compaction is skipped below this heap size (not worth the churn)
+    _COMPACT_MIN = 64
 
     def __init__(self, clock: Optional[SimClock] = None):
         self.clock = clock if clock is not None else SimClock()
         self._heap: List[Event] = []
-        self._sequence = itertools.count()
+        self._next_seq = 0
         self._processed = 0
+        #: not-yet-cancelled events still queued (kept O(1) for ``pending``)
+        self._live = 0
+        #: cancelled events still occupying heap slots (lazy deletion debt)
+        self._dead = 0
 
     # -- scheduling -------------------------------------------------------------
 
@@ -75,13 +133,73 @@ class EventLoop:
         """Run *callback* after *delay* simulated seconds; return a cancellable handle."""
         if delay < 0:
             raise KernelError(f"cannot schedule an event {delay} seconds in the past")
-        event = Event(self.clock.now + delay, next(self._sequence), callback, label)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(self.clock.now + delay, seq, callback, label, _loop=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
+    def schedule_many(self, entries: Iterable[Sequence]) -> List[Event]:
+        """Schedule a batch of ``(delay, callback[, label])`` entries at once.
+
+        The kernel uses this on the meet/spawn hot paths where one syscall
+        produces several events: the per-call validation and bookkeeping is
+        paid once, and large batches are heapified in bulk instead of paying
+        ``len(entries)`` sift-downs.
+        """
+        now = self.clock.now
+        events: List[Event] = []
+        for entry in entries:
+            delay = entry[0]
+            if delay < 0:
+                raise KernelError(f"cannot schedule an event {delay} seconds in the past")
+            label = entry[2] if len(entry) > 2 else ""
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            events.append(Event(now + delay, seq, entry[1], label, _loop=self))
+        if not events:
+            return events
+        # Bulk heapify beats repeated pushes once the batch is a sizeable
+        # fraction of the heap; for the common 2-3 event batch, push.
+        if len(events) > 8 and len(events) * 4 >= len(self._heap):
+            self._heap.extend(events)
+            heapq.heapify(self._heap)
+        else:
+            for event in events:
+                heapq.heappush(self._heap, event)
+        self._live += len(events)
+        return events
+
     def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> Event:
-        """Run *callback* at absolute simulated time *timestamp*."""
-        return self.schedule(max(0.0, timestamp - self.clock.now), callback, label)
+        """Run *callback* at absolute simulated time *timestamp*.
+
+        Timestamps within :data:`PAST_EPSILON` of the current time are
+        clamped to "now" (tolerating float jitter); anything genuinely in
+        the past raises — silently rewriting history hid real scheduling
+        bugs (see ``schedule``, which has always rejected negative delays).
+        """
+        delta = timestamp - self.clock.now
+        if delta < -PAST_EPSILON:
+            raise KernelError(
+                f"cannot schedule an event at {timestamp}: "
+                f"it is {-delta} seconds in the past (now={self.clock.now})")
+        return self.schedule(max(0.0, delta), callback, label)
+
+    # -- lazy-deletion bookkeeping ----------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts once debt exceeds half the heap."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead * 2 > len(self._heap) and len(self._heap) >= self._COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Purge cancelled entries and rebuild the heap in one O(n) pass."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     # -- execution ----------------------------------------------------------------
 
@@ -92,8 +210,8 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -105,7 +223,10 @@ class EventLoop:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
+            event._loop = None  # off the heap: late cancels must not count
+            self._live -= 1
             self.clock._advance_to(event.time)
             self._processed += 1
             event.callback()
@@ -143,6 +264,7 @@ class EventLoop:
     def _peek(self) -> Optional[Event]:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._dead -= 1
         return self._heap[0] if self._heap else None
 
     def __repr__(self) -> str:

@@ -97,14 +97,15 @@ class BrokerState:
         rows = self._read_table(_LOADS)
         return {site: LoadEstimate(**row) for site, row in rows.items()}
 
-    def record_report(self, site: str, load: float, at: float) -> bool:
+    def record_report(self, site: str, load: float, at: float,
+                      residents: int = 0) -> bool:
         """Record a monitor report.  Returns True if it was newer than what we had."""
         rows = self._read_table(_LOADS)
         existing = rows.get(site)
         if existing is not None and existing["reported_at"] >= at:
             return False
         rows[site] = {"site": site, "load": float(load), "reported_at": float(at),
-                      "assigned_since_report": 0}
+                      "assigned_since_report": 0, "residents": int(residents)}
         self._write_table(_LOADS, rows)
         self._bump(_REPORTS_SEEN)
         return True
@@ -209,7 +210,8 @@ def make_broker_behaviour(policy: str = "least-loaded",
                 if isinstance(report, dict) and "site" in report:
                     fresh = state.record_report(
                         str(report["site"]), float(report.get("load", 0.0)),
-                        float(report.get("at", ctx.now)))
+                        float(report.get("at", ctx.now)),
+                        residents=int(report.get("residents", 0)))
                     absorbed += 1 if fresh else 0
             yield ctx.end_meet(absorbed)
             return absorbed
@@ -233,7 +235,8 @@ def make_broker_behaviour(policy: str = "least-loaded",
             site = briefcase.get("SITE")
             load = float(briefcase.get("LOAD", 0.0))
             at = float(briefcase.get("AT", ctx.now))
-            fresh = state.record_report(site, load, at)
+            fresh = state.record_report(site, load, at,
+                                        residents=int(briefcase.get("RESIDENTS", 0)))
             briefcase.set("OK", fresh)
             yield ctx.end_meet(fresh)
             return fresh

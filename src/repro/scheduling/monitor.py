@@ -42,6 +42,10 @@ def make_monitor_behaviour(broker_sites: Sequence[str], interval: float = 0.5,
             report = {
                 "site": ctx.site_name,
                 "load": ctx.site_load(),
+                # Raw resident population from the per-site index (the load
+                # metric folds in capacity and background noise; brokers and
+                # dashboards also want the undistorted headcount).
+                "residents": ctx.resident_count(),
                 "at": ctx.now,
             }
             for broker_site in targets:

@@ -49,6 +49,9 @@ class LoadEstimate:
     reported_at: float
     #: how many requests this broker has assigned there since the last report
     assigned_since_report: int = 0
+    #: raw resident-agent headcount the monitor sampled with the report
+    #: (0 for reports from monitors that predate the per-site index)
+    residents: int = 0
 
     def effective_load(self) -> float:
         """Reported load plus the requests routed there since the report.

@@ -85,6 +85,84 @@ def test_agent_ledger_always_balances(n_agents, seed):
         assert AgentState.is_terminal(agent.state)
 
 
+def _index_helper(ctx, bc):
+    yield ctx.end_meet("hi")
+    return "helper-done"
+
+
+def _index_child(ctx, bc):
+    yield ctx.sleep(0.02)
+    return "child-done"
+
+
+def _index_worker(ctx, bc):
+    action = bc.get("ACTION", "idle")
+    if action == "spawn":
+        yield ctx.spawn(_index_child)
+    elif action == "meet":
+        yield ctx.meet("index_helper", Briefcase())
+    elif action == "jump":
+        # Re-ship ourselves to TARGET via rexec -> network -> arrival, which
+        # exercises the arrival path of the index.
+        bc.set("ACTION", "idle")
+        yield ctx.jump(bc, bc.get("TARGET"))
+        return "moved"
+    yield ctx.sleep(0.05)
+    return "done"
+
+
+register_behaviour("index_worker", _index_worker, replace=True)
+
+
+def _assert_index_matches_brute_force(kernel):
+    for name in kernel.site_names():
+        indexed = sorted(agent.agent_id for agent in kernel.agents_at(name))
+        brute = sorted(agent.agent_id for agent in kernel._agents_at_scan(name))
+        assert indexed == brute
+        assert kernel.site(name).resident_count() == len(brute)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["launch", "crash", "recover", "step"]),
+                          st.integers(min_value=0, max_value=3)),
+                max_size=25),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_per_site_index_always_matches_brute_force_scan(ops, seed):
+    """agents_at(s) via the index == the O(all agents) ledger scan, at every
+    point of a random launch/meet/spawn/jump/crash/recover/arrival history."""
+    sites = [f"s{i}" for i in range(4)]
+    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=seed))
+    for name in sites:
+        kernel.install_agent(name, "index_helper", _index_helper)
+    import random as _random
+    rng = _random.Random(seed)
+
+    for kind, value in ops:
+        site = sites[value % len(sites)]
+        if kind == "launch":
+            briefcase = Briefcase()
+            briefcase.set("ACTION", rng.choice(["idle", "spawn", "meet", "jump"]))
+            briefcase.set("TARGET", rng.choice(sites))
+            kernel.launch(site, "index_worker", briefcase)
+        elif kind == "crash":
+            kernel.crash_site(site)
+        elif kind == "recover":
+            kernel.recover_site(site)
+        elif kind == "step":
+            kernel.run(max_events=5 * (value + 1))
+        _assert_index_matches_brute_force(kernel)
+
+    for name in sites:
+        kernel.recover_site(name)
+    kernel.run()
+    _assert_index_matches_brute_force(kernel)
+    for name in sites:
+        assert kernel.agents_at(name) == []
+    counters = kernel.counters()
+    assert counters["completed"] + counters["failed"] + counters["killed"] == \
+        counters["launched"]
+
+
 @given(st.integers(min_value=4, max_value=14), st.integers(min_value=0, max_value=100))
 @settings(max_examples=25, deadline=None)
 def test_diffusion_covers_exactly_the_reachable_sites(n_sites, seed):

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import (DataGatherParams, ItineraryParams, build_gather_kernel,
+from repro.bench import (DataGatherParams, HighPopulationParams, ItineraryParams,
+                         build_gather_kernel, execute_high_population,
                          populate_data_sites, run_agent_gather, run_client_server_gather,
-                         run_itinerary)
+                         run_high_population, run_itinerary)
 from repro.bench.workloads import DATA_CABINET, RECORDS_FOLDER
 
 
@@ -111,3 +112,27 @@ class TestItineraries:
         long = run_itinerary(ItineraryParams(transport="tcp", hops=12))
         assert long.duration > short.duration
         assert long.hops_completed == 12
+
+
+class TestHighPopulation:
+    SMALL = HighPopulationParams(n_sites=6, n_agents=300, wave_size=60,
+                                 work_seconds=0.02, seed=9)
+
+    def test_every_agent_completes(self):
+        result = run_high_population(self.SMALL)
+        assert result.agents_launched == 300
+        assert result.agents_completed == 300
+        assert result.sim_seconds > 0
+
+    def test_balancer_spreads_the_population(self):
+        result = run_high_population(self.SMALL)
+        # Perfectly divisible workload on identical sites: near-even spread.
+        assert result.placement_spread <= 2
+        assert result.load_queries == 300 * 6
+
+    def test_index_is_clean_after_the_run(self):
+        kernel, result = execute_high_population(self.SMALL)
+        for name in kernel.site_names():
+            assert kernel.agents_at(name) == []
+            assert kernel.site(name).resident_count() == 0
+        assert result.peak_residents > 0

@@ -111,6 +111,27 @@ class TestWholeBriefcaseOperations:
         right.folder("X").push(2)
         assert left.folder("X").elements() == [1]
 
+    def test_merge_append_path_does_not_alias_stored_elements(self):
+        # Regression: the non-replace merge path spliced the source folder's
+        # stored element objects straight into the destination, while the
+        # replace path copied — a mutable buffer that bypassed the bytes
+        # normalisation (here: a raw-tagged bytearray, as a hand-built wire
+        # payload might carry) ended up shared by both briefcases.
+        source = Briefcase([Folder("DATA", [b"one"])])
+        raw = bytearray(b"Rmutable")
+        source.folder("DATA")._elements.append(raw)
+        destination = Briefcase([Folder("DATA", [b"zero"])])
+        destination.merge(source)
+        raw[1:] = b"CHANGED!"
+        assert destination.folder("DATA").raw_elements()[-1] == b"Rmutable"
+        # And the merged elements honour the "stored elements are immutable
+        # bytes" folder contract in both merge paths.
+        fresh = Briefcase()
+        fresh.merge(source)
+        for briefcase in (destination, fresh):
+            for stored in briefcase.folder("DATA").raw_elements():
+                assert type(stored) is bytes
+
     def test_split_extracts_named_folders(self):
         briefcase = Briefcase([Folder("A", [1]), Folder("B", [2]), Folder("C", [3])])
         extracted = briefcase.split(["A", "C"])

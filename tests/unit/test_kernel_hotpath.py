@@ -1,0 +1,288 @@
+"""Regression and behaviour tests for the kernel hot-path overhaul.
+
+Covers the per-site resident index, the batched launch path, the memoised
+CODE-element derivation, and the bundled bugfixes: the undeliverable-message
+ledger, generator ``finally:`` execution on every terminal path, and the
+consistency of the index under crash/recover sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.core.agent import AgentState
+from repro.core.registry import register_behaviour
+from repro.net import lan
+from repro.net.message import Message, MessageKind
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(lan(["a", "b", "c"], latency=0.05), transport="tcp",
+                  config=KernelConfig(rng_seed=11))
+
+
+def _assert_index_matches_scan(kernel):
+    for name in kernel.site_names():
+        indexed = {agent.agent_id for agent in kernel.agents_at(name)}
+        brute = {agent.agent_id for agent in kernel._agents_at_scan(name)}
+        assert indexed == brute
+        assert kernel.site(name).resident_count() == len(brute)
+
+
+class TestResidentIndex:
+    def test_index_matches_scan_through_a_run(self, kernel):
+        def worker(ctx, bc):
+            yield ctx.sleep(0.05)
+            return "ok"
+
+        for index in range(9):
+            kernel.launch("abc"[index % 3], worker)
+        _assert_index_matches_scan(kernel)
+        kernel.run(until=0.01)
+        _assert_index_matches_scan(kernel)
+        kernel.run()
+        _assert_index_matches_scan(kernel)
+        for name in kernel.site_names():
+            assert kernel.agents_at(name) == []
+            assert len(kernel.agents_at(name, active_only=False)) == 3
+
+    def test_site_load_uses_resident_count(self, kernel):
+        def sleeper(ctx, bc):
+            yield ctx.sleep(10)
+
+        for _ in range(4):
+            kernel.launch("a", sleeper)
+        kernel.run(until=0.1)
+        assert kernel.site_load("a") == pytest.approx(4.0)
+        assert kernel.site("a").resident_count() == 4
+
+    def test_crash_empties_the_site_index_and_recover_keeps_it_empty(self, kernel):
+        def sleeper(ctx, bc):
+            yield ctx.sleep(10)
+
+        for _ in range(3):
+            kernel.launch("b", sleeper)
+        kernel.run(until=0.1)
+        assert kernel.site("b").resident_count() == 3
+        kernel.crash_site("b")
+        assert kernel.site("b").resident_count() == 0
+        assert kernel.agents_at("b") == []
+        assert kernel.killed == 3
+        kernel.recover_site("b")
+        assert kernel.site("b").resident_count() == 0
+        _assert_index_matches_scan(kernel)
+
+    def test_agents_at_unknown_site_is_empty(self, kernel):
+        assert kernel.agents_at("ghost") == []
+
+    def test_launch_many_starts_every_agent(self, kernel):
+        def worker(ctx, bc):
+            yield ctx.sleep(0.01)
+            return bc.get("N")
+
+        requests = []
+        for index in range(12):
+            briefcase = Briefcase()
+            briefcase.set("N", index)
+            requests.append(("abc"[index % 3], worker, briefcase))
+        ids = kernel.launch_many(requests)
+        assert len(ids) == 12
+        _assert_index_matches_scan(kernel)
+        kernel.run()
+        assert [kernel.result_of(agent_id) for agent_id in ids] == list(range(12))
+        assert kernel.launched == 12
+
+    def test_launch_many_is_atomic_on_bad_entries(self, kernel):
+        def worker(ctx, bc):
+            yield ctx.sleep(0)
+
+        from repro.core.errors import KernelError, UnknownSiteError
+        with pytest.raises(UnknownSiteError):
+            kernel.launch_many([("a", worker), ("ghost", worker)])
+        with pytest.raises(KernelError):
+            kernel.launch_many([("a", worker)], delay=-0.1)
+        # A bad entry (or delay) must not leave earlier ones half-launched
+        # (registered and indexed, but never scheduled to start).
+        assert kernel.launched == 0
+        assert kernel.agents == {}
+        assert kernel.site("a").resident_count() == 0
+
+    def test_meet_and_spawn_maintain_the_index(self, kernel):
+        def child(ctx, bc):
+            yield ctx.sleep(0.02)
+            return "child"
+
+        def helper(ctx, bc):
+            yield ctx.end_meet("hello")
+            return "helper"
+
+        def parent(ctx, bc):
+            kernel_ = ctx._kernel
+            _assert_index_matches_scan(kernel_)
+            yield ctx.spawn(child)
+            result = yield ctx.meet("helper", Briefcase())
+            _assert_index_matches_scan(kernel_)
+            return result.value
+
+        kernel.install_agent("a", "helper", helper)
+        agent_id = kernel.launch("a", parent)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "hello"
+        _assert_index_matches_scan(kernel)
+
+
+class TestCodeElementMemo:
+    def test_registered_behaviour_is_memoised_per_copy(self, kernel):
+        def roamer(ctx, bc):
+            yield ctx.sleep(0)
+
+        register_behaviour("hotpath_roamer", roamer, replace=True)
+        first = kernel._best_effort_code("hotpath_roamer", roamer)
+        second = kernel._best_effort_code("hotpath_roamer", roamer)
+        assert first == {"kind": "registered", "name": "hotpath_roamer"}
+        assert second == first
+        # Copies are independent: an agent rewriting its element cannot
+        # poison the cache for its siblings.
+        assert second is not first
+        second["name"] = "mutated"
+        assert kernel._best_effort_code("hotpath_roamer", roamer)["name"] == \
+            "hotpath_roamer"
+
+    def test_unregistered_miss_is_invalidated_by_registration(self, kernel):
+        def local_only(ctx, bc):
+            yield ctx.sleep(0)
+
+        assert kernel._best_effort_code(local_only, local_only) is None
+        register_behaviour("hotpath_late", local_only, replace=True)
+        element = kernel._best_effort_code(local_only, local_only)
+        assert element == {"kind": "registered", "name": "hotpath_late"}
+
+    def test_replace_registration_invalidates_stale_entries(self, kernel):
+        def original(ctx, bc):
+            yield ctx.sleep(0)
+
+        def replacement(ctx, bc):
+            yield ctx.sleep(0)
+
+        register_behaviour("hotpath_swap", original, replace=True)
+        assert kernel._best_effort_code(original, original) == \
+            {"kind": "registered", "name": "hotpath_swap"}
+        # Rebinding the name (registry size unchanged) must not leave a
+        # cached element shipping 'original' under a name that now resolves
+        # to 'replacement' at the destination.
+        register_behaviour("hotpath_swap", replacement, replace=True)
+        assert kernel._best_effort_code(original, original) is None
+        assert kernel._best_effort_code(replacement, replacement) == \
+            {"kind": "registered", "name": "hotpath_swap"}
+
+    def test_cache_is_size_capped(self, kernel):
+        for index in range(kernel._CODE_CACHE_MAX + 10):
+            kernel._best_effort_code(f"no-such-behaviour-{index}", None)
+        assert len(kernel._code_cache) <= kernel._CODE_CACHE_MAX
+
+
+class TestUndeliverableLedger:
+    def test_message_to_kernel_crashed_site_is_counted(self, kernel):
+        """A site whose kernel died mid-flight (network link still up)."""
+
+        def sender(ctx, bc):
+            payload = Briefcase()
+            payload.set("X", 1)
+            accepted = yield ctx.transmit("b", "ag_py", payload)
+            return accepted
+
+        kernel.launch("a", sender, system=True)
+        kernel.run(until=0.01)          # transmit done, delivery in flight
+        assert kernel.undeliverable == 0
+        # The kernel at b stops serving while the network keeps routing to
+        # it (crash_site would also partition the topology, which makes the
+        # transport drop the message before it ever reaches the site).
+        kernel.site("b").mark_crashed()
+        kernel.run()
+        assert kernel.undeliverable == 1
+        assert kernel.site("b").undeliverable == 1
+
+    def test_message_to_unregistered_site_is_counted(self, kernel):
+        message = Message(source="a", destination="nowhere",
+                          kind=MessageKind.STATUS, payload={})
+        kernel._on_message("nowhere", message)
+        assert kernel.undeliverable == 1
+
+    def test_healthy_delivery_is_not_counted(self, kernel):
+        def sender(ctx, bc):
+            payload = Briefcase()
+            payload.set("X", 1)
+            yield ctx.transmit("b", "ag_py", payload)
+            return "sent"
+
+        kernel.launch("a", sender, system=True)
+        kernel.run()
+        assert kernel.undeliverable == 0
+        assert kernel.arrivals == 1
+
+
+class TestGeneratorCleanup:
+    def test_crash_site_runs_finally_blocks(self, kernel):
+        cleaned = []
+
+        def holder(ctx, bc):
+            try:
+                yield ctx.sleep(100)
+            finally:
+                cleaned.append(ctx.agent_id)
+
+        agent_id = kernel.launch("a", holder)
+        kernel.run(until=0.1)
+        assert cleaned == []
+        kernel.crash_site("a")
+        assert cleaned == [agent_id]
+        assert kernel.agent(agent_id).state == AgentState.KILLED
+        assert kernel.agent(agent_id).generator is None
+
+    def test_runaway_kill_runs_finally_blocks(self):
+        kernel = Kernel(lan(["a", "b"]), transport="tcp",
+                        config=KernelConfig(rng_seed=5, max_agent_steps=5))
+        cleaned = []
+
+        def runaway(ctx, bc):
+            try:
+                while True:
+                    yield ctx.sleep(0)
+            finally:
+                cleaned.append(True)
+
+        agent_id = kernel.launch("a", runaway)
+        kernel.run()
+        assert kernel.agent(agent_id).state == AgentState.KILLED
+        assert cleaned == [True]
+
+    def test_terminate_syscall_runs_finally_blocks(self, kernel):
+        cleaned = []
+
+        def early_exit(ctx, bc):
+            try:
+                yield ctx.terminate("early")
+                yield ctx.sleep(1)  # pragma: no cover - never reached
+            finally:
+                cleaned.append(True)
+
+        agent_id = kernel.launch("a", early_exit)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "early"
+        assert cleaned == [True]
+        assert kernel.agent(agent_id).generator is None
+
+    def test_start_at_dead_site_kills_cleanly(self, kernel):
+        def worker(ctx, bc):
+            yield ctx.sleep(0.01)
+
+        kernel.crash_site("c")
+        agent_id = kernel.launch("c", worker)
+        kernel.run()
+        assert kernel.agent(agent_id).state == AgentState.KILLED
+        assert kernel.site("c").resident_count() == 0
+        counters = kernel.counters()
+        assert counters["completed"] + counters["failed"] + counters["killed"] == \
+            counters["launched"]

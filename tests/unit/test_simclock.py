@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import KernelError
-from repro.net.simclock import Event, EventLoop, SimClock
+from repro.net.simclock import PAST_EPSILON, Event, EventLoop, SimClock
 
 
 class TestSimClock:
@@ -123,19 +123,105 @@ class TestEventLoop:
         loop.run()
         assert times == [pytest.approx(2.5)]
 
-    def test_schedule_at_past_time_fires_immediately(self):
+    def test_schedule_at_past_time_raises(self):
+        # schedule() has always rejected negative delays; schedule_at used to
+        # silently clamp past timestamps to "now" instead.  Both entry points
+        # now agree: genuinely past times are scheduling bugs.
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(KernelError):
+            loop.schedule_at(0.5, lambda: None)
+        with pytest.raises(KernelError):
+            loop.schedule(-0.5, lambda: None)
+
+    def test_schedule_at_within_epsilon_clamps_to_now(self):
         loop = EventLoop()
         loop.schedule(1.0, lambda: None)
         loop.run()
         times = []
-        loop.schedule_at(0.5, lambda: times.append(loop.now))
+        loop.schedule_at(1.0 - PAST_EPSILON / 2, lambda: times.append(loop.now))
+        loop.schedule_at(1.0, lambda: times.append(loop.now))
         loop.run()
-        assert times == [pytest.approx(1.0)]
+        assert times == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_schedule_many_batch(self):
+        loop = EventLoop()
+        fired = []
+        events = loop.schedule_many([
+            (0.3, lambda: fired.append("late"), "late"),
+            (0.1, lambda: fired.append("early")),
+            (0.2, lambda: fired.append("middle"), "middle"),
+        ])
+        assert len(events) == 3
+        assert loop.pending == 3
+        loop.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_schedule_many_large_batch_heapifies(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0.05, lambda: fired.append(-1))
+        loop.schedule_many([(0.1 * (index + 1), lambda index=index: fired.append(index))
+                            for index in range(32)])
+        loop.run()
+        assert fired == [-1] + list(range(32))
+
+    def test_schedule_many_interleaves_with_schedule_ordering(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("single"))
+        loop.schedule_many([(1.0, lambda: fired.append("batch-a")),
+                            (1.0, lambda: fired.append("batch-b"))])
+        loop.run()
+        assert fired == ["single", "batch-a", "batch-b"]
+
+    def test_schedule_many_rejects_negative_delay(self):
+        with pytest.raises(KernelError):
+            EventLoop().schedule_many([(0.1, lambda: None), (-0.1, lambda: None)])
+
+    def test_pending_is_live_counter_and_cancelled_entries_compact(self):
+        loop = EventLoop()
+        events = [loop.schedule(1.0 + index, lambda: None) for index in range(200)]
+        assert loop.pending == 200
+        for event in events[:150]:
+            event.cancel()
+        assert loop.pending == 50
+        # Cancelled entries beyond half the heap are purged in bulk.
+        assert len(loop._heap) <= 100
+        assert loop.run() == 50
+
+    def test_cancel_is_idempotent_for_the_live_counter(self):
+        loop = EventLoop()
+        event = loop.schedule(0.1, lambda: None)
+        loop.schedule(0.2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert loop.pending == 1
+        assert loop.run() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        loop = EventLoop()
+        event = loop.schedule(0.1, lambda: None)
+        loop.run()
+        event.cancel()
+        assert loop.pending == 0
+        loop.schedule(0.1, lambda: None)
+        assert loop.pending == 1
+        assert loop.run() == 1
 
     def test_step_on_empty_loop_returns_false(self):
         assert EventLoop().step() is False
 
-    def test_event_ordering_dataclass(self):
+    def test_event_ordering(self):
         early = Event(time=1.0, seq=0, callback=lambda: None)
         late = Event(time=2.0, seq=1, callback=lambda: None)
         assert early < late
+        assert late > early
+        assert early <= late
+
+    def test_event_is_slotted(self):
+        event = Event(time=1.0, seq=0, callback=lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.arbitrary_attribute = 1
