@@ -9,14 +9,20 @@ from repro.bench.baselines import (DATA_SERVER_NAME, DATA_SINK_NAME, PULL_CABINE
 from repro.bench.metrics import (bytes_human, coefficient_of_variation, jains_fairness,
                                  load_imbalance, percentile, ratio, speedup, summarize)
 from repro.bench.report import Report, Table
-from repro.bench.workloads import (DATA_CABINET, GATHER_AGENT_NAME,
-                                   POPULATION_WORKER_NAME, RECORDS_FOLDER,
+from repro.bench.workloads import (CHURN_WORKER_NAME, DATA_CABINET,
+                                   FANIN_COLLECTOR_NAME, FANIN_SENDER_NAME,
+                                   GATHER_AGENT_NAME, POPULATION_WORKER_NAME,
+                                   RECORDS_FOLDER,
+                                   AgentChurnParams, AgentChurnResult,
+                                   CourierFanInParams, CourierFanInResult,
                                    DataGatherParams, GatherResult,
                                    HighPopulationParams, HighPopulationResult,
                                    ItineraryParams, ItineraryResult,
-                                   build_gather_kernel, execute_high_population,
-                                   populate_data_sites, run_agent_gather,
-                                   run_client_server_gather, run_high_population,
+                                   build_gather_kernel, execute_agent_churn,
+                                   execute_high_population,
+                                   populate_data_sites, run_agent_churn,
+                                   run_agent_gather, run_client_server_gather,
+                                   run_courier_fan_in, run_high_population,
                                    run_itinerary)
 
 __all__ = [
@@ -28,7 +34,10 @@ __all__ = [
     "ItineraryParams", "ItineraryResult", "run_itinerary",
     "HighPopulationParams", "HighPopulationResult", "execute_high_population",
     "run_high_population",
+    "AgentChurnParams", "AgentChurnResult", "execute_agent_churn", "run_agent_churn",
+    "CourierFanInParams", "CourierFanInResult", "run_courier_fan_in",
     "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME", "POPULATION_WORKER_NAME",
+    "CHURN_WORKER_NAME", "FANIN_COLLECTOR_NAME", "FANIN_SENDER_NAME",
     "install_data_servers", "launch_pull_client", "pull_summary",
     "DATA_SERVER_NAME", "DATA_SINK_NAME", "PULL_CABINET",
 ]

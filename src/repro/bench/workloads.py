@@ -10,16 +10,25 @@ Two workload families are used by several experiments:
   as explicit sweep parameters.
 * **itineraries** (E7): an agent that simply hops through K sites carrying
   a payload of B bytes, used to measure per-transport migration cost.
+
+Two more back the delivery-fabric / lifecycle-ledger benchmark (E10):
+
+* **agent churn**: waves of short-lived agents carrying briefcase ballast,
+  used to compare the lifecycle ledger's retention policies at steady state;
+* **courier fan-in**: many sites courier folders to one collector hub, used
+  to measure what per-destination batching saves in wire messages and
+  simulated time.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 from repro.core.briefcase import Briefcase
 from repro.core.context import AgentContext
+from repro.core.folder import Folder
 from repro.core.kernel import Kernel, KernelConfig
 from repro.core.registry import register_behaviour
 from repro.net.topology import Topology, lan, ring, star, two_clusters
@@ -30,7 +39,10 @@ __all__ = [
     "ItineraryParams", "ItineraryResult", "run_itinerary",
     "HighPopulationParams", "HighPopulationResult", "execute_high_population",
     "run_high_population",
+    "AgentChurnParams", "AgentChurnResult", "execute_agent_churn", "run_agent_churn",
+    "CourierFanInParams", "CourierFanInResult", "run_courier_fan_in",
     "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME", "POPULATION_WORKER_NAME",
+    "CHURN_WORKER_NAME", "FANIN_COLLECTOR_NAME", "FANIN_SENDER_NAME",
 ]
 
 #: cabinet each data site stores its records in
@@ -337,6 +349,243 @@ def execute_high_population(params: HighPopulationParams):
 def run_high_population(params: HighPopulationParams) -> HighPopulationResult:
     """Run the high-population load-balancing scenario for *params*."""
     return execute_high_population(params)[1]
+
+
+# ---------------------------------------------------------------------------
+# agent churn workload — E10a (lifecycle ledger retention)
+# ---------------------------------------------------------------------------
+
+#: registered name of the churn worker
+CHURN_WORKER_NAME = "churn_worker"
+
+
+@dataclass
+class AgentChurnParams:
+    """The E10a retention scenario: sustained churn of short-lived agents.
+
+    Each worker carries *ballast_bytes* of briefcase payload, which is
+    exactly the state the ``keep-results`` retention policy sheds when the
+    agent turns terminal.  Checkpoints after each wave record what the
+    lifecycle ledger is actually retaining.
+    """
+
+    n_sites: int = 5
+    n_agents: int = 50_000
+    wave_size: int = 2_500
+    work_seconds: float = 0.01
+    ballast_bytes: int = 256
+    retention: str = "keep-all"
+    transport: str = "tcp"
+    seed: int = 19
+    #: how many early agent ids to sample for post-run result_of checks
+    sample_results: int = 50
+
+    def site_names(self) -> List[str]:
+        return [f"churn{i:02d}" for i in range(max(1, self.n_sites))]
+
+
+@dataclass
+class AgentChurnResult:
+    """Outcome of one churn run under one retention policy."""
+
+    retention: str
+    agents_launched: int
+    agents_completed: int
+    sim_seconds: float
+    #: per-wave snapshots of the ledger: launched so far, entries retained,
+    #: full instances retained, compact records retained
+    checkpoints: List[Dict[str, int]] = field(default_factory=list)
+    #: agent ids sampled from the earliest wave (for result_of probes)
+    sample_ids: List[str] = field(default_factory=list)
+    #: final ledger composition
+    retained_entries: int = 0
+    retained_instances: int = 0
+    retained_records: int = 0
+    evicted: int = 0
+
+
+def _churn_worker(ctx: AgentContext, briefcase: Briefcase):
+    """One unit of churn: hold some ballast, work briefly, finish."""
+    yield ctx.sleep(float(briefcase.get("WORK", 0.01)))
+    return ctx.site_name
+
+
+register_behaviour(CHURN_WORKER_NAME, _churn_worker, replace=True)
+
+
+def execute_agent_churn(params: AgentChurnParams):
+    """Run the churn scenario; returns ``(kernel, result)``."""
+    sites = params.site_names()
+    kernel = Kernel(lan(sites), transport=params.transport,
+                    config=KernelConfig(rng_seed=params.seed,
+                                        retention=params.retention))
+    launched = 0
+    checkpoints: List[Dict[str, int]] = []
+    sample_ids: List[str] = []
+    while launched < params.n_agents:
+        wave = min(params.wave_size, params.n_agents - launched)
+        requests = []
+        for index in range(wave):
+            briefcase = Briefcase()
+            briefcase.set("WORK", params.work_seconds)
+            briefcase.set("BALLAST", b"\0" * params.ballast_bytes)
+            requests.append((sites[(launched + index) % len(sites)],
+                             CHURN_WORKER_NAME, briefcase))
+        ids = kernel.launch_many(requests)
+        if not sample_ids:
+            sample_ids = ids[:params.sample_results]
+        launched += wave
+        kernel.run()  # drain the wave: the churn is sequential by design
+        kinds = kernel.table.ledger_entry_kinds()
+        checkpoints.append({
+            "launched": kernel.launched,
+            "retained": len(kernel.table),
+            "instances": kinds["instances"],
+            "records": kinds["records"],
+        })
+    kinds = kernel.table.ledger_entry_kinds()
+    result = AgentChurnResult(
+        retention=kernel.table.retention.name,
+        agents_launched=kernel.launched,
+        agents_completed=kernel.completed,
+        sim_seconds=kernel.now,
+        checkpoints=checkpoints,
+        sample_ids=sample_ids,
+        retained_entries=len(kernel.table),
+        retained_instances=kinds["instances"],
+        retained_records=kinds["records"],
+        evicted=kernel.table.evicted,
+    )
+    return kernel, result
+
+
+def run_agent_churn(params: AgentChurnParams) -> AgentChurnResult:
+    """Run the churn scenario for *params*."""
+    return execute_agent_churn(params)[1]
+
+
+# ---------------------------------------------------------------------------
+# courier fan-in workload — E10b (delivery-fabric batching)
+# ---------------------------------------------------------------------------
+
+#: name the collector contact runs under at the hub
+FANIN_COLLECTOR_NAME = "fanin_collector"
+#: registered name of the per-site sender
+FANIN_SENDER_NAME = "fanin_sender"
+#: hub cabinet where collected folders are filed
+FANIN_CABINET = "fanin"
+
+
+@dataclass
+class CourierFanInParams:
+    """The E10b batching scenario: N sites courier folders into one hub.
+
+    With ``batch_window == 0`` every folder is one wire message (the
+    pre-fabric behaviour); with a positive window, each sender site's
+    folders coalesce per flush window into one batched message.
+    ``serialize_setup`` applies the source-serialized setup cost model (one
+    rsh fork / handshake at a time per site) under which batching pays in
+    simulated time as well as in messages and header bytes.
+    """
+
+    n_senders: int = 20
+    deliveries_per_sender: int = 50
+    payload_bytes: int = 200
+    batch_window: float = 0.0
+    serialize_setup: bool = True
+    transport: str = "rsh"
+    hub_name: str = "hub"
+    seed: int = 23
+    link_latency: float = 0.01
+    link_bandwidth: float = 250_000.0
+
+    def sender_names(self) -> List[str]:
+        return [f"sender{i:02d}" for i in range(max(1, self.n_senders))]
+
+
+@dataclass
+class CourierFanInResult:
+    """Outcome of one fan-in run."""
+
+    batch_window: float
+    deliveries_requested: int
+    folders_received: int
+    wire_messages: int
+    batches: int
+    batched_messages: int
+    bytes_on_wire: int
+    header_bytes_saved: int
+    sim_seconds: float
+
+
+def _fanin_collector(ctx: AgentContext, briefcase: Briefcase):
+    """Hub-side contact: file the delivered report into the fan-in cabinet."""
+    payload_name = briefcase.get("PAYLOAD_NAME")
+    elements = (briefcase.folder(payload_name).elements()
+                if payload_name and briefcase.has(payload_name) else [])
+    ctx.cabinet(FANIN_CABINET).put("received", {
+        "from": briefcase.get("SENDER_SITE"),
+        "reports": len(elements),
+        "at": ctx.now,
+    })
+    yield ctx.sleep(0)
+    return len(elements)
+
+
+def _fanin_sender(ctx: AgentContext, briefcase: Briefcase):
+    """Courier *COUNT* report folders to the hub, one meet per folder."""
+    hub = briefcase.get("HUB")
+    count = int(briefcase.get("COUNT", 1))
+    size = int(briefcase.get("BYTES", 0))
+    accepted = 0
+    for index in range(count):
+        folder = Folder("REPORT", [{
+            "from": ctx.site_name,
+            "seq": index,
+            "payload": b"\0" * size,
+        }])
+        result = yield ctx.send_folder(folder, hub, FANIN_COLLECTOR_NAME)
+        if result is not None and result.value:
+            accepted += 1
+    return accepted
+
+
+register_behaviour(FANIN_SENDER_NAME, _fanin_sender, replace=True)
+
+
+def run_courier_fan_in(params: CourierFanInParams) -> CourierFanInResult:
+    """Run the courier fan-in scenario for *params*."""
+    senders = params.sender_names()
+    topology = star(params.hub_name, senders, latency=params.link_latency,
+                    bandwidth=params.link_bandwidth)
+    kernel = Kernel(topology, transport=params.transport,
+                    config=KernelConfig(
+                        rng_seed=params.seed,
+                        delivery_batch_window=params.batch_window,
+                        serialize_transport_setup=params.serialize_setup))
+    kernel.install_agent(params.hub_name, FANIN_COLLECTOR_NAME, _fanin_collector)
+    for site in senders:
+        briefcase = Briefcase()
+        briefcase.set("HUB", params.hub_name)
+        briefcase.set("COUNT", params.deliveries_per_sender)
+        briefcase.set("BYTES", params.payload_bytes)
+        kernel.launch(site, FANIN_SENDER_NAME, briefcase)
+    # To quiescence: the pending-outbox flush events keep the loop alive
+    # until the last batch has been shipped and unbatched.
+    kernel.run()
+
+    received = kernel.site(params.hub_name).cabinet(FANIN_CABINET).elements("received")
+    return CourierFanInResult(
+        batch_window=params.batch_window,
+        deliveries_requested=params.n_senders * params.deliveries_per_sender,
+        folders_received=len(received),
+        wire_messages=kernel.stats.messages_sent,
+        batches=kernel.stats.batches,
+        batched_messages=kernel.stats.batched_messages,
+        bytes_on_wire=kernel.stats.bytes_sent,
+        header_bytes_saved=kernel.stats.header_bytes_saved,
+        sim_seconds=kernel.now,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,8 @@ from repro.core.codec import (attach_code, behaviour_from_code, code_for, code_f
 from repro.core.context import AgentContext
 from repro.core.folder import Folder
 from repro.core.kernel import Kernel, KernelConfig
+from repro.core.lifecycle import (AgentRecord, AgentTable, KeepAll, KeepCounts,
+                                  KeepResults, RetentionPolicy, make_retention)
 from repro.core.registry import (BehaviourRegistry, default_registry, register_behaviour,
                                  resolve_behaviour)
 from repro.core.site import Site
@@ -41,4 +43,6 @@ __all__ = [
     "code_for", "code_from_source", "attach_code", "behaviour_from_code",
     "pack_briefcase", "unpack_briefcase", "wire_size_of",
     "Site", "Kernel", "KernelConfig",
+    "AgentTable", "AgentRecord", "RetentionPolicy",
+    "KeepAll", "KeepResults", "KeepCounts", "make_retention",
 ]

@@ -59,7 +59,19 @@ class AgentInstance:
 
     The kernel owns these; user code sees them mainly through the kernel's
     ledger when collecting results, and through ``ctx`` while running.
+
+    A ``__slots__`` class: high-population workloads keep hundreds of
+    thousands of these alive at once, and the slot layout roughly halves
+    the per-instance overhead.  Terminal instances can be archived into
+    compact :class:`~repro.core.lifecycle.AgentRecord` objects by the
+    lifecycle ledger's retention policies; records duck-type the read-only
+    surface below (``state``, ``result``, ``finished``, ``ok``, ...).
     """
+
+    __slots__ = ("agent_id", "spec", "name", "site_name", "briefcase", "state",
+                 "system", "parent_id", "meet_parent", "meet_ended", "generator",
+                 "result", "error", "steps", "started_at", "finished_at",
+                 "visited", "children")
 
     def __init__(self, spec: AgentSpec, site_name: str,
                  parent_id: Optional[str] = None, meet_parent: Optional[str] = None):

@@ -156,13 +156,20 @@ class AgentContext:
         return Meet("rexec", briefcase)
 
     def send_folder(self, folder: Folder, destination_site: str,
-                    destination_agent: str) -> Meet:
-        """Meet the courier to deliver *folder* to an agent on another site."""
+                    destination_agent: str, kind: Optional[str] = None) -> Meet:
+        """Meet the courier to deliver *folder* to an agent on another site.
+
+        *kind* optionally overrides the wire message kind (the courier
+        defaults to ``folder-delivery``); monitors pass ``status`` so load
+        reports coalesce in the delivery fabric alongside folder traffic.
+        """
         request = Briefcase()
         request.add(folder.copy())
         request.set(HOST_FOLDER, destination_site)
         request.set(CONTACT_FOLDER, destination_agent)
         request.set("PAYLOAD_NAME", folder.name)
+        if kind is not None:
+            request.set("KIND", kind)
         return Meet("courier", request)
 
     def __repr__(self) -> str:

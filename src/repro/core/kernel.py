@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from types import MappingProxyType
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Union)
 
 from repro.core.agent import AgentInstance, AgentSpec, AgentState
 from repro.core.briefcase import Briefcase
@@ -31,6 +33,7 @@ from repro.core.codec import (code_element_copy, code_element_of, pack_briefcase
 from repro.core.context import AgentContext
 from repro.core.errors import (KernelError, MeetError, SyscallError, UnknownAgentError,
                                UnknownSiteError)
+from repro.core.lifecycle import AgentTable, RetentionPolicy
 from repro.core.registry import BehaviourRegistry, default_registry
 from repro.core.site import Site
 from repro.core.syscalls import EndMeet, Meet, MeetResult, Sleep, Spawn, Syscall, Terminate, Transmit
@@ -71,6 +74,16 @@ class KernelConfig:
     max_agent_steps: int = 1_000_000
     #: seed for every random stream derived by the kernel
     rng_seed: int = 42
+    #: terminal-agent retention policy of the lifecycle ledger: "keep-all",
+    #: "keep-results", "keep-counts[:N]" or a RetentionPolicy instance (see
+    #: :mod:`repro.core.lifecycle`)
+    retention: Union[str, "RetentionPolicy"] = "keep-all"
+    #: delivery-fabric flush window in simulated seconds; 0 disables
+    #: batching and preserves one-wire-message-per-folder behaviour
+    delivery_batch_window: float = 0.0
+    #: serialize per-message transport setup at each source site (the cost
+    #: model under which batching pays in simulated time, not just bytes)
+    serialize_transport_setup: bool = False
 
 
 class Kernel:
@@ -92,13 +105,17 @@ class Kernel:
     registry:
         Behaviour registry used to resolve names; defaults to the
         process-wide registry.
+    retention:
+        Terminal-agent retention policy for the lifecycle ledger; overrides
+        ``config.retention`` when given (see :mod:`repro.core.lifecycle`).
     """
 
     def __init__(self, topology: Optional[Topology] = None,
                  transport: Union[str, Transport, type] = "tcp",
                  config: Optional[KernelConfig] = None,
                  install_system_agents: bool = True,
-                 registry: Optional[BehaviourRegistry] = None):
+                 registry: Optional[BehaviourRegistry] = None,
+                 retention: Union[str, RetentionPolicy, None] = None):
         self.config = config or KernelConfig()
         self.topology = topology if topology is not None else lan(["alpha", "beta", "gamma"])
         self.loop = EventLoop()
@@ -106,6 +123,12 @@ class Kernel:
         self.registry = registry or default_registry()
         self.rng = random.Random(self.config.rng_seed)
         self.transport = self._make_transport(transport)
+        if self.config.delivery_batch_window != 0 or self.config.serialize_transport_setup:
+            # != 0 (not > 0) so a negative window reaches configure_batching
+            # and raises there instead of silently running with batching off.
+            self.transport.configure_batching(
+                self.config.delivery_batch_window,
+                serialize_setup=self.config.serialize_transport_setup)
 
         self.sites: Dict[str, Site] = {}
         for name in self.topology.sites():
@@ -113,7 +136,10 @@ class Kernel:
             self.sites[name] = site
             self.transport.register_endpoint(name, self._make_site_handler(name))
 
-        self.agents: Dict[str, AgentInstance] = {}
+        #: the lifecycle ledger: registration, indexes, retention (the
+        #: kernel's agent-facing API delegates here)
+        self.table = AgentTable(retention if retention is not None
+                                else self.config.retention)
         self.event_log: List[tuple] = []
         #: memo for _best_effort_code: deriving a CODE element per
         #: launch/meet/arrival re-ran registry reverse lookups (and raised
@@ -123,11 +149,10 @@ class Kernel:
         self._code_cache: Dict[Any, Optional[dict]] = {}
         self._code_cache_version = self.registry.version
 
-        # Ledger counters read by experiments and tests.
-        self.launched = 0
-        self.completed = 0
-        self.failed = 0
-        self.killed = 0
+        # Ledger counters read by experiments and tests.  The agent-state
+        # counters (launched/completed/failed/killed) live in the lifecycle
+        # table and are exposed below as properties; these four are kernel
+        # events the table does not see.
         self.meets = 0
         self.transmits = 0
         self.arrivals = 0
@@ -195,7 +220,7 @@ class Kernel:
 
     def _agents_at_scan(self, site_name: str, active_only: bool = True) -> List[AgentInstance]:
         """Brute-force O(all agents) scan; the reference the index is checked against."""
-        return [agent for agent in self.agents.values()
+        return [agent for agent in self.table.entries.values()
                 if agent.site_name == site_name and (not active_only or not agent.finished)]
 
     def site_load(self, site_name: str) -> float:
@@ -216,6 +241,9 @@ class Kernel:
         Returns the new agent's id; results are read back later through
         :meth:`result_of` or :meth:`agent`.
         """
+        if delay < 0:
+            raise KernelError(f"cannot schedule agent starts {delay} seconds "
+                              f"in the past")
         site = self.site(site_name)
         resolved, resolved_system = self._resolve_behaviour(site, behaviour)
         spec = AgentSpec(
@@ -324,17 +352,12 @@ class Kernel:
         return element
 
     def _register(self, instance: AgentInstance) -> None:
-        self.agents[instance.agent_id] = instance
-        self.launched += 1
-        site = self.sites.get(instance.site_name)
-        if site is not None:
-            site.add_resident(instance)
+        """Enter a new instance into the lifecycle ledger + site index."""
+        self.table.register(instance, self.sites.get(instance.site_name))
 
-    def _unindex(self, instance: AgentInstance) -> None:
-        """Drop a terminal instance from its site's resident index."""
-        site = self.sites.get(instance.site_name)
-        if site is not None:
-            site.remove_resident(instance.agent_id)
+    def _retire(self, instance: AgentInstance) -> None:
+        """Hand a terminal instance to the ledger: unindex, count, archive."""
+        self.table.retire(instance, self.sites.get(instance.site_name))
 
     # ------------------------------------------------------------------
     # running the simulation
@@ -352,22 +375,62 @@ class Kernel:
         return self.loop.now
 
     # ------------------------------------------------------------------
-    # agent bookkeeping
+    # agent bookkeeping (thin delegations to the lifecycle AgentTable)
     # ------------------------------------------------------------------
 
+    @property
+    def agents(self) -> Mapping[str, AgentInstance]:
+        """A read-only view of the lifecycle ledger's entries.
+
+        Values are live :class:`AgentInstance` objects, or compact
+        :class:`~repro.core.lifecycle.AgentRecord` archives for terminal
+        agents under the ``keep-results``/``keep-counts`` retention policies.
+        A mapping proxy, not the dict itself: external mutation would desync
+        the table's name index and state counters.
+        """
+        return MappingProxyType(self.table.entries)
+
+    @property
+    def launched(self) -> int:
+        """Total agents ever registered (top-level, meet callees, arrivals)."""
+        return self.table.launched
+
+    @property
+    def completed(self) -> int:
+        """Agents that finished normally."""
+        return self.table.completed
+
+    @property
+    def failed(self) -> int:
+        """Agents whose behaviour raised."""
+        return self.table.failed
+
+    @property
+    def killed(self) -> int:
+        """Agents terminated from outside (crashes, runaway enforcement)."""
+        return self.table.killed
+
     def agent(self, agent_id: str) -> AgentInstance:
-        """The instance with the given id."""
-        try:
-            return self.agents[agent_id]
-        except KeyError:
-            raise UnknownAgentError(f"unknown agent id {agent_id!r}") from None
+        """The instance (or archived record) with the given id."""
+        entry = self.table.get(agent_id)
+        if entry is None:
+            raise UnknownAgentError(f"unknown agent id {agent_id!r}")
+        return entry
 
     def agents_named(self, name: str) -> List[AgentInstance]:
-        """Every instance launched under the given name."""
-        return [agent for agent in self.agents.values() if agent.name == name]
+        """Every retained instance launched under the given name.
+
+        O(instances with that name) via the table's name index, not a scan
+        of the full ledger.
+        """
+        return self.table.named(name)
 
     def result_of(self, agent_id: str) -> Any:
-        """The result of a finished agent (raises if it failed or is unfinished)."""
+        """The result of a finished agent (raises if it failed or is unfinished).
+
+        Works for archived records too: ``keep-results`` retention drops the
+        briefcase and spec of a terminal agent but keeps the result readable.
+        """
         instance = self.agent(agent_id)
         if instance.state == AgentState.DONE:
             return instance.result
@@ -378,12 +441,13 @@ class Kernel:
         raise KernelError(f"agent {agent_id} has not finished (state={instance.state})")
 
     def counters(self) -> Dict[str, int]:
-        """Snapshot of the kernel ledger used by tests and benchmark reports."""
+        """Snapshot of the kernel ledger used by tests and benchmark reports.
+
+        Agent-state counts come from the lifecycle table's O(1) snapshot;
+        nothing here scans agent history.
+        """
         return {
-            "launched": self.launched,
-            "completed": self.completed,
-            "failed": self.failed,
-            "killed": self.killed,
+            **self.table.state_counts(),
             "meets": self.meets,
             "transmits": self.transmits,
             "arrivals": self.arrivals,
@@ -421,8 +485,17 @@ class Kernel:
         self.log_event("kernel", name, "site recovered")
 
     def partition(self, groups: Sequence[Iterable[str]]) -> None:
-        """Partition the network into the given site groups."""
+        """Partition the network into the given site groups.
+
+        Pending delivery-fabric outboxes whose pair the partition severed
+        are flushed through the (now partitioned) network immediately: the
+        queued messages had not left their source yet, so cross-partition
+        batches are dropped with normal per-message drop accounting rather
+        than silently surviving the partition.  Same-side outboxes are left
+        coalescing undisturbed.
+        """
         self.topology.set_partition(groups)
+        self.transport.flush_outboxes(only_unroutable=True)
         self.log_event("kernel", "*", f"partition installed: {[list(g) for g in groups]}")
 
     def heal_partition(self) -> None:
@@ -444,9 +517,8 @@ class Kernel:
         if instance.finished:
             return
         instance.mark_killed(self.loop.now, reason=reason)
-        self.killed += 1
         instance.close_generator()
-        self._unindex(instance)
+        self._retire(instance)
 
     def _start(self, instance: AgentInstance) -> None:
         if instance.finished:
@@ -613,7 +685,10 @@ class Kernel:
             declared_size=declared,
         )
         self.transmits += 1
-        event = self.transport.send(message)
+        # Through the delivery fabric: batchable kinds (folder deliveries,
+        # status reports) may coalesce with other traffic to the same
+        # destination; everything else is sent immediately.
+        event = self.transport.post(message)
         accepted = event is not None
         self.loop.schedule(self.config.transmit_overhead + self.config.step_cost,
                            lambda: self._resume(sender, accepted),
@@ -625,18 +700,16 @@ class Kernel:
         if instance.finished:
             return
         instance.mark_done(result, self.loop.now)
-        self.completed += 1
         instance.close_generator()
-        self._unindex(instance)
+        self._retire(instance)
         self._release_meet_parent(instance, result)
 
     def _fail(self, instance: AgentInstance, error: BaseException) -> None:
         if instance.finished:
             return
         instance.mark_failed(error, self.loop.now)
-        self.failed += 1
         instance.close_generator()
-        self._unindex(instance)
+        self._retire(instance)
         self.log_event(instance.agent_id, instance.site_name, f"failed: {error!r}")
         self._release_meet_parent_on_abnormal_end(
             instance, MeetError(f"met agent {instance.name!r} failed: {error!r}"))
@@ -646,7 +719,7 @@ class Kernel:
         if callee.meet_ended or callee.meet_parent is None:
             return
         callee.meet_ended = True
-        parent = self.agents.get(callee.meet_parent)
+        parent = self.table.get(callee.meet_parent)
         if parent is None or parent.finished:
             return
         result = MeetResult(value=value, briefcase=callee.briefcase,
@@ -659,7 +732,7 @@ class Kernel:
         if callee.meet_ended or callee.meet_parent is None:
             return
         callee.meet_ended = True
-        parent = self.agents.get(callee.meet_parent)
+        parent = self.table.get(callee.meet_parent)
         if parent is None or parent.finished:
             return
         self.loop.schedule(self.config.step_cost, lambda: self._resume(parent, error=error),
@@ -681,17 +754,41 @@ class Kernel:
             # site crashed kernel-side while the link stayed up, or was never
             # registered).  These used to vanish without touching the
             # undeliverable ledgers, so crash experiments undercounted loss.
+            # A batch envelope loses every coalesced message it carried.
+            count = (len(message.payload.get("messages", ()))
+                     if message.kind == MessageKind.BATCH else 1)
             if site is not None:
-                site.undeliverable += 1
-            self.undeliverable += 1
+                site.undeliverable += count
+            self.undeliverable += count
             self.log_event("kernel", site_name,
                            f"message {message.kind!r} dropped: site unavailable")
             return
+        if message.kind == MessageKind.BATCH:
+            # Delivery-fabric envelope: unbatch and fan each coalesced
+            # message out through the normal per-kind path (folder
+            # deliveries to their contacts, status reports likewise).
+            delivered_at = message.delivered_at
+            for sub in message.payload.get("messages", ()):
+                sub.delivered_at = delivered_at
+                sub.hops = message.hops
+                self._on_message(site_name, sub)
+            return
+        # Site-level hooks deliberately override the default routing for
+        # their kind — including contact-addressed STATUS traffic below, so
+        # a STATUS hook at a broker site intercepts monitor load reports.
         hook = site.message_hook(message.kind)
         if hook is not None:
             hook(message)
             return
+        payload = message.payload
         if message.kind in (MessageKind.AGENT_TRANSFER, MessageKind.FOLDER_DELIVERY):
+            self._accept_agent_transfer(site, message)
+            return
+        if (message.kind == MessageKind.STATUS and isinstance(payload, dict)
+                and "contact" in payload and "briefcase" in payload):
+            # Contact-addressed status traffic (monitor load reports routed
+            # through the courier) executes its contact like a folder
+            # delivery instead of rotting in the message cabinet.
             self._accept_agent_transfer(site, message)
             return
         # Default path for control/status/data traffic: deposit into the
@@ -735,4 +832,4 @@ class Kernel:
 
     def __repr__(self) -> str:
         return (f"Kernel({len(self.sites)} sites, transport={self.transport.name!r}, "
-                f"agents={len(self.agents)}, t={self.loop.now:.4f})")
+                f"agents={len(self.table)}, t={self.loop.now:.4f})")

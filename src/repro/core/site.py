@@ -82,14 +82,23 @@ class Site:
                 f"site {self.name!r} has no agent installed under {name!r}") from None
 
     # -- resident agents ----------------------------------------------------------
+    #
+    # The resident index is maintained by the kernel's lifecycle ledger
+    # (:class:`~repro.core.lifecycle.AgentTable`): ``register`` calls
+    # ``add_resident`` and ``retire`` calls ``remove_resident``, so the
+    # index can never disagree with the ledger.
 
     def add_resident(self, instance: "AgentInstance") -> None:
-        """Index *instance* as resident here (kernel-maintained)."""
+        """Index *instance* as resident here (lifecycle-ledger handshake)."""
         self._residents[instance.agent_id] = instance
 
     def remove_resident(self, agent_id: str) -> None:
         """Drop an agent from the resident index (no effect if absent)."""
         self._residents.pop(agent_id, None)
+
+    def has_resident(self, agent_id: str) -> bool:
+        """True if the agent is currently indexed as resident here (O(1))."""
+        return agent_id in self._residents
 
     def residents(self) -> List["AgentInstance"]:
         """The resident (non-terminal) agent instances, in arrival order."""

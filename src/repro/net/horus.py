@@ -208,6 +208,7 @@ class HorusTransport(Transport):
 
     def on_site_down(self, site_name: str) -> None:
         """Drop channels touching the site and schedule view changes."""
+        super().on_site_down(site_name)  # drop the fabric's pending outboxes
         self._channels = {pair for pair in self._channels if site_name not in pair}
         for group in self._groups.values():
             if site_name in group.members:

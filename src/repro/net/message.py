@@ -27,8 +27,9 @@ class MessageKind:
     GROUP = "group"                       # Horus multicast / view traffic
     STATUS = "status"                     # monitor -> broker load reports
     DATA = "data"                         # raw data (client-server baseline)
+    BATCH = "batch"                       # delivery-fabric envelope of coalesced messages
 
-    ALL = (AGENT_TRANSFER, FOLDER_DELIVERY, CONTROL, GROUP, STATUS, DATA)
+    ALL = (AGENT_TRANSFER, FOLDER_DELIVERY, CONTROL, GROUP, STATUS, DATA, BATCH)
 
 
 @dataclass
@@ -46,21 +47,39 @@ class Message:
     sent_at: float = 0.0
     delivered_at: Optional[float] = None
     hops: int = 1
+    #: memoised result of :meth:`size_bytes` — the payload is immutable once
+    #: the message is handed to a transport, and send/deliver accounting used
+    #: to re-pickle the payload on every call
+    _size_cache: Optional[int] = field(default=None, init=False, repr=False,
+                                       compare=False)
 
     #: fixed per-message framing charged by the size model (headers, routing)
     HEADER_BYTES = 64
 
     def size_bytes(self) -> int:
-        """Bytes charged to the link for this message."""
+        """Bytes charged to the link for this message (computed once, then cached)."""
+        if self._size_cache is not None:
+            return self._size_cache
         if self.declared_size is not None:
-            return self.HEADER_BYTES + int(self.declared_size)
-        # Estimate by pickling the payload; control payloads are tiny dicts so
-        # the estimate is stable and cheap.
-        try:
-            body = len(pickle.dumps(self.payload, protocol=pickle.HIGHEST_PROTOCOL))
-        except Exception:
-            body = 256
-        return self.HEADER_BYTES + body
+            size = self.HEADER_BYTES + int(self.declared_size)
+        else:
+            # Estimate by pickling the payload; control payloads are tiny
+            # dicts so the estimate is stable and cheap.
+            try:
+                body = len(pickle.dumps(self.payload, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                body = 256
+            size = self.HEADER_BYTES + body
+        self._size_cache = size
+        return size
+
+    def body_bytes(self) -> int:
+        """Bytes of payload excluding the per-message framing header.
+
+        This is what a delivery-fabric batch re-ships: the batch envelope
+        pays :data:`HEADER_BYTES` once for all coalesced messages.
+        """
+        return self.size_bytes() - self.HEADER_BYTES
 
     def latency_seconds(self, latency: float, bandwidth_bytes_per_s: float) -> float:
         """Transfer time over a link with the given latency and bandwidth."""

@@ -34,6 +34,12 @@ class NetworkStats:
     bytes_delivered: int = 0
     migrations: int = 0
     migration_bytes: int = 0
+    #: wire messages that were delivery-fabric batch envelopes
+    batches: int = 0
+    #: logical messages coalesced into those envelopes
+    batched_messages: int = 0
+    #: header bytes the fabric avoided (one envelope header replaces N)
+    header_bytes_saved: int = 0
     per_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_kind_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_link: Dict[Tuple[str, str], LinkStats] = field(default_factory=dict)
@@ -68,6 +74,12 @@ class NetworkStats:
         self.migrations += 1
         self.migration_bytes += size
 
+    def record_batch(self, coalesced: int, header_bytes_saved: int) -> None:
+        """Count one delivery-fabric envelope coalescing *coalesced* messages."""
+        self.batches += 1
+        self.batched_messages += coalesced
+        self.header_bytes_saved += header_bytes_saved
+
     # -- reading -------------------------------------------------------------
 
     def mean_latency(self) -> Optional[float]:
@@ -96,6 +108,9 @@ class NetworkStats:
             "bytes_delivered": self.bytes_delivered,
             "migrations": self.migrations,
             "migration_bytes": self.migration_bytes,
+            "batches": self.batches,
+            "batched_messages": self.batched_messages,
+            "header_bytes_saved": self.header_bytes_saved,
             "mean_latency": self.mean_latency() or 0.0,
             "delivery_ratio": self.delivery_ratio(),
         }

@@ -44,6 +44,7 @@ class TcpTransport(Transport):
 
     def on_site_down(self, site_name: str) -> None:
         """Drop every cached connection that touches the crashed site."""
+        super().on_site_down(site_name)  # drop the fabric's pending outboxes
         self._connections = {pair for pair in self._connections if site_name not in pair}
 
     def connection_count(self) -> int:

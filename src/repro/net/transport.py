@@ -7,6 +7,16 @@ and the transport decides how long delivery takes (setup + latency + bytes /
 bandwidth), whether the message is lost (link loss, site crash, partition)
 and finally invokes the destination site's handler.
 
+On top of the raw point-to-point path sits the **delivery fabric**: a
+per-destination :class:`Outbox` that coalesces batchable messages (courier
+folder deliveries, monitor status reports) addressed to the same site within
+a configurable flush window into one batched wire message.  The batch pays
+one framing header and one setup delay for the whole group — this is where
+batching pays, exactly as the paper's couriers save bandwidth by shipping
+only the payload folder instead of the whole agent.  Batching is off by
+default (``batch_window=0``); the kernel enables it from
+``KernelConfig.delivery_batch_window``.
+
 Concrete transports: :class:`~repro.net.rsh.RshTransport`,
 :class:`~repro.net.tcp.TcpTransport` and
 :class:`~repro.net.horus.HorusTransport`.
@@ -16,18 +26,49 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import NoRouteError, SiteDownError, TransportError
-from repro.net.message import Message
+from repro.net.message import Message, MessageKind
 from repro.net.simclock import Event, EventLoop
 from repro.net.stats import NetworkStats
 from repro.net.topology import Topology
 
-__all__ = ["Transport", "DeliveryHandler"]
+__all__ = ["Transport", "Outbox", "DeliveryHandler", "BATCHABLE_KINDS"]
 
 #: a site-side callback invoked with each delivered message
 DeliveryHandler = Callable[[Message], None]
+
+#: message kinds the delivery fabric may coalesce: payload traffic whose
+#: semantics are per-folder, not per-wire-message.  Agent transfers are
+#: never batched — a migration is latency-sensitive and its loss semantics
+#: (rear guards) are per-agent.
+BATCHABLE_KINDS = (MessageKind.FOLDER_DELIVERY, MessageKind.STATUS)
+
+
+class Outbox:
+    """Pending batchable messages for one (source, destination) pair.
+
+    The first message to enter an empty outbox arms a flush event
+    ``batch_window`` seconds out; everything posted to the same pair before
+    the flush rides in the same batch.
+    """
+
+    __slots__ = ("source", "destination", "messages", "flush_event")
+
+    def __init__(self, source: str, destination: str):
+        self.source = source
+        self.destination = destination
+        self.messages: List[Message] = []
+        #: the armed flush event (None once flushed or dropped)
+        self.flush_event: Optional[Event] = None
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __repr__(self) -> str:
+        return (f"Outbox({self.source}->{self.destination}, "
+                f"{len(self.messages)} pending)")
 
 
 class Transport(abc.ABC):
@@ -35,7 +76,9 @@ class Transport(abc.ABC):
 
     Subclasses customise :meth:`setup_delay` (per-message connection /
     process start-up cost) and may override :meth:`on_site_down` to drop
-    cached state (e.g. TCP connections).
+    cached state (e.g. TCP connections) — overrides must call
+    ``super().on_site_down`` so the delivery fabric's pending outboxes are
+    dropped too.
     """
 
     #: human-readable transport name, used in benchmark output
@@ -49,6 +92,18 @@ class Transport(abc.ABC):
         self.stats = stats if stats is not None else NetworkStats()
         self.rng = rng if rng is not None else random.Random(0)
         self._handlers: Dict[str, DeliveryHandler] = {}
+        #: delivery-fabric flush window in simulated seconds (0 = fabric off)
+        self.batch_window: float = 0.0
+        #: message kinds the fabric may coalesce
+        self.batch_kinds: Tuple[str, ...] = BATCHABLE_KINDS
+        #: pending outboxes keyed by (source, destination)
+        self._outboxes: Dict[Tuple[str, str], Outbox] = {}
+        #: when True, per-message setup delays serialize at the source (one
+        #: rsh fork / connection handshake at a time), which is the cost the
+        #: fabric amortises; off by default to preserve the historical
+        #: infinitely-parallel-source model
+        self.serialize_setup: bool = False
+        self._source_busy_until: Dict[str, float] = {}
 
     # -- endpoint registration -------------------------------------------------
 
@@ -67,10 +122,144 @@ class Transport(abc.ABC):
         """Per-message setup cost in seconds (process start, connection, ...)."""
 
     def on_site_down(self, site_name: str) -> None:
-        """Hook invoked by the kernel when a site crashes."""
+        """Hook invoked by the kernel when a site crashes.
+
+        The base implementation drops every pending outbox that touches the
+        crashed site (messages still queued at a crashed source die with it;
+        messages bound for a crashed destination are counted as drops).
+        Subclasses overriding this must call ``super().on_site_down``.
+        """
+        for key in [key for key in self._outboxes if site_name in key]:
+            self._drop_outbox(key)
+        self._source_busy_until.pop(site_name, None)
 
     def on_site_up(self, site_name: str) -> None:
         """Hook invoked by the kernel when a site recovers."""
+
+    # -- the delivery fabric -----------------------------------------------------
+
+    def configure_batching(self, batch_window: float,
+                           batch_kinds: Optional[Tuple[str, ...]] = None,
+                           serialize_setup: Optional[bool] = None) -> None:
+        """Turn the delivery fabric on/off and tune what it coalesces."""
+        if batch_window < 0:
+            raise TransportError(f"batch window must be >= 0, got {batch_window}")
+        self.batch_window = batch_window
+        if batch_kinds is not None:
+            self.batch_kinds = tuple(batch_kinds)
+        if serialize_setup is not None:
+            self.serialize_setup = serialize_setup
+
+    def post(self, message: Message) -> Optional[Event]:
+        """Hand *message* to the delivery fabric.
+
+        Batchable kinds are coalesced into the per-destination outbox when
+        the fabric is enabled; everything else (and everything when
+        ``batch_window`` is 0) goes straight to :meth:`send`.  Returns the
+        event that will move the message (its own delivery, or the outbox
+        flush it joined), or ``None`` when it was dropped immediately.
+        """
+        if self.batch_window <= 0 or message.kind not in self.batch_kinds:
+            return self.send(message)
+        source, destination = message.source, message.destination
+        if source not in self.topology:
+            raise TransportError(f"unknown source site {source!r}")
+        if destination not in self.topology:
+            raise TransportError(f"unknown destination site {destination!r}")
+        if self._unroutable(source, destination):
+            # Unroutable right now: take the immediate path so the caller
+            # gets the same refusal (None) and the same drop accounting as
+            # with batching off, instead of an "accepted" that the flush is
+            # already known to drop.
+            return self.send(message)
+        key = (source, destination)
+        outbox = self._outboxes.get(key)
+        if outbox is None:
+            outbox = self._outboxes[key] = Outbox(source, destination)
+        message.sent_at = self.loop.now
+        outbox.messages.append(message)
+        if outbox.flush_event is None:
+            outbox.flush_event = self.loop.schedule(
+                self.batch_window, lambda: self._flush_outbox(key),
+                label=f"{self.name}-flush-{source}-{destination}")
+        return outbox.flush_event
+
+    def _flush_outbox(self, key: Tuple[str, str]) -> Optional[Event]:
+        """Ship an outbox's pending messages as one batched wire message."""
+        outbox = self._outboxes.pop(key, None)
+        if outbox is None or not outbox.messages:
+            return None
+        if outbox.flush_event is not None:
+            outbox.flush_event.cancel()
+            outbox.flush_event = None
+        messages = outbox.messages
+        if len(messages) == 1:
+            # No coalescing happened: ship the original message unwrapped so
+            # accounting keeps its true kind and no envelope cost is paid.
+            return self.send(messages[0])
+        body = sum(message.body_bytes() for message in messages)
+        batch = Message(
+            source=outbox.source,
+            destination=outbox.destination,
+            kind=MessageKind.BATCH,
+            payload={"messages": messages},
+            declared_size=body,
+        )
+        event = self.send(batch)
+        if event is not None:
+            self.stats.record_batch(
+                len(messages),
+                (len(messages) - 1) * Message.HEADER_BYTES)
+        else:
+            # send() recorded one drop for the envelope; the other coalesced
+            # messages are lost with it, and the loss ledger counts logical
+            # messages (matching _drop_outbox).
+            for message in messages[1:]:
+                self.stats.record_drop(message.source, message.destination)
+        return event
+
+    def flush_outboxes(self, only_unroutable: bool = False) -> int:
+        """Flush pending outboxes now (partition install, shutdown, tests).
+
+        With ``only_unroutable=True`` (what :meth:`Kernel.partition` uses)
+        only the pairs the topology can no longer route are flushed — their
+        messages are dropped by :meth:`send` with normal drop accounting —
+        while still-routable outboxes keep coalescing undisturbed.  Returns
+        the number of outboxes flushed.
+        """
+        flushed = 0
+        for key in list(self._outboxes):
+            if only_unroutable and not self._unroutable(*key):
+                continue
+            self._flush_outbox(key)
+            flushed += 1
+        return flushed
+
+    def _unroutable(self, source: str, destination: str) -> bool:
+        """True when the topology cannot currently route the pair.
+
+        The single predicate behind both the post-time refusal and the
+        selective partition flush, so the two can never disagree about
+        which outboxes are stranded.
+        """
+        return (self.topology.is_down(source)
+                or self.topology.is_down(destination)
+                or self.topology.partitioned(source, destination))
+
+    def _drop_outbox(self, key: Tuple[str, str]) -> None:
+        """Discard a pending outbox, counting each queued message as a drop."""
+        outbox = self._outboxes.pop(key, None)
+        if outbox is None:
+            return
+        if outbox.flush_event is not None:
+            outbox.flush_event.cancel()
+            outbox.flush_event = None
+        for message in outbox.messages:
+            self.stats.record_drop(message.source, message.destination)
+
+    def pending_outbox_messages(self) -> int:
+        """Messages currently queued in the fabric (introspection for tests)."""
+        return sum(len(outbox) for outbox in self._outboxes.values())
 
     # -- sending --------------------------------------------------------------------
 
@@ -109,7 +298,18 @@ class Transport(abc.ABC):
             return None
 
         message.hops = hops
-        delay = self.setup_delay(message) + transfer
+        setup = self.setup_delay(message)
+        if self.serialize_setup:
+            # The source can only run one setup at a time (fork one rsh,
+            # perform one handshake); later messages queue behind it.  This
+            # is the serial cost a batch envelope pays once instead of N
+            # times.
+            now = self.loop.now
+            start = max(now, self._source_busy_until.get(source, now))
+            self._source_busy_until[source] = start + setup
+            delay = (start - now) + setup + transfer
+        else:
+            delay = setup + transfer
         return self.loop.schedule(delay, lambda: self._deliver(message),
                                   label=f"{self.name}-deliver-{message.message_id}")
 
@@ -121,17 +321,31 @@ class Transport(abc.ABC):
                 message.source, destination):
             # The destination crashed (or a partition formed) while the
             # message was in flight.
-            self.stats.record_drop(message.source, destination)
+            self._record_in_flight_loss(message)
             return
         handler = self._handlers.get(destination)
         if handler is None:
-            self.stats.record_drop(message.source, destination)
+            self._record_in_flight_loss(message)
             return
         message.delivered_at = self.loop.now
-        self.stats.record_delivery(message.size_bytes(), self.loop.now - message.sent_at)
-        if message.kind == "agent-transfer":
-            self.stats.record_migration(message.size_bytes())
+        size = message.size_bytes()
+        self.stats.record_delivery(size, self.loop.now - message.sent_at)
+        if message.kind == MessageKind.AGENT_TRANSFER:
+            self.stats.record_migration(size)
         handler(message)
+
+    def _record_in_flight_loss(self, message: Message) -> None:
+        """Count an in-flight loss: one drop per logical message.
+
+        A lost batch envelope takes every coalesced message with it, and
+        the loss ledger counts logical messages (matching
+        :meth:`_drop_outbox`): one drop for the envelope itself plus one
+        per additional coalesced message.
+        """
+        self.stats.record_drop(message.source, message.destination)
+        if message.kind == MessageKind.BATCH:
+            for sub in message.payload.get("messages", ())[1:]:
+                self.stats.record_drop(sub.source, sub.destination)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(endpoints={len(self._handlers)})"

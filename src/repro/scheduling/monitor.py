@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 from repro.core.briefcase import Briefcase
 from repro.core.context import AgentContext
 from repro.core.folder import Folder
+from repro.net.message import MessageKind
 from repro.scheduling.broker import BROKER_AGENT_NAME
 
 __all__ = ["make_monitor_behaviour", "MONITOR_AGENT_NAME", "LOAD_REPORT_FOLDER"]
@@ -56,7 +57,12 @@ def make_monitor_behaviour(broker_sites: Sequence[str], interval: float = 0.5,
                     local.add(folder)
                     yield ctx.meet(broker_agent, local)
                 else:
-                    yield ctx.send_folder(folder, broker_site, broker_agent)
+                    # Load reports travel as ``status`` traffic so the
+                    # delivery fabric can coalesce a site's reports (and any
+                    # concurrent courier folders) to the same broker into
+                    # one wire message per flush window.
+                    yield ctx.send_folder(folder, broker_site, broker_agent,
+                                          kind=MessageKind.STATUS)
                 reports_sent += 1
             yield ctx.sleep(interval)
         briefcase.set("REPORTS_SENT", reports_sent)

@@ -10,11 +10,17 @@ The courier expects in its briefcase:
 * ``CONTACT`` — name of the agent to execute at the destination with the
   delivered payload;
 * ``PAYLOAD_NAME`` — the name of the folder being delivered (also present
-  in the briefcase).
+  in the briefcase);
+* ``KIND`` (optional) — the wire message kind, defaulting to
+  ``folder-delivery``; monitors use ``status`` for load reports.
 
 Only the payload folder travels — the courier builds a minimal delivery
 briefcase rather than shipping everything it was handed, which is exactly
-the bandwidth argument of section 1.
+the bandwidth argument of section 1.  Courier transmissions go through the
+transport's **delivery fabric**: when batching is enabled, folder
+deliveries and status reports bound for the same destination site within
+the flush window share one wire message (one header, one setup delay), and
+the destination kernel fans the folders back out to their contacts.
 """
 
 from __future__ import annotations
@@ -50,7 +56,16 @@ def courier_behaviour(ctx: AgentContext, briefcase: Briefcase):
         yield ctx.end_meet(result is not None)
         return True
 
-    accepted = yield ctx.transmit(host, contact, delivery,
-                                  kind=MessageKind.FOLDER_DELIVERY)
+    kind = briefcase.get("KIND", MessageKind.FOLDER_DELIVERY)
+    if kind not in (MessageKind.FOLDER_DELIVERY, MessageKind.STATUS):
+        # Only contact-addressed payload kinds reach their contact at the
+        # destination; anything else would silently strand the folder.
+        ctx.log(f"courier: unsupported delivery kind {kind!r}")
+        yield ctx.end_meet(False)
+        return False
+    # With the delivery fabric enabled, "accepted" means the folder was
+    # queued in the per-destination outbox (or handed to the wire); either
+    # way it has left this agent's hands.
+    accepted = yield ctx.transmit(host, contact, delivery, kind=kind)
     yield ctx.end_meet(bool(accepted))
     return bool(accepted)

@@ -1,0 +1,299 @@
+"""Unit tests for the delivery fabric: per-destination outboxes, batching,
+crash/partition semantics, and the message size cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.net import lan
+from repro.net.message import Message, MessageKind
+from repro.net.transport import BATCHABLE_KINDS
+
+
+def make_kernel(window=0.1, transport="tcp", **config_kwargs):
+    return Kernel(lan(["a", "b", "c"], latency=0.01), transport=transport,
+                  config=KernelConfig(rng_seed=5, delivery_batch_window=window,
+                                      **config_kwargs))
+
+
+def install_receiver(kernel, site="b", name="receiver"):
+    """A contact agent that files what it receives into a cabinet."""
+
+    def receiver(ctx, bc):
+        ctx.cabinet("received").put("payloads", dict(bc.items())
+                                    if hasattr(bc, "items") else bc.get("X"))
+        yield ctx.sleep(0)
+        return "got-it"
+
+    kernel.install_agent(site, name, receiver)
+    return receiver
+
+
+def transmit_n(kernel, n, destination="b", kind=MessageKind.FOLDER_DELIVERY,
+               source="a", contact="receiver"):
+    """Launch a system agent at *source* transmitting *n* messages at once."""
+
+    def sender(ctx, bc):
+        accepted = []
+        for index in range(n):
+            payload = Briefcase()
+            payload.set("X", index)
+            ok = yield ctx.transmit(destination, contact, payload, kind=kind)
+            accepted.append(bool(ok))
+        return accepted
+
+    return kernel.launch(source, sender, system=True)
+
+
+class TestBatching:
+    def test_same_destination_messages_coalesce_into_one_wire_message(self):
+        kernel = make_kernel(window=0.1)
+        install_receiver(kernel)
+        sender = transmit_n(kernel, 4)
+        kernel.run()
+        assert kernel.result_of(sender) == [True] * 4
+        assert kernel.stats.messages_sent == 1
+        assert kernel.stats.batches == 1
+        assert kernel.stats.batched_messages == 4
+        assert kernel.arrivals == 4          # every folder reached its contact
+        assert kernel.undeliverable == 0
+
+    def test_batch_saves_header_bytes(self):
+        kernel = make_kernel(window=0.1)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run()
+        assert kernel.stats.header_bytes_saved == 2 * Message.HEADER_BYTES
+
+    def test_distinct_destinations_use_distinct_outboxes(self):
+        kernel = make_kernel(window=0.1)
+        install_receiver(kernel, site="b")
+        install_receiver(kernel, site="c")
+
+        def sender(ctx, bc):
+            for destination in ("b", "c", "b", "c"):
+                payload = Briefcase()
+                payload.set("X", destination)
+                yield ctx.transmit(destination, "receiver", payload,
+                                   kind=MessageKind.FOLDER_DELIVERY)
+            return "sent"
+
+        kernel.launch("a", sender, system=True)
+        kernel.run()
+        assert kernel.stats.messages_sent == 2      # one batch per destination
+        assert kernel.stats.batches == 2
+        assert kernel.arrivals == 4
+
+    def test_single_message_window_ships_unwrapped(self):
+        kernel = make_kernel(window=0.05)
+        install_receiver(kernel)
+        transmit_n(kernel, 1)
+        kernel.run()
+        assert kernel.stats.messages_sent == 1
+        assert kernel.stats.batches == 0             # no envelope was needed
+        assert kernel.stats.per_kind[MessageKind.FOLDER_DELIVERY] == 1
+        assert kernel.arrivals == 1
+
+    def test_non_batchable_kinds_bypass_the_fabric(self):
+        kernel = make_kernel(window=0.5)
+        transmit_n(kernel, 3, kind=MessageKind.CONTROL)
+        kernel.run(until=0.01)
+        # Control traffic is on the wire immediately, no window wait.
+        assert kernel.stats.messages_sent == 3
+        assert kernel.transport.pending_outbox_messages() == 0
+
+    def test_window_zero_means_fabric_off(self):
+        kernel = make_kernel(window=0.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 4)
+        kernel.run()
+        assert kernel.stats.messages_sent == 4
+        assert kernel.stats.batches == 0
+        assert kernel.arrivals == 4
+
+    def test_agent_transfers_are_never_batched(self):
+        assert MessageKind.AGENT_TRANSFER not in BATCHABLE_KINDS
+        kernel = make_kernel(window=0.5)
+        transmit_n(kernel, 2, kind=MessageKind.AGENT_TRANSFER, contact="ag_py")
+        kernel.run(until=0.01)
+        assert kernel.stats.messages_sent == 2
+
+    def test_status_reports_batch_and_reach_their_contact(self):
+        kernel = make_kernel(window=0.1)
+        install_receiver(kernel)
+        sender = transmit_n(kernel, 3, kind=MessageKind.STATUS)
+        kernel.run()
+        assert kernel.result_of(sender) == [True] * 3
+        assert kernel.stats.messages_sent == 1
+        # STATUS payloads carrying a contact execute it like a folder
+        # delivery instead of rotting in the message cabinet.
+        assert kernel.arrivals == 3
+
+
+class TestFailureSemantics:
+    def test_crash_of_destination_drops_pending_outbox(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)     # transmits done, flush far in the future
+        assert kernel.transport.pending_outbox_messages() == 3
+        dropped_before = kernel.stats.messages_dropped
+        kernel.crash_site("b")
+        assert kernel.transport.pending_outbox_messages() == 0
+        assert kernel.stats.messages_dropped == dropped_before + 3
+        kernel.run()
+        assert kernel.arrivals == 0
+
+    def test_crash_of_source_drops_pending_outbox(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 2)
+        kernel.run(until=0.01)
+        assert kernel.transport.pending_outbox_messages() == 2
+        kernel.crash_site("a")
+        assert kernel.transport.pending_outbox_messages() == 0
+        kernel.run()
+        assert kernel.arrivals == 0
+
+    def test_partition_flushes_and_drops_cross_partition_batches(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)
+        assert kernel.transport.pending_outbox_messages() == 3
+        dropped_before = kernel.stats.messages_dropped
+        kernel.partition([["a"], ["b", "c"]])
+        assert kernel.transport.pending_outbox_messages() == 0
+        kernel.run()
+        # The batch was flushed into the partitioned network and dropped;
+        # the loss ledger counts every coalesced message, not one envelope.
+        assert kernel.stats.messages_dropped == dropped_before + 3
+        assert kernel.arrivals == 0
+        kernel.heal_partition()
+
+    def test_partition_leaves_same_side_outboxes_coalescing(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)
+        kernel.partition([["a", "b"], ["c"]])   # sender and receiver together
+        # The a->b pair is still routable: its outbox is untouched and keeps
+        # coalescing until the window fires, then delivers normally.
+        assert kernel.transport.pending_outbox_messages() == 3
+        kernel.run()
+        assert kernel.arrivals == 3
+        kernel.heal_partition()
+
+    def test_destination_down_at_post_time_is_refused_like_unbatched(self):
+        # The fabric must not report "accepted" for a destination already
+        # known to be unreachable: posting falls through to the immediate
+        # path, so the sender sees the same False as with batching off.
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        kernel.crash_site("b")
+        sender = transmit_n(kernel, 3)
+        kernel.run()
+        assert kernel.result_of(sender) == [False] * 3
+        assert kernel.transport.pending_outbox_messages() == 0
+        assert kernel.arrivals == 0
+
+    def test_in_flight_batch_loss_counts_every_coalesced_message(self):
+        kernel = make_kernel(window=0.01)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.015)    # batch flushed and on the wire
+        dropped_before = kernel.stats.messages_dropped
+        kernel.site("b").mark_crashed()       # kernel side only...
+        kernel.topology.mark_down("b")        # ...and now the link too
+        kernel.run()
+        assert kernel.stats.messages_dropped == dropped_before + 3
+        assert kernel.arrivals == 0
+
+    def test_batch_to_kernel_dead_site_counts_every_coalesced_message(self):
+        kernel = make_kernel(window=0.1)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.05)
+        # The kernel at b dies while the link stays up: the batch arrives at
+        # a site the kernel cannot serve and every folder in it is lost.
+        kernel.site("b").mark_crashed()
+        kernel.run()
+        assert kernel.undeliverable == 3
+        assert kernel.site("b").undeliverable == 3
+
+
+class TestSerializedSetup:
+    def test_setup_serializes_at_the_source(self):
+        loop_free = make_kernel(window=0.0)
+        serialized = make_kernel(window=0.0, serialize_transport_setup=True)
+        for kernel in (loop_free, serialized):
+            install_receiver(kernel)
+            transmit_n(kernel, 10)
+            kernel.run()
+            assert kernel.arrivals == 10
+        # Ten serialized setups take longer than ten concurrent ones.
+        assert serialized.now > loop_free.now
+
+    def test_batching_beats_serialized_setup(self):
+        # rsh pays a ~0.12s fork per wire message: 20 serialized forks
+        # dwarf the flush window, so one envelope wins on simulated time.
+        unbatched = make_kernel(window=0.0, transport="rsh",
+                                serialize_transport_setup=True)
+        batched = make_kernel(window=0.05, transport="rsh",
+                              serialize_transport_setup=True)
+        for kernel in (unbatched, batched):
+            install_receiver(kernel)
+            transmit_n(kernel, 20)
+            kernel.run()
+            assert kernel.arrivals == 20
+        assert batched.stats.messages_sent < unbatched.stats.messages_sent
+        assert batched.now < unbatched.now
+
+
+class TestMessageSizeCache:
+    def test_size_is_computed_once(self):
+        message = Message(source="a", destination="b", kind=MessageKind.DATA,
+                          payload={"k": "x" * 1000})
+        first = message.size_bytes()
+        # Payload mutation after the first size query does not change the
+        # charged size: messages are sealed once handed to a transport.
+        message.payload["k"] = "x" * 50_000
+        assert message.size_bytes() == first
+
+    def test_declared_size_still_takes_precedence(self):
+        message = Message(source="a", destination="b", kind=MessageKind.DATA,
+                          payload={"big": "x" * 10_000}, declared_size=100)
+        assert message.size_bytes() == Message.HEADER_BYTES + 100
+        assert message.body_bytes() == 100
+
+    def test_batch_declared_size_is_sum_of_bodies_plus_one_header(self):
+        batched = make_kernel(window=0.1)
+        unbatched = make_kernel(window=0.0)
+        for kernel in (batched, unbatched):
+            install_receiver(kernel)
+            transmit_n(kernel, 3)
+            kernel.run()
+            assert kernel.arrivals == 3
+        # Identical payload traffic; the envelope pays exactly one header
+        # where the unbatched wire paid three.
+        assert batched.stats.bytes_sent == \
+            unbatched.stats.bytes_sent - 2 * Message.HEADER_BYTES
+
+
+class TestConfigureBatching:
+    def test_negative_window_rejected(self):
+        kernel = make_kernel(window=0.0)
+        from repro.core.errors import TransportError
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(-1.0)
+
+    def test_flush_outboxes_is_idempotent(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 2)
+        kernel.run(until=0.01)
+        assert kernel.transport.flush_outboxes() == 1
+        assert kernel.transport.flush_outboxes() == 0
+        kernel.run()
+        assert kernel.arrivals == 2

@@ -1,0 +1,262 @@
+"""Unit tests for the lifecycle ledger: AgentTable, retention policies, indexes.
+
+Also holds the regression test for ``Kernel.launch`` accepting a negative
+delay (it used to silently schedule into the past while ``launch_many``
+raised).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.core.agent import AgentState
+from repro.core.errors import KernelError, UnknownAgentError
+from repro.core.lifecycle import (AgentRecord, AgentTable, KeepAll, KeepCounts,
+                                  KeepResults, make_retention)
+from repro.net import lan
+
+
+def _worker(ctx, bc):
+    yield ctx.sleep(float(bc.get("WORK", 0.01)))
+    return bc.get("N", ctx.site_name)
+
+
+def _broken(ctx, bc):
+    yield ctx.sleep(0)
+    raise RuntimeError("boom")
+
+
+def make_kernel(retention="keep-all", **config_kwargs):
+    return Kernel(lan(["a", "b", "c"]), transport="tcp",
+                  config=KernelConfig(rng_seed=7, **config_kwargs),
+                  retention=retention)
+
+
+class TestRetentionParsing:
+    def test_strings_resolve_to_policies(self):
+        assert isinstance(make_retention("keep-all"), KeepAll)
+        assert isinstance(make_retention("keep-results"), KeepResults)
+        assert isinstance(make_retention("keep-counts"), KeepCounts)
+        assert make_retention("keep-counts:123").max_terminal == 123
+        assert isinstance(make_retention(None), KeepAll)
+
+    def test_policy_instances_pass_through(self):
+        policy = KeepCounts(max_terminal=5)
+        assert make_retention(policy) is policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_retention("keep-nothing")
+
+    def test_argument_on_argless_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_retention("keep-all:5")
+
+    def test_negative_bound_raises(self):
+        with pytest.raises(ValueError):
+            KeepCounts(max_terminal=-1)
+
+
+class TestKeepAll:
+    def test_default_kernel_retains_full_instances(self):
+        kernel = make_kernel()
+        agent_id = kernel.launch("a", _worker)
+        kernel.run()
+        instance = kernel.agent(agent_id)
+        assert not isinstance(instance, AgentRecord)
+        assert instance.briefcase is not None
+        assert kernel.result_of(agent_id) == "a"
+
+    def test_counters_balance(self):
+        kernel = make_kernel()
+        for index in range(6):
+            kernel.launch("abc"[index % 3], _worker)
+        kernel.launch("a", _broken)
+        kernel.run()
+        counters = kernel.counters()
+        assert counters["completed"] + counters["failed"] + counters["killed"] == \
+            counters["launched"] == 7
+        assert counters["archived"] == 0
+        assert counters["retained"] == 7
+
+
+class TestKeepResults:
+    def test_terminal_agents_become_compact_records(self):
+        kernel = make_kernel(retention="keep-results")
+        briefcase = Briefcase()
+        briefcase.set("N", 42)
+        briefcase.set("BALLAST", b"\0" * 1024)
+        agent_id = kernel.launch("a", _worker, briefcase)
+        kernel.run()
+        record = kernel.agent(agent_id)
+        assert isinstance(record, AgentRecord)
+        assert record.finished and record.ok
+        assert kernel.result_of(agent_id) == 42
+        # The expensive state is genuinely gone from the archived entry.
+        assert not hasattr(record, "briefcase")
+        assert not hasattr(record, "spec")
+        assert not hasattr(record, "generator")
+
+    def test_failed_agents_keep_their_error(self):
+        kernel = make_kernel(retention="keep-results")
+        agent_id = kernel.launch("a", _broken)
+        kernel.run()
+        record = kernel.agent(agent_id)
+        assert record.state == AgentState.FAILED
+        with pytest.raises(KernelError, match="boom"):
+            kernel.result_of(agent_id)
+
+    def test_config_retention_is_used_when_no_kwarg(self):
+        kernel = Kernel(lan(["a", "b"]), transport="tcp",
+                        config=KernelConfig(rng_seed=1, retention="keep-results"))
+        agent_id = kernel.launch("a", _worker)
+        kernel.run()
+        assert isinstance(kernel.agent(agent_id), AgentRecord)
+
+    def test_meets_work_under_archival(self):
+        kernel = make_kernel(retention="keep-results")
+
+        def service(ctx, bc):
+            yield ctx.end_meet("answer")
+
+        def client(ctx, bc):
+            result = yield ctx.meet("service", Briefcase())
+            return result.value
+
+        kernel.install_agent("a", "service", service)
+        agent_id = kernel.launch("a", client)
+        kernel.run()
+        assert kernel.result_of(agent_id) == "answer"
+
+    def test_historical_site_scan_sees_records(self):
+        kernel = make_kernel(retention="keep-results")
+        kernel.launch("a", _worker)
+        kernel.launch("a", _worker)
+        kernel.run()
+        assert kernel.agents_at("a") == []
+        assert len(kernel.agents_at("a", active_only=False)) == 2
+
+
+class TestKeepCounts:
+    def test_ledger_is_bounded_and_counters_stay_exact(self):
+        kernel = make_kernel(retention="keep-counts:5")
+        ids = [kernel.launch("a", _worker) for _ in range(20)]
+        kernel.run()
+        assert kernel.completed == 20
+        assert len(kernel.agents) <= 5
+        assert kernel.table.evicted == 15
+        # The survivors are the most recent terminal agents.
+        for agent_id in ids[-5:]:
+            assert kernel.result_of(agent_id) == "a"
+
+    def test_evicted_agent_lookup_raises(self):
+        kernel = make_kernel(retention="keep-counts:2")
+        first = kernel.launch("a", _worker)
+        for _ in range(5):
+            kernel.launch("a", _worker)
+        kernel.run()
+        with pytest.raises(UnknownAgentError):
+            kernel.agent(first)
+        with pytest.raises(UnknownAgentError):
+            kernel.result_of(first)
+
+    def test_eviction_prunes_the_name_index(self):
+        kernel = make_kernel(retention="keep-counts:3")
+        for _ in range(10):
+            kernel.launch("a", _worker, name="droplet")
+        kernel.run()
+        named = kernel.agents_named("droplet")
+        assert len(named) == 3
+        assert all(isinstance(entry, AgentRecord) for entry in named)
+
+
+class TestNameIndex:
+    def test_agents_named_matches_ledger_scan(self):
+        kernel = make_kernel()
+        for index in range(9):
+            kernel.launch("abc"[index % 3], _worker,
+                          name="even" if index % 2 == 0 else "odd")
+        kernel.run()
+        for name in ("even", "odd", "missing"):
+            indexed = [entry.agent_id for entry in kernel.agents_named(name)]
+            scanned = [agent.agent_id for agent in kernel.agents.values()
+                       if agent.name == name]
+            assert indexed == scanned
+
+    def test_meet_callees_and_spawns_are_indexed(self):
+        kernel = make_kernel()
+
+        def child(ctx, bc):
+            yield ctx.sleep(0)
+
+        def parent(ctx, bc):
+            yield ctx.spawn(child, name="spawnling")
+            result = yield ctx.meet("helper", Briefcase())
+            return result.value
+
+        def helper(ctx, bc):
+            yield ctx.end_meet("hi")
+
+        kernel.install_agent("a", "helper", helper)
+        kernel.launch("a", parent)
+        kernel.run()
+        assert len(kernel.agents_named("spawnling")) == 1
+        assert len(kernel.agents_named("helper")) == 1
+
+
+class TestTableUnit:
+    def test_state_counts_snapshot(self):
+        kernel = make_kernel()
+        kernel.launch("a", _worker)
+        kernel.launch("b", _broken)
+        kernel.run()
+        counts = kernel.table.state_counts()
+        assert counts["launched"] == 2
+        assert counts["completed"] == 1
+        assert counts["failed"] == 1
+        assert counts["active"] == 0
+        assert counts["retained"] == 2
+
+    def test_site_handshake_keeps_resident_index_exact(self):
+        kernel = make_kernel()
+
+        def sleeper(ctx, bc):
+            yield ctx.sleep(5)
+
+        agent_id = kernel.launch("a", sleeper)
+        kernel.run(until=0.1)
+        assert kernel.site("a").has_resident(agent_id)
+        kernel.run()
+        assert not kernel.site("a").has_resident(agent_id)
+
+    def test_repr_mentions_retention(self):
+        table = AgentTable("keep-results")
+        assert "keep-results" in repr(table)
+
+
+class TestLaunchDelayValidation:
+    """Regression: launch() silently accepted a negative delay while
+    launch_many() raised; both must validate identically."""
+
+    def test_launch_negative_delay_raises(self):
+        kernel = make_kernel()
+        with pytest.raises(KernelError):
+            kernel.launch("a", _worker, delay=-0.5)
+        # Nothing was registered or indexed.
+        assert kernel.launched == 0
+        assert kernel.agents == {}
+        assert kernel.site("a").resident_count() == 0
+
+    def test_launch_many_negative_delay_still_raises(self):
+        kernel = make_kernel()
+        with pytest.raises(KernelError):
+            kernel.launch_many([("a", _worker)], delay=-0.1)
+        assert kernel.launched == 0
+
+    def test_zero_and_positive_delays_accepted(self):
+        kernel = make_kernel()
+        kernel.launch("a", _worker, delay=0.0)
+        kernel.launch("a", _worker, delay=1.5)
+        kernel.run()
+        assert kernel.completed == 2
