@@ -17,8 +17,7 @@ import pytest
 from repro.apps.mail import MailSystem
 from repro.apps.stormcast import StormCastParams, run_agent_pipeline, run_client_server
 from repro.bench import Report, bytes_human, ratio
-from repro.core import Kernel, KernelConfig
-from repro.net import FailureSchedule, RandomCrasher, lan
+from repro.net import FailureSchedule, RandomCrasher
 
 STORM_PARAMS = StormCastParams(n_sensors=8, samples_per_site=200, storm_rate=0.03,
                                raw_payload_bytes=1024, seed=42)
@@ -35,8 +34,10 @@ def storm_with_failure(mode: str):
 
 def run_mail_round(crash_probability: float, seed: int = 3, letters: int = 12):
     sites = [f"office{i}" for i in range(6)]
-    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=seed))
-    mail = MailSystem(kernel)
+    # The long-running mail deployment defaults to keep-results retention:
+    # outcomes are read from mailbox cabinets, never from terminal agents.
+    mail = MailSystem.build(sites, seed=seed)
+    kernel = mail.kernel
     RandomCrasher(crash_probability, window=(0.0, 2.0), recover_after=5.0,
                   protect=[sites[0]], seed=seed).install(kernel)
     import random as _random

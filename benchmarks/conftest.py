@@ -17,6 +17,20 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run benchmarks with tiny populations (CI sanity run: the "
+             "pipelines and their invariants execute, the numbers are not "
+             "representative)")
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """True when the benchmark session runs in --smoke (tiny population) mode."""
+    return bool(request.config.getoption("--smoke"))
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> str:
     """Directory the experiment reports are saved into."""

@@ -15,16 +15,18 @@ Run with::
 from __future__ import annotations
 
 from repro.apps.mail import MailSystem
-from repro.core import Kernel, KernelConfig
+from repro.core import KernelConfig
 from repro.net import FailureSchedule, two_clusters
 
 
 def main() -> None:
     # Two LANs (Tromso and Cornell) joined by one slow transatlantic link —
-    # the paper's own deployment.
+    # the paper's own deployment.  MailSystem.build applies the mail
+    # defaults (keep-results retention: letters are churn, outcomes live in
+    # the mailbox cabinets).
     topology = two_clusters(["tromso", "narvik", "bergen"], ["cornell", "ithaca"])
-    kernel = Kernel(topology, transport="tcp", config=KernelConfig(rng_seed=4))
-    mail = MailSystem(kernel)
+    mail = MailSystem.build(topology=topology, config=KernelConfig(rng_seed=4))
+    kernel = mail.kernel
 
     mail.send("dag", "tromso", "fred", "cornell",
               "TACOMA status", "The rexec agent now runs over Horus.", want_receipt=True)

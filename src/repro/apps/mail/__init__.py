@@ -4,10 +4,10 @@ from repro.apps.mail.letter import (LETTER_AGENT_NAME, RECEIPT_FOLDER,
                                     letter_agent_behaviour, make_letter)
 from repro.apps.mail.mailbox import (MAILBOX_AGENT_NAME, MAILBOX_CABINET, inbox_of,
                                      install_mailboxes, mailbox_behaviour)
-from repro.apps.mail.mailer import MailSystem
+from repro.apps.mail.mailer import MailSystem, build_mail_kernel
 
 __all__ = [
-    "MailSystem",
+    "MailSystem", "build_mail_kernel",
     "letter_agent_behaviour", "make_letter", "LETTER_AGENT_NAME", "RECEIPT_FOLDER",
     "mailbox_behaviour", "install_mailboxes", "inbox_of",
     "MAILBOX_AGENT_NAME", "MAILBOX_CABINET",

@@ -13,9 +13,38 @@ from repro.apps.mail.letter import LETTER_AGENT_NAME, make_letter
 from repro.apps.mail.mailbox import (MAILBOX_AGENT_NAME, MAILBOX_CABINET, inbox_of,
                                      install_mailboxes)
 from repro.core.briefcase import Briefcase
-from repro.core.kernel import Kernel
+from repro.core.kernel import Kernel, KernelConfig
+from repro.net.topology import Topology, lan
 
-__all__ = ["MailSystem"]
+__all__ = ["MailSystem", "build_mail_kernel"]
+
+
+def build_mail_kernel(sites: Optional[Sequence[str]] = None,
+                      topology: Optional[Topology] = None,
+                      transport: str = "tcp", seed: Optional[int] = None,
+                      retention: str = "keep-results",
+                      config: Optional[KernelConfig] = None) -> Kernel:
+    """A kernel configured for a long-running mail deployment.
+
+    Mail is churn: every letter is a short-lived agent (plus its couriers
+    and mailbox meets), and every observable outcome is read back through
+    the mailbox cabinets or ``Kernel.result_of`` — never from a terminal
+    agent's briefcase.  The lifecycle ledger therefore defaults to the
+    ``keep-results`` retention policy, archiving terminal agents into
+    compact records so a mail site's memory does not grow with every
+    letter ever sent.
+    """
+    if config is not None and seed is not None:
+        raise ValueError("pass either seed or a full KernelConfig, not both "
+                         "(a seed alongside an explicit config would be "
+                         "silently ignored)")
+    if topology is None:
+        topology = lan(list(sites) if sites is not None
+                       else ["tromso", "cornell", "sanfrancisco"])
+    if config is None:
+        config = KernelConfig(rng_seed=11 if seed is None else seed)
+    return Kernel(topology, transport=transport, config=config,
+                  retention=retention)
 
 
 class MailSystem:
@@ -32,6 +61,16 @@ class MailSystem:
         install_mailboxes(kernel)
         #: letter ids handed to the system, in send order
         self.sent_letter_ids: List[str] = []
+
+    @classmethod
+    def build(cls, sites: Optional[Sequence[str]] = None,
+              topology: Optional[Topology] = None, transport: str = "tcp",
+              seed: Optional[int] = None, retention: str = "keep-results",
+              config: Optional[KernelConfig] = None) -> "MailSystem":
+        """A MailSystem over a fresh :func:`build_mail_kernel` kernel."""
+        return cls(build_mail_kernel(sites=sites, topology=topology,
+                                     transport=transport, seed=seed,
+                                     retention=retention, config=config))
 
     # -- sending ---------------------------------------------------------------
 

@@ -44,6 +44,11 @@ class StormCastParams:
     #: optional failure schedule applied to the run (E8 failure variant)
     failures: Optional[FailureSchedule] = None
     run_until: float = 300.0
+    #: lifecycle-ledger retention: the pipeline is a long-running workload
+    #: (collectors, couriers and expert meets churn constantly) and reads
+    #: its outputs from cabinets / ``result_of`` only, so terminal agents
+    #: are archived into compact records by default
+    retention: str = "keep-results"
 
     def sensor_names(self) -> List[str]:
         """The sensor site names for this parameter set."""
@@ -77,7 +82,8 @@ def build_stormcast_kernel(params: StormCastParams) -> Kernel:
     topology: Topology = star(params.hub_name, sensors, latency=params.link_latency,
                               bandwidth=params.link_bandwidth)
     kernel = Kernel(topology, transport=params.transport,
-                    config=KernelConfig(rng_seed=params.seed))
+                    config=KernelConfig(rng_seed=params.seed),
+                    retention=params.retention)
     generator = WeatherGenerator(seed=params.seed, storm_rate=params.storm_rate,
                                  raw_payload_bytes=params.raw_payload_bytes)
     populate_sensor_sites(kernel, sensors, params.samples_per_site, generator)

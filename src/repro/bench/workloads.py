@@ -492,6 +492,11 @@ class CourierFanInParams:
     deliveries_per_sender: int = 50
     payload_bytes: int = 200
     batch_window: float = 0.0
+    #: adaptive-flush knobs (0 = disabled): flush early at this many
+    #: messages / payload bytes, and cap a sliding window at this deadline
+    batch_max_messages: int = 0
+    batch_max_bytes: int = 0
+    batch_deadline: float = 0.0
     serialize_setup: bool = True
     transport: str = "rsh"
     hub_name: str = "hub"
@@ -516,6 +521,8 @@ class CourierFanInResult:
     bytes_on_wire: int
     header_bytes_saved: int
     sim_seconds: float
+    #: flushes fired by a size/byte threshold or deadline, not the window
+    early_flushes: int = 0
 
 
 def _fanin_collector(ctx: AgentContext, briefcase: Briefcase):
@@ -562,6 +569,9 @@ def run_courier_fan_in(params: CourierFanInParams) -> CourierFanInResult:
                     config=KernelConfig(
                         rng_seed=params.seed,
                         delivery_batch_window=params.batch_window,
+                        delivery_batch_max_messages=params.batch_max_messages,
+                        delivery_batch_max_bytes=params.batch_max_bytes,
+                        delivery_batch_deadline=params.batch_deadline,
                         serialize_transport_setup=params.serialize_setup))
     kernel.install_agent(params.hub_name, FANIN_COLLECTOR_NAME, _fanin_collector)
     for site in senders:
@@ -585,6 +595,7 @@ def run_courier_fan_in(params: CourierFanInParams) -> CourierFanInResult:
         bytes_on_wire=kernel.stats.bytes_sent,
         header_bytes_saved=kernel.stats.header_bytes_saved,
         sim_seconds=kernel.now,
+        early_flushes=kernel.stats.early_flushes,
     )
 
 

@@ -81,6 +81,14 @@ class KernelConfig:
     #: delivery-fabric flush window in simulated seconds; 0 disables
     #: batching and preserves one-wire-message-per-folder behaviour
     delivery_batch_window: float = 0.0
+    #: flush an outbox early once it holds this many messages (0 = no limit)
+    delivery_batch_max_messages: int = 0
+    #: flush an outbox early once it queues this many payload bytes (0 = no limit)
+    delivery_batch_max_bytes: int = 0
+    #: hard deadline (seconds): with > 0 the flush window slides with
+    #: traffic but an outbox never waits longer than this past its first
+    #: queued message (0 = fixed window, no sliding)
+    delivery_batch_deadline: float = 0.0
     #: serialize per-message transport setup at each source site (the cost
     #: model under which batching pays in simulated time, not just bytes)
     serialize_transport_setup: bool = False
@@ -123,14 +131,34 @@ class Kernel:
         self.registry = registry or default_registry()
         self.rng = random.Random(self.config.rng_seed)
         self.transport = self._make_transport(transport)
-        if self.config.delivery_batch_window != 0 or self.config.serialize_transport_setup:
-            # != 0 (not > 0) so a negative window reaches configure_batching
+        if self.config.delivery_batch_window == 0 and (
+                self.config.delivery_batch_max_messages > 0
+                or self.config.delivery_batch_max_bytes > 0
+                or self.config.delivery_batch_deadline > 0):
+            # The window is the fabric's master switch; thresholds or a
+            # deadline without it would silently never fire.
+            raise KernelError(
+                "delivery_batch_max_messages/_max_bytes/_deadline require a "
+                "positive delivery_batch_window (the fabric is off at 0)")
+        if (self.config.delivery_batch_window != 0
+                or self.config.serialize_transport_setup
+                or self.config.delivery_batch_max_messages != 0
+                or self.config.delivery_batch_max_bytes != 0
+                or self.config.delivery_batch_deadline != 0):
+            # != 0 (not > 0) so a negative knob reaches configure_batching
             # and raises there instead of silently running with batching off.
             self.transport.configure_batching(
                 self.config.delivery_batch_window,
-                serialize_setup=self.config.serialize_transport_setup)
+                serialize_setup=self.config.serialize_transport_setup,
+                max_messages=self.config.delivery_batch_max_messages,
+                max_bytes=self.config.delivery_batch_max_bytes,
+                deadline=self.config.delivery_batch_deadline)
 
         self.sites: Dict[str, Site] = {}
+        #: callbacks fired (with the site name) when a site joins late via
+        #: :meth:`add_site`; extensions like the Horus guard-group wiring
+        #: use this so late sites are not invisible to them
+        self._site_added_hooks: List[Callable[[str], None]] = []
         for name in self.topology.sites():
             site = Site(name)
             self.sites[name] = site
@@ -158,6 +186,8 @@ class Kernel:
         self.arrivals = 0
         self.undeliverable = 0
 
+        #: remembered so late-joined sites (add_site) match the population
+        self._install_system_agents = install_system_agents
         if install_system_agents:
             from repro.sysagents import install_standard_agents
             for site in self.sites.values():
@@ -197,6 +227,49 @@ class Kernel:
     def site_names(self) -> List[str]:
         """All site names."""
         return list(self.sites)
+
+    def add_site(self, name: str, links: Sequence = (),
+                 install_system_agents: Optional[bool] = None) -> Site:
+        """Register a new site with a *running* kernel (late join).
+
+        *links* lists the peers to connect the new site to — plain site
+        names (default link parameters) or ``(peer, LinkSpec)`` pairs.  The
+        site gets a transport endpoint, the standard system agents (by
+        default matching whether the kernel was constructed with them, so
+        a late site never differs from the founding population), and every
+        ``on_site_added`` subscriber is notified, so extensions that
+        enumerated the sites at install time (e.g. the Horus guard group)
+        can wire the newcomer in.
+        """
+        if name in self.sites:
+            raise KernelError(f"site {name!r} already exists")
+        resolved_links = [link if isinstance(link, tuple) else (link, None)
+                          for link in links]
+        for peer, _ in resolved_links:
+            # Validate before touching the topology: a bad entry must not
+            # leave a half-registered node behind.
+            if peer not in self.sites:
+                raise UnknownSiteError(f"cannot link new site {name!r} to "
+                                       f"unknown site {peer!r}")
+        if not self.topology.has_site(name):
+            self.topology.add_site(name)
+        for peer, spec in resolved_links:
+            self.topology.add_link(name, peer, spec)
+        site = Site(name)
+        self.sites[name] = site
+        self.transport.register_endpoint(name, self._make_site_handler(name))
+        if (self._install_system_agents if install_system_agents is None
+                else install_system_agents):
+            from repro.sysagents import install_standard_agents
+            install_standard_agents(site)
+        self.log_event("kernel", name, "site added")
+        for hook in list(self._site_added_hooks):
+            hook(name)
+        return site
+
+    def on_site_added(self, callback: Callable[[str], None]) -> None:
+        """Subscribe *callback* to late site registrations (see :meth:`add_site`)."""
+        self._site_added_hooks.append(callback)
 
     def install_agent(self, site_name: Optional[str], name: str, behaviour: Callable,
                       system: bool = False, replace: bool = False) -> None:
@@ -495,7 +568,7 @@ class Kernel:
         coalescing undisturbed.
         """
         self.topology.set_partition(groups)
-        self.transport.flush_outboxes(only_unroutable=True)
+        self.transport.flush_outboxes(only_unroutable=True, cause="partition")
         self.log_event("kernel", "*", f"partition installed: {[list(g) for g in groups]}")
 
     def heal_partition(self) -> None:
@@ -781,7 +854,11 @@ class Kernel:
             hook(message)
             return
         payload = message.payload
-        if message.kind in (MessageKind.AGENT_TRANSFER, MessageKind.FOLDER_DELIVERY):
+        if message.kind in (MessageKind.AGENT_TRANSFER, MessageKind.FOLDER_DELIVERY,
+                            MessageKind.FT_RELEASE, MessageKind.FT_RELAUNCH):
+            # Rear-guard traffic is contact-addressed exactly like folder
+            # deliveries: releases execute the release agent, relaunches
+            # re-animate the snapshot through its CONTACT (normally ag_py).
             self._accept_agent_transfer(site, message)
             return
         if (message.kind == MessageKind.STATUS and isinstance(payload, dict)

@@ -27,6 +27,7 @@ from repro.core.registry import register_behaviour
 from repro.fault.rearguard import (REARGUARD_CABINET, RELEASE_AGENT_NAME, guard_snapshot,
                                    install_fault_agents, make_release_folder,
                                    rear_guard_behaviour)
+from repro.net.message import MessageKind
 
 __all__ = [
     "FT_VISITOR_NAME", "PLAIN_VISITOR_NAME", "RESULTS_CABINET",
@@ -77,22 +78,35 @@ def _send_releases(ctx: AgentContext, briefcase: Briefcase, ft_id: str,
     site *and* the most recent guard site simultaneously still leaves a
     guard able to relaunch — the paper's "details ... are complex" remark
     is exactly about this window.
+
+    Release traffic is batch-aware: the retiring guards are grouped by
+    guard site and each site gets *one* ``ft-release`` envelope listing
+    every released hop (a cyclic itinerary can park several guards at one
+    site), instead of one courier per guard.  The envelope rides the
+    delivery fabric, and the release agent acknowledges it once.
     """
     guards_folder = briefcase.folder("GUARDS", create=True)
     guards: List[dict] = [guard for guard in guards_folder.elements()
                           if isinstance(guard, dict)]
     keep: List[dict] = []
+    retiring_by_site: Dict[str, List[int]] = {}
     for guard in guards:
-        retire = done or int(guard.get("protects_seq", 0)) <= reached_seq - 2
+        protects_seq = int(guard.get("protects_seq", 0))
+        retire = done or protects_seq <= reached_seq - 2
         if not retire:
             keep.append(guard)
             continue
-        notice = make_release_folder(ft_id, reached_seq, done=done)
-        if guard.get("site") == ctx.site_name:
+        retiring_by_site.setdefault(guard.get("site"), []).append(protects_seq)
+    for guard_site, released_seqs in retiring_by_site.items():
+        if guard_site == ctx.site_name:
             ctx.cabinet(REARGUARD_CABINET).put(
-                "releases", {"ft_id": ft_id, "reached_seq": reached_seq, "done": done})
+                "releases", {"ft_id": ft_id, "reached_seq": reached_seq, "done": done,
+                             "released_seqs": sorted(released_seqs)})
         else:
-            yield ctx.send_folder(notice, guard["site"], RELEASE_AGENT_NAME)
+            notice = make_release_folder(ft_id, reached_seq, done=done,
+                                         released_seqs=released_seqs)
+            yield ctx.send_folder(notice, guard_site, RELEASE_AGENT_NAME,
+                                  kind=MessageKind.FT_RELEASE)
     guards_folder.replace(keep)
 
 
@@ -113,10 +127,10 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
     cabinet.put("done_markers", marker)
 
     yield from _do_local_work(ctx, briefcase, seq)
-    yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq)
 
     itinerary = briefcase.folder("ITINERARY", create=True)
     if itinerary:
+        yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq)
         next_site = itinerary.dequeue()
         next_seq = seq + 1
         briefcase.set("SEQ", next_seq)
@@ -137,7 +151,10 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
         yield jump
         return "moved"
 
-    # Final hop: deliver exactly once.
+    # Final hop: deliver exactly once.  The single done release retires
+    # every guard still trailing — including any the regular reached-seq
+    # rule would have covered — so each guard site gets exactly one
+    # envelope from the landing instead of two release rounds.
     delivery = ctx.cabinet(RESULTS_CABINET)
     if delivery.contains_element("completed_ids", ft_id):
         yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq, done=True)

@@ -32,7 +32,7 @@ clone its own computation id suffix (see ``ftmove.fan_out_ids``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.briefcase import Briefcase
 from repro.core.context import AgentContext
@@ -40,6 +40,7 @@ from repro.core.errors import FaultToleranceError
 from repro.core.folder import Folder
 from repro.core.registry import register_behaviour
 from repro.fault.detector import TimeoutDetector
+from repro.net.message import MessageKind
 
 __all__ = [
     "REAR_GUARD_NAME", "RELEASE_AGENT_NAME", "REARGUARD_CABINET",
@@ -101,7 +102,9 @@ def install_horus_guard_detection(kernel, group_name: str = GUARD_GROUP) -> None
     communication and fault-tolerance").  A site group containing every site
     is created; whenever a member drops out of the view, every surviving
     site records a suspicion ``{"site": ..., "at": ...}`` that view-assisted
-    rear guards react to immediately.
+    rear guards react to immediately.  Sites registered after installation
+    (via :meth:`Kernel.add_site`) are joined to the group automatically;
+    calling this twice for the same group is a no-op.
     """
     from repro.net.horus import HorusTransport
 
@@ -110,13 +113,22 @@ def install_horus_guard_detection(kernel, group_name: str = GUARD_GROUP) -> None
         raise FaultToleranceError(
             "Horus-assisted guard detection needs the 'horus' transport; "
             f"the kernel is running on {transport.name!r}")
+    installed_groups = getattr(kernel, "_horus_guard_groups", None)
+    if installed_groups is None:
+        installed_groups = set()
+        kernel._horus_guard_groups = installed_groups
+    if group_name in installed_groups and transport.has_group(group_name):
+        # Already wired: a second install must not subscribe duplicate
+        # observers (which doubled every suspicion record).
+        return
     if not transport.has_group(group_name):
         transport.create_group(group_name, kernel.site_names())
 
-    all_sites = set(kernel.site_names())
-
     def make_observer(site_name: str):
-        previous = {"members": all_sites}
+        # Each observer diffs against its *own* copy of the last view it
+        # saw; handing every observer the same set object let one site's
+        # bookkeeping stand in for another's.
+        previous = {"members": set(transport.group_view(group_name).members)}
 
         def observer(view) -> None:
             current = set(view.members)
@@ -130,13 +142,25 @@ def install_horus_guard_detection(kernel, group_name: str = GUARD_GROUP) -> None
                 cabinet.put(SUSPICIONS_FOLDER, {"site": victim, "at": kernel.now})
             # Keep a replace-style record of who is currently outside the
             # group; guards consult this rather than the append-only log.
+            # Membership is read live from the kernel, not from a site list
+            # captured at install time, so late-registered sites are judged
+            # against current reality.
             down_folder = cabinet.folder("group_down", create=True)
-            down_folder.replace([sorted(all_sites - current)])
+            down_folder.replace([sorted(set(kernel.site_names()) - current)])
 
         return observer
 
-    for site_name in kernel.site_names():
+    def wire_site(site_name: str) -> None:
+        if site_name not in transport.group_view(group_name).members:
+            transport.join(group_name, site_name)
         transport.subscribe_views(group_name, make_observer(site_name))
+
+    for site_name in kernel.site_names():
+        wire_site(site_name)
+    # Sites registered after installation (Kernel.add_site) join the guard
+    # group and get their own observer instead of staying invisible.
+    kernel.on_site_added(wire_site)
+    installed_groups.add(group_name)
 
 
 def _currently_out_of_group(cabinet, site_name: Optional[str]) -> bool:
@@ -153,7 +177,11 @@ def release_agent_behaviour(ctx: AgentContext, briefcase: Briefcase):
     The travelling agent cannot meet a guard directly (the guard is an
     anonymous spawned instance), so releases flow through this well-known
     agent: the courier delivers a ``FT_RELEASE`` folder here, and guards at
-    this site poll the cabinet.
+    this site poll the cabinet.  A folder may carry several notices — the
+    landing agent packs every hop released at this site into *one* envelope
+    — and each notice may itself list multiple released hops in
+    ``released_seqs``; the whole envelope is acknowledged exactly once
+    (one ``release_acks`` record, one ``end_meet``), not once per hop.
     """
     cabinet = ctx.cabinet(REARGUARD_CABINET)
     recorded = 0
@@ -164,6 +192,8 @@ def release_agent_behaviour(ctx: AgentContext, briefcase: Briefcase):
                     cabinet.put("releases", notice)
                     recorded += 1
             break
+    cabinet.put("release_acks", {"notices": recorded, "at": ctx.now,
+                                 "from": briefcase.get("SENDER_SITE")})
     yield ctx.end_meet(recorded)
     return recorded
 
@@ -267,6 +297,16 @@ def _relaunch(ctx: AgentContext, snapshot_wire: dict):
         shipment.set("RELAUNCHED", True)
         shipment.set("HOST", candidate)
         shipment.set("CONTACT", "ag_py")
+        # Relaunches ride the delivery fabric: the guard already waited out
+        # a conservative timeout, so a flush window of extra latency is
+        # irrelevant next to the header/setup a coalesced shipment saves.
+        # Trade-off: a batched "accepted" means queued-in-the-outbox, so a
+        # loss at flush time is no longer reported as a refusal — the guard
+        # then recovers through its next timeout (the at-least-once model)
+        # instead of skipping ahead immediately.  Post-time refusals (site
+        # down, partitioned) still return False and skip ahead, because
+        # posting to an unroutable pair bypasses the outbox.
+        shipment.set("KIND", MessageKind.FT_RELAUNCH)
         result = yield ctx.meet("rexec", shipment)
         if result is not None and result.value:
             return True
@@ -290,10 +330,21 @@ def pending_guards(kernel) -> List[Dict[str, object]]:
     return outcomes
 
 
-def make_release_folder(ft_id: str, reached_seq: int, done: bool = False) -> Folder:
-    """The folder an arriving agent sends back to retire its guards."""
-    return Folder("FT_RELEASE", [{"ft_id": ft_id, "reached_seq": int(reached_seq),
-                                  "done": bool(done)}])
+def make_release_folder(ft_id: str, reached_seq: int, done: bool = False,
+                        released_seqs: Sequence[int] = ()) -> Folder:
+    """The folder an arriving agent sends back to retire its guards.
+
+    ``released_seqs`` lists every hop number this one envelope retires at
+    the destination site (all hops ``<= reached_seq - 2``, or everything on
+    ``done``); it is informational for the release agent's ledger — guards
+    match on ``reached_seq``/``done`` — and omitted when not given, keeping
+    the single-guard folder shape unchanged.
+    """
+    notice: Dict[str, object] = {"ft_id": ft_id, "reached_seq": int(reached_seq),
+                                 "done": bool(done)}
+    if released_seqs:
+        notice["released_seqs"] = sorted(int(seq) for seq in released_seqs)
+    return Folder("FT_RELEASE", [notice])
 
 
 register_behaviour(REAR_GUARD_NAME, rear_guard_behaviour, replace=True)

@@ -23,13 +23,19 @@ class MessageKind:
 
     AGENT_TRANSFER = "agent-transfer"     # rexec shipping an agent
     FOLDER_DELIVERY = "folder-delivery"   # courier delivering a folder
-    CONTROL = "control"                   # pings, acks, rear-guard release
+    CONTROL = "control"                   # pings, acks
     GROUP = "group"                       # Horus multicast / view traffic
     STATUS = "status"                     # monitor -> broker load reports
     DATA = "data"                         # raw data (client-server baseline)
     BATCH = "batch"                       # delivery-fabric envelope of coalesced messages
+    FT_RELEASE = "ft-release"             # rear-guard release notices (batchable)
+    FT_RELAUNCH = "ft-relaunch"           # rear-guard snapshot relaunch (batchable transfer)
 
-    ALL = (AGENT_TRANSFER, FOLDER_DELIVERY, CONTROL, GROUP, STATUS, DATA, BATCH)
+    ALL = (AGENT_TRANSFER, FOLDER_DELIVERY, CONTROL, GROUP, STATUS, DATA, BATCH,
+           FT_RELEASE, FT_RELAUNCH)
+    #: kinds that move an agent (or an agent snapshot) between sites; a
+    #: delivered message of one of these counts as a migration
+    MIGRATION_KINDS = (AGENT_TRANSFER, FT_RELAUNCH)
 
 
 @dataclass

@@ -40,6 +40,10 @@ class NetworkStats:
     batched_messages: int = 0
     #: header bytes the fabric avoided (one envelope header replaces N)
     header_bytes_saved: int = 0
+    #: delivery-fabric outbox flushes by trigger: "window" (flush timer),
+    #: "size" / "bytes" (threshold early flush), "deadline" (hard-deadline
+    #: override of a sliding window), "reconfigure", "partition", "manual"
+    flush_causes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_kind_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_link: Dict[Tuple[str, str], LinkStats] = field(default_factory=dict)
@@ -80,6 +84,16 @@ class NetworkStats:
         self.batched_messages += coalesced
         self.header_bytes_saved += header_bytes_saved
 
+    def record_flush(self, cause: str) -> None:
+        """Count one delivery-fabric outbox flush, keyed by what triggered it."""
+        self.flush_causes[cause] += 1
+
+    @property
+    def early_flushes(self) -> int:
+        """Flushes that fired before the window timer (threshold or deadline)."""
+        return (self.flush_causes.get("size", 0) + self.flush_causes.get("bytes", 0)
+                + self.flush_causes.get("deadline", 0))
+
     # -- reading -------------------------------------------------------------
 
     def mean_latency(self) -> Optional[float]:
@@ -111,6 +125,7 @@ class NetworkStats:
             "batches": self.batches,
             "batched_messages": self.batched_messages,
             "header_bytes_saved": self.header_bytes_saved,
+            "early_flushes": self.early_flushes,
             "mean_latency": self.mean_latency() or 0.0,
             "delivery_ratio": self.delivery_ratio(),
         }

@@ -9,13 +9,23 @@ and finally invokes the destination site's handler.
 
 On top of the raw point-to-point path sits the **delivery fabric**: a
 per-destination :class:`Outbox` that coalesces batchable messages (courier
-folder deliveries, monitor status reports) addressed to the same site within
-a configurable flush window into one batched wire message.  The batch pays
-one framing header and one setup delay for the whole group — this is where
-batching pays, exactly as the paper's couriers save bandwidth by shipping
-only the payload folder instead of the whole agent.  Batching is off by
-default (``batch_window=0``); the kernel enables it from
-``KernelConfig.delivery_batch_window``.
+folder deliveries, monitor status reports, rear-guard release and relaunch
+traffic) addressed to the same site within a configurable flush window into
+one batched wire message.  The batch pays one framing header and one setup
+delay for the whole group — this is where batching pays, exactly as the
+paper's couriers save bandwidth by shipping only the payload folder instead
+of the whole agent.  Batching is off by default (``batch_window=0``); the
+kernel enables it from ``KernelConfig.delivery_batch_window``.
+
+The fabric is *adaptive*: besides the flush window, an outbox ships early
+the moment it holds ``batch_max_messages`` messages or
+``batch_max_bytes`` of queued payload (a hot pair never waits out the
+window once the batch is full), and with ``batch_deadline`` set the window
+*slides* — each new message extends the flush by ``batch_window`` to keep
+coalescing a burst, but never past ``first message + batch_deadline``.
+Every flush is recorded in ``NetworkStats.flush_causes`` under the trigger
+that fired it (``window`` / ``size`` / ``bytes`` / ``deadline`` /
+``reconfigure`` / ``partition`` / ``manual``).
 
 Concrete transports: :class:`~repro.net.rsh.RshTransport`,
 :class:`~repro.net.tcp.TcpTransport` and
@@ -40,10 +50,14 @@ __all__ = ["Transport", "Outbox", "DeliveryHandler", "BATCHABLE_KINDS"]
 DeliveryHandler = Callable[[Message], None]
 
 #: message kinds the delivery fabric may coalesce: payload traffic whose
-#: semantics are per-folder, not per-wire-message.  Agent transfers are
-#: never batched — a migration is latency-sensitive and its loss semantics
-#: (rear guards) are per-agent.
-BATCHABLE_KINDS = (MessageKind.FOLDER_DELIVERY, MessageKind.STATUS)
+#: semantics are per-folder, not per-wire-message.  Ordinary agent
+#: transfers are never batched — a migration is latency-sensitive and its
+#: loss semantics (rear guards) are per-agent.  Rear-guard *protection*
+#: traffic (release notices, snapshot relaunches) is batchable: releases
+#: are fire-and-forget bookkeeping and a relaunch already sits behind a
+#: conservative timeout, so neither cares about a flush window of latency.
+BATCHABLE_KINDS = (MessageKind.FOLDER_DELIVERY, MessageKind.STATUS,
+                   MessageKind.FT_RELEASE, MessageKind.FT_RELAUNCH)
 
 
 class Outbox:
@@ -51,10 +65,13 @@ class Outbox:
 
     The first message to enter an empty outbox arms a flush event
     ``batch_window`` seconds out; everything posted to the same pair before
-    the flush rides in the same batch.
+    the flush rides in the same batch.  The outbox also tracks when it was
+    first filled and how much payload it holds, so the adaptive triggers
+    (size / byte threshold, hard deadline) can fire without re-scanning.
     """
 
-    __slots__ = ("source", "destination", "messages", "flush_event")
+    __slots__ = ("source", "destination", "messages", "flush_event",
+                 "first_queued_at", "queued_body_bytes")
 
     def __init__(self, source: str, destination: str):
         self.source = source
@@ -62,6 +79,10 @@ class Outbox:
         self.messages: List[Message] = []
         #: the armed flush event (None once flushed or dropped)
         self.flush_event: Optional[Event] = None
+        #: when the first pending message entered (None while empty)
+        self.first_queued_at: Optional[float] = None
+        #: payload bytes (excluding framing) currently queued
+        self.queued_body_bytes: int = 0
 
     def __len__(self) -> int:
         return len(self.messages)
@@ -96,6 +117,13 @@ class Transport(abc.ABC):
         self.batch_window: float = 0.0
         #: message kinds the fabric may coalesce
         self.batch_kinds: Tuple[str, ...] = BATCHABLE_KINDS
+        #: flush early once an outbox holds this many messages (0 = no limit)
+        self.batch_max_messages: int = 0
+        #: flush early once an outbox queues this many payload bytes (0 = no limit)
+        self.batch_max_bytes: int = 0
+        #: with > 0, the window slides (each post re-arms the flush
+        #: ``batch_window`` out) but never past first-message + deadline
+        self.batch_deadline: float = 0.0
         #: pending outboxes keyed by (source, destination)
         self._outboxes: Dict[Tuple[str, str], Outbox] = {}
         #: when True, per-message setup delays serialize at the source (one
@@ -140,15 +168,101 @@ class Transport(abc.ABC):
 
     def configure_batching(self, batch_window: float,
                            batch_kinds: Optional[Tuple[str, ...]] = None,
-                           serialize_setup: Optional[bool] = None) -> None:
-        """Turn the delivery fabric on/off and tune what it coalesces."""
+                           serialize_setup: Optional[bool] = None,
+                           max_messages: Optional[int] = None,
+                           max_bytes: Optional[int] = None,
+                           deadline: Optional[float] = None) -> None:
+        """Turn the delivery fabric on/off and tune what/how it coalesces.
+
+        ``max_messages`` / ``max_bytes`` flush an outbox early the moment it
+        fills (0 disables the threshold); ``deadline`` > 0 makes the window
+        slide with traffic, capped at first-message + deadline.  Outboxes
+        armed under the previous configuration are reconciled immediately:
+        shrinking or zeroing the window (or tightening a threshold) never
+        leaves messages waiting out a flush event armed under the old rules.
+        """
         if batch_window < 0:
             raise TransportError(f"batch window must be >= 0, got {batch_window}")
+        if max_messages is not None and max_messages < 0:
+            raise TransportError(f"max_messages must be >= 0, got {max_messages}")
+        if max_bytes is not None and max_bytes < 0:
+            raise TransportError(f"max_bytes must be >= 0, got {max_bytes}")
+        if deadline is not None and deadline < 0:
+            raise TransportError(f"deadline must be >= 0, got {deadline}")
         self.batch_window = batch_window
         if batch_kinds is not None:
             self.batch_kinds = tuple(batch_kinds)
         if serialize_setup is not None:
             self.serialize_setup = serialize_setup
+        if max_messages is not None:
+            self.batch_max_messages = int(max_messages)
+        if max_bytes is not None:
+            self.batch_max_bytes = int(max_bytes)
+        if deadline is not None:
+            self.batch_deadline = float(deadline)
+        self._reconcile_outboxes()
+
+    def _reconcile_outboxes(self) -> None:
+        """Re-apply the current batching rules to already-armed outboxes.
+
+        Reconfiguring used to leave stale flush events running on the old
+        window: zeroing the window stranded pending messages until the old
+        (possibly distant) flush fired, and shrinking it silently kept the
+        old, longer wait.  Each pending outbox is now either flushed at once
+        (fabric off, threshold already exceeded, or its recomputed due time
+        has passed) or re-armed at the due time the new rules imply.
+        """
+        for key in list(self._outboxes):
+            outbox = self._outboxes.get(key)
+            if outbox is None:
+                continue
+            if not outbox.messages:
+                self._outboxes.pop(key)
+                if outbox.flush_event is not None:
+                    outbox.flush_event.cancel()
+                    outbox.flush_event = None
+                continue
+            if (self.batch_window <= 0
+                    or any(message.kind not in self.batch_kinds
+                           for message in outbox.messages)
+                    or self._threshold_cause(outbox) is not None):
+                self._flush_outbox(key, cause="reconfigure")
+                continue
+            first = outbox.first_queued_at if outbox.first_queued_at is not None \
+                else self.loop.now
+            due, cause = first + self.batch_window, "window"
+            if self.batch_deadline > 0:
+                # Sliding mode: the window runs from the *last* post (so a
+                # reconfigure with unchanged rules re-arms the flush where
+                # it already was, not in the past), capped at the deadline.
+                last = outbox.messages[-1].sent_at
+                cap = first + self.batch_deadline
+                due, cause = last + self.batch_window, "window"
+                if due >= cap:
+                    due, cause = cap, "deadline"
+            if due <= self.loop.now:
+                self._flush_outbox(key, cause="reconfigure")
+            else:
+                self._arm_flush(outbox, key, due, cause=cause)
+
+    def _threshold_cause(self, outbox: Outbox) -> Optional[str]:
+        """The early-flush threshold *outbox* has reached, if any."""
+        if 0 < self.batch_max_messages <= len(outbox.messages):
+            return "size"
+        if 0 < self.batch_max_bytes <= outbox.queued_body_bytes:
+            return "bytes"
+        return None
+
+    def _arm_flush(self, outbox: Outbox, key: Tuple[str, str], due: float,
+                   cause: str) -> None:
+        """(Re-)arm an outbox's flush event to fire at absolute time *due*."""
+        if outbox.flush_event is not None:
+            if abs(outbox.flush_event.time - due) <= 1e-12:
+                return
+            outbox.flush_event.cancel()
+        outbox.flush_event = self.loop.schedule_at(
+            due, lambda: self._flush_outbox(key, cause=cause),
+            label=f"{self.name}-flush-{outbox.source}-{outbox.destination}")
 
     def post(self, message: Message) -> Optional[Event]:
         """Hand *message* to the delivery fabric.
@@ -157,7 +271,9 @@ class Transport(abc.ABC):
         the fabric is enabled; everything else (and everything when
         ``batch_window`` is 0) goes straight to :meth:`send`.  Returns the
         event that will move the message (its own delivery, or the outbox
-        flush it joined), or ``None`` when it was dropped immediately.
+        flush it joined), or ``None`` when it was dropped immediately.  An
+        outbox reaching a size or byte threshold ships on the spot — the
+        returned event is then the batch's delivery event.
         """
         if self.batch_window <= 0 or message.kind not in self.batch_kinds:
             return self.send(message)
@@ -177,14 +293,31 @@ class Transport(abc.ABC):
         if outbox is None:
             outbox = self._outboxes[key] = Outbox(source, destination)
         message.sent_at = self.loop.now
+        if outbox.first_queued_at is None:
+            outbox.first_queued_at = self.loop.now
         outbox.messages.append(message)
-        if outbox.flush_event is None:
-            outbox.flush_event = self.loop.schedule(
-                self.batch_window, lambda: self._flush_outbox(key),
-                label=f"{self.name}-flush-{source}-{destination}")
+        outbox.queued_body_bytes += message.body_bytes()
+        threshold = self._threshold_cause(outbox)
+        if threshold is not None:
+            # The pair is hot and the batch is full: ship now rather than
+            # waiting out the window.
+            return self._flush_outbox(key, cause=threshold)
+        if self.batch_deadline > 0:
+            # Sliding window: this post extends the flush, capped at the
+            # hard deadline measured from the first queued message.
+            cap = outbox.first_queued_at + self.batch_deadline
+            due = self.loop.now + self.batch_window
+            if due < cap:
+                self._arm_flush(outbox, key, due, cause="window")
+            else:
+                self._arm_flush(outbox, key, cap, cause="deadline")
+        elif outbox.flush_event is None:
+            self._arm_flush(outbox, key, self.loop.now + self.batch_window,
+                            cause="window")
         return outbox.flush_event
 
-    def _flush_outbox(self, key: Tuple[str, str]) -> Optional[Event]:
+    def _flush_outbox(self, key: Tuple[str, str],
+                      cause: str = "window") -> Optional[Event]:
         """Ship an outbox's pending messages as one batched wire message."""
         outbox = self._outboxes.pop(key, None)
         if outbox is None or not outbox.messages:
@@ -192,6 +325,7 @@ class Transport(abc.ABC):
         if outbox.flush_event is not None:
             outbox.flush_event.cancel()
             outbox.flush_event = None
+        self.stats.record_flush(cause)
         messages = outbox.messages
         if len(messages) == 1:
             # No coalescing happened: ship the original message unwrapped so
@@ -218,7 +352,8 @@ class Transport(abc.ABC):
                 self.stats.record_drop(message.source, message.destination)
         return event
 
-    def flush_outboxes(self, only_unroutable: bool = False) -> int:
+    def flush_outboxes(self, only_unroutable: bool = False,
+                       cause: str = "manual") -> int:
         """Flush pending outboxes now (partition install, shutdown, tests).
 
         With ``only_unroutable=True`` (what :meth:`Kernel.partition` uses)
@@ -231,7 +366,7 @@ class Transport(abc.ABC):
         for key in list(self._outboxes):
             if only_unroutable and not self._unroutable(*key):
                 continue
-            self._flush_outbox(key)
+            self._flush_outbox(key, cause=cause)
             flushed += 1
         return flushed
 
@@ -330,8 +465,14 @@ class Transport(abc.ABC):
         message.delivered_at = self.loop.now
         size = message.size_bytes()
         self.stats.record_delivery(size, self.loop.now - message.sent_at)
-        if message.kind == MessageKind.AGENT_TRANSFER:
+        if message.kind in MessageKind.MIGRATION_KINDS:
             self.stats.record_migration(size)
+        elif message.kind == MessageKind.BATCH:
+            # Migration accounting is per agent snapshot, not per envelope:
+            # a coalesced relaunch still counts as one migration.
+            for sub in message.payload.get("messages", ()):
+                if sub.kind in MessageKind.MIGRATION_KINDS:
+                    self.stats.record_migration(sub.size_bytes())
         handler(message)
 
     def _record_in_flight_loss(self, message: Message) -> None:

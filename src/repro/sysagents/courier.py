@@ -12,7 +12,9 @@ The courier expects in its briefcase:
 * ``PAYLOAD_NAME`` — the name of the folder being delivered (also present
   in the briefcase);
 * ``KIND`` (optional) — the wire message kind, defaulting to
-  ``folder-delivery``; monitors use ``status`` for load reports.
+  ``folder-delivery``; monitors use ``status`` for load reports, and the
+  fault-tolerance layer ships release notices as ``ft-release`` so guard
+  bookkeeping coalesces in the delivery fabric like any other payload.
 
 Only the payload folder travels — the courier builds a minimal delivery
 briefcase rather than shipping everything it was handed, which is exactly
@@ -57,7 +59,8 @@ def courier_behaviour(ctx: AgentContext, briefcase: Briefcase):
         return True
 
     kind = briefcase.get("KIND", MessageKind.FOLDER_DELIVERY)
-    if kind not in (MessageKind.FOLDER_DELIVERY, MessageKind.STATUS):
+    if kind not in (MessageKind.FOLDER_DELIVERY, MessageKind.STATUS,
+                    MessageKind.FT_RELEASE):
         # Only contact-addressed payload kinds reach their contact at the
         # destination; anything else would silently strand the folder.
         ctx.log(f"courier: unsupported delivery kind {kind!r}")

@@ -29,6 +29,14 @@ def rexec_behaviour(ctx: AgentContext, briefcase: Briefcase):
     """
     host = briefcase.get(HOST_FOLDER)
     contact = briefcase.get(CONTACT_FOLDER, "ag_py")
+    # A KIND folder naming a supported transfer kind is a per-shipment
+    # override (a rear guard relaunching its snapshot asks for the
+    # batchable ft-relaunch kind); it is consumed so it never leaks into
+    # the next jump of the re-animated agent.  Any other KIND folder is an
+    # ordinary piece of the agent's luggage and travels untouched.
+    kind = MessageKind.AGENT_TRANSFER
+    if briefcase.get("KIND") in (MessageKind.AGENT_TRANSFER, MessageKind.FT_RELAUNCH):
+        kind = briefcase.remove("KIND").peek()
     if host is None:
         ctx.log("rexec: briefcase has no HOST folder")
         yield ctx.end_meet(False)
@@ -40,8 +48,7 @@ def rexec_behaviour(ctx: AgentContext, briefcase: Briefcase):
         yield ctx.end_meet(True)
         return result.value if result is not None else True
 
-    accepted = yield ctx.transmit(host, contact, briefcase,
-                                  kind=MessageKind.AGENT_TRANSFER)
+    accepted = yield ctx.transmit(host, contact, briefcase, kind=kind)
     if not accepted:
         ctx.log(f"rexec: transfer to {host!r} was refused (down or unreachable)")
     yield ctx.end_meet(bool(accepted))

@@ -46,6 +46,22 @@ def transmit_n(kernel, n, destination="b", kind=MessageKind.FOLDER_DELIVERY,
     return kernel.launch(source, sender, system=True)
 
 
+def transmit_spaced(kernel, n, gap, destination="b",
+                    kind=MessageKind.FOLDER_DELIVERY, source="a",
+                    contact="receiver"):
+    """Like transmit_n, but sleeping *gap* simulated seconds between sends."""
+
+    def sender(ctx, bc):
+        for index in range(n):
+            payload = Briefcase()
+            payload.set("X", index)
+            yield ctx.transmit(destination, contact, payload, kind=kind)
+            yield ctx.sleep(gap)
+        return "done"
+
+    return kernel.launch(source, sender, system=True)
+
+
 class TestBatching:
     def test_same_destination_messages_coalesce_into_one_wire_message(self):
         kernel = make_kernel(window=0.1)
@@ -279,6 +295,210 @@ class TestMessageSizeCache:
         # where the unbatched wire paid three.
         assert batched.stats.bytes_sent == \
             unbatched.stats.bytes_sent - 2 * Message.HEADER_BYTES
+
+
+class TestAdaptiveFlush:
+    def test_size_threshold_ships_before_the_window(self):
+        kernel = make_kernel(window=10.0, delivery_batch_max_messages=3)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.05)
+        # The batch is already on the wire long before the 10 s window.
+        assert kernel.stats.messages_sent == 1
+        assert kernel.stats.flush_causes["size"] == 1
+        assert kernel.transport.pending_outbox_messages() == 0
+        kernel.run()
+        assert kernel.arrivals == 3
+        assert kernel.stats.batches == 1
+        assert kernel.stats.batched_messages == 3
+
+    def test_size_threshold_splits_a_stream_into_full_batches(self):
+        kernel = make_kernel(window=10.0, delivery_batch_max_messages=2)
+        install_receiver(kernel)
+        transmit_n(kernel, 6)
+        kernel.run()
+        assert kernel.arrivals == 6
+        assert kernel.stats.batches == 3            # three full batches of 2
+        assert kernel.stats.flush_causes["size"] == 3
+        assert kernel.stats.messages_sent == 3
+
+    def test_byte_threshold_ships_before_the_window(self):
+        from repro.core.codec import wire_size_of
+        probe = Briefcase()
+        probe.set("X", 0)
+        one_message = wire_size_of(probe)
+        kernel = make_kernel(window=10.0,
+                             delivery_batch_max_bytes=one_message + 1)
+        install_receiver(kernel)
+        transmit_n(kernel, 2)
+        kernel.run(until=0.05)
+        # The second message tripped the byte threshold.
+        assert kernel.stats.messages_sent == 1
+        assert kernel.stats.flush_causes["bytes"] == 1
+        kernel.run()
+        assert kernel.arrivals == 2
+        assert kernel.stats.batches == 1
+
+    def test_sliding_window_extends_with_traffic(self):
+        # deadline > 0 turns the window into a sliding one: the second
+        # message (inside the first window) postpones the flush.
+        kernel = make_kernel(window=0.2, delivery_batch_deadline=5.0)
+        install_receiver(kernel)
+        transmit_spaced(kernel, 2, gap=0.15)
+        kernel.run(until=0.30)     # a fixed window would have flushed at ~0.2
+        assert kernel.stats.messages_sent == 0
+        kernel.run()
+        assert kernel.stats.messages_sent == 1
+        assert kernel.stats.batches == 1
+        assert kernel.arrivals == 2
+
+    def test_deadline_caps_a_sliding_window(self):
+        # Steady traffic keeps extending the window; the hard deadline
+        # bounds the wait from the first queued message.
+        kernel = make_kernel(window=0.2, delivery_batch_deadline=0.5)
+        install_receiver(kernel)
+        transmit_spaced(kernel, 6, gap=0.1)
+        kernel.run(until=0.45)
+        assert kernel.stats.messages_sent == 0      # still sliding
+        kernel.run()
+        assert kernel.stats.flush_causes["deadline"] == 1
+        assert kernel.stats.messages_sent <= 2      # deadline batch + the tail
+        assert kernel.arrivals == 6
+
+    def test_threshold_flush_event_is_the_batch_delivery(self):
+        # post() returns the shipped batch's event on a threshold flush, so
+        # the sender still sees "accepted".
+        kernel = make_kernel(window=10.0, delivery_batch_max_messages=2)
+        install_receiver(kernel)
+        sender = transmit_n(kernel, 2)
+        kernel.run()
+        assert kernel.result_of(sender) == [True, True]
+
+
+class TestReconfigureReconciliation:
+    def test_zeroing_the_window_flushes_armed_outboxes(self):
+        # Regression: turning the fabric off used to leave pending messages
+        # waiting out the old (here: distant) flush event.
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)
+        assert kernel.transport.pending_outbox_messages() == 3
+        kernel.transport.configure_batching(0.0)
+        assert kernel.transport.pending_outbox_messages() == 0
+        assert kernel.stats.messages_sent == 1      # shipped now, as one batch
+        assert kernel.stats.flush_causes["reconfigure"] == 1
+        kernel.run()
+        assert kernel.arrivals == 3
+        assert kernel.stats.messages_dropped == 0   # flushed, not dropped
+
+    def test_shrinking_the_window_rearms_armed_outboxes(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 2)
+        kernel.run(until=0.01)
+        kernel.transport.configure_batching(0.05)
+        kernel.run(until=0.5)
+        # The flush fired on the new 0.05 s window, not the old 10 s one.
+        assert kernel.arrivals == 2
+        assert kernel.stats.batches == 1
+
+    def test_stale_flush_event_after_reconfigure_is_a_no_op(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 2)
+        kernel.run(until=0.01)
+        kernel.transport.configure_batching(0.0)
+        sent_after_flush = kernel.stats.messages_sent
+        kernel.run()    # drains everything, including the old armed event
+        assert kernel.stats.messages_sent == sent_after_flush
+        assert kernel.arrivals == 2
+
+    def test_reconfigure_with_unchanged_rules_keeps_sliding_outboxes(self):
+        # Reconfiguring must be idempotent: repeating the identical sliding
+        # configuration mid-burst must not flush an outbox that the rules
+        # say should keep coalescing until last-post + window.
+        kernel = make_kernel(window=0.2, delivery_batch_deadline=5.0)
+        install_receiver(kernel)
+        transmit_spaced(kernel, 2, gap=0.15)
+        kernel.run(until=0.25)      # both posted; sliding due is ~0.35
+        assert kernel.transport.pending_outbox_messages() == 2
+        kernel.transport.configure_batching(0.2, deadline=5.0)
+        assert kernel.transport.pending_outbox_messages() == 2  # not flushed
+        kernel.run()
+        assert kernel.stats.messages_sent == 1
+        assert kernel.stats.batches == 1
+        assert kernel.arrivals == 2
+
+    def test_tightened_threshold_flushes_already_full_outboxes(self):
+        kernel = make_kernel(window=10.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 4)
+        kernel.run(until=0.01)
+        kernel.transport.configure_batching(10.0, max_messages=3)
+        # 4 pending >= the new threshold: the batch left immediately.
+        assert kernel.transport.pending_outbox_messages() == 0
+        kernel.run()
+        assert kernel.arrivals == 4
+
+    def test_negative_adaptive_knobs_rejected(self):
+        from repro.core.errors import TransportError
+        kernel = make_kernel(window=0.0)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, max_messages=-1)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, max_bytes=-1)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, deadline=-0.5)
+
+
+class TestCrashDuringArmedFlush:
+    def test_crash_while_armed_below_threshold_drops_per_message(self):
+        # Site crash between arming and the flush event firing: the same
+        # per-message accounting as _drop_outbox.
+        kernel = make_kernel(window=10.0, delivery_batch_max_messages=5)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)
+        assert kernel.transport.pending_outbox_messages() == 3
+        dropped_before = kernel.stats.messages_dropped
+        kernel.crash_site("b")
+        assert kernel.stats.messages_dropped == dropped_before + 3
+        kernel.run()
+        assert kernel.stats.messages_dropped == dropped_before + 3  # no double count
+        assert kernel.arrivals == 0
+
+    def test_crash_after_threshold_trigger_counts_per_message(self):
+        # The threshold fired and the batch is in flight when the
+        # destination dies: in-flight loss counts each coalesced message,
+        # matching what _drop_outbox would have charged.
+        kernel = make_kernel(window=10.0, delivery_batch_max_messages=3)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)
+        assert kernel.stats.messages_sent == 1      # early flush already shipped
+        assert kernel.transport.pending_outbox_messages() == 0
+        dropped_before = kernel.stats.messages_dropped
+        kernel.site("b").mark_crashed()
+        kernel.topology.mark_down("b")
+        kernel.run()
+        assert kernel.stats.messages_dropped == dropped_before + 3
+        assert kernel.arrivals == 0
+
+    def test_partition_mid_batch_does_not_double_count_drops(self):
+        kernel = make_kernel(window=10.0, delivery_batch_max_messages=5)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)
+        dropped_before = kernel.stats.messages_dropped
+        kernel.partition([["a"], ["b", "c"]])
+        kernel.run()
+        # Exactly one drop per queued message — the partition flush and the
+        # (now stale) armed flush event must not both charge the loss.
+        assert kernel.stats.messages_dropped == dropped_before + 3
+        assert kernel.stats.flush_causes["partition"] == 1
+        assert kernel.arrivals == 0
+        kernel.heal_partition()
 
 
 class TestConfigureBatching:

@@ -38,6 +38,58 @@ class TestHorusGuardDetection:
         install_horus_guard_detection(kernel)
         install_horus_guard_detection(kernel)   # second call must not blow up
 
+    def test_double_install_does_not_duplicate_suspicions(self):
+        # Regression: a second install used to subscribe a second observer
+        # per site, doubling every suspicion record.
+        kernel, names = make_horus_kernel()
+        install_horus_guard_detection(kernel)
+        install_horus_guard_detection(kernel)
+        kernel.loop.schedule(0.5, lambda: kernel.crash_site("s2"))
+        kernel.run(until=2.0)
+        for name in names:
+            if name == "s2":
+                continue
+            cabinet = kernel.site(name).cabinet(REARGUARD_CABINET)
+            suspects = [record["site"] for record in cabinet.elements(SUSPICIONS_FOLDER)]
+            assert suspects.count("s2") == 1, name
+
+    def test_late_registered_site_joins_the_guard_group(self):
+        # Regression: the guard group captured the site list at install
+        # time, so sites registered afterwards never joined and group_down
+        # was diffed against stale membership.
+        kernel, names = make_horus_kernel()
+        install_horus_guard_detection(kernel)
+        kernel.add_site("late", links=[names[0], names[1]])
+        assert "late" in kernel.transport.group_view(GUARD_GROUP).members
+
+        kernel.loop.schedule(0.5, lambda: kernel.crash_site("s2"))
+        kernel.run(until=2.0)
+        # The late site observes the view change like any founding member...
+        cabinet = kernel.site("late").cabinet(REARGUARD_CABINET)
+        suspects = [record["site"] for record in cabinet.elements(SUSPICIONS_FOLDER)]
+        assert "s2" in suspects
+        assert "s2" in (cabinet.get("group_down") or [])
+        # ...and the survivors' group_down includes nothing stale: the late
+        # site is a live member, not "down" just because it postdates the
+        # install-time site list.
+        survivor = kernel.site(names[0]).cabinet(REARGUARD_CABINET)
+        assert "late" not in (survivor.get("group_down") or [])
+
+    def test_observers_do_not_share_membership_baselines(self):
+        # Each site's observer must diff against its own last-seen view; a
+        # shared baseline set let one site's update stand in for all.
+        kernel, names = make_horus_kernel(sites=4)
+        install_horus_guard_detection(kernel)
+        kernel.loop.schedule(0.3, lambda: kernel.crash_site("s1"))
+        kernel.loop.schedule(0.9, lambda: kernel.crash_site("s2"))
+        kernel.run(until=3.0)
+        for name in ("s0", "s3"):
+            cabinet = kernel.site(name).cabinet(REARGUARD_CABINET)
+            suspects = [record["site"] for record in cabinet.elements(SUSPICIONS_FOLDER)]
+            assert suspects.count("s1") == 1, name
+            assert suspects.count("s2") == 1, name
+            assert sorted(cabinet.get("group_down") or []) == ["s1", "s2"], name
+
     def test_crash_is_recorded_as_a_suspicion_at_surviving_sites(self):
         kernel, names = make_horus_kernel()
         install_horus_guard_detection(kernel)

@@ -124,6 +124,52 @@ class TestUnderFailures:
         assert len(completions(kernel, "s0", second)) == 1
 
 
+class TestReleasesOnTheFabric:
+    def test_releases_travel_as_ft_release_kind(self):
+        from repro.net.message import MessageKind
+        kernel, names = make_kernel()
+        ft_id = launch_ft_computation(kernel, "s0", names[1:], per_hop=0.3)
+        kernel.run(until=60.0)
+        assert len(completions(kernel, names[-1], ft_id)) == 1
+        assert kernel.stats.per_kind[MessageKind.FT_RELEASE] > 0
+        # Nothing ships release notices as generic folder deliveries anymore.
+        assert kernel.stats.per_kind.get(MessageKind.FOLDER_DELIVERY, 0) == 0
+
+    def test_cyclic_itinerary_gets_one_envelope_per_guard_site(self):
+        # The walk s0 -> s1 -> s0 -> s1 -> s2 parks two retiring guards at
+        # s1 by delivery time; the final release is one envelope listing
+        # both hops, acknowledged once.
+        kernel, names = make_kernel(sites=3, topology="lan")
+        ft_id = launch_ft_computation(kernel, "s0", ["s1", "s0", "s1", "s2"],
+                                      per_hop=0.3)
+        kernel.run(until=60.0)
+        assert len(completions(kernel, "s2", ft_id)) == 1
+        from repro.fault import REARGUARD_CABINET
+        cabinet = kernel.site("s1").cabinet(REARGUARD_CABINET)
+        acks = cabinet.elements("release_acks")
+        assert len(acks) == 1                       # one envelope, one ack
+        notices = [notice for notice in cabinet.elements("releases")
+                   if notice.get("done")]
+        assert len(notices) == 1
+        assert notices[0]["released_seqs"] == [2, 4]
+        outcomes = {entry["outcome"] for entry in pending_guards(kernel)}
+        assert outcomes == {"released"}
+
+    def test_guarded_computations_complete_exactly_once_on_the_fabric(self):
+        kernel, names = make_kernel()
+        kernel.transport.configure_batching(0.1, max_messages=4, deadline=0.4)
+        ids = [launch_ft_computation(kernel, "s0", names[1:], per_hop=0.3,
+                                     delay=0.05 * index)
+               for index in range(4)]
+        FailureSchedule().crash("s3", at=0.05).recover("s3", at=100.0).install(kernel)
+        kernel.run(until=300.0)
+        for ft_id in ids:
+            assert len(completions(kernel, names[-1], ft_id)) == 1, ft_id
+        # Guard traffic genuinely coalesced on the wire.
+        assert kernel.stats.batches > 0
+        assert kernel.stats.batched_messages > 0
+
+
 class TestHelpers:
     def test_fan_out_ids_are_unique_and_prefixed(self):
         ids = fan_out_ids("ft-main", 4)

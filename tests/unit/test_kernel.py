@@ -475,3 +475,65 @@ class TestFailureInjection:
         kernel.launch("a", chatty)
         kernel.run()
         assert any("hello log" in entry[3] for entry in kernel.event_log)
+
+
+class TestLateSiteRegistration:
+    def test_add_site_is_fully_wired(self, kernel):
+        site = kernel.add_site("d", links=["a", ("b", None)])
+        assert "d" in kernel.site_names()
+        assert kernel.topology.has_site("d")
+        assert site.is_installed("rexec")           # system agents installed
+
+        # Agents can launch there and traffic routes over the new links.
+        from repro.core.registry import register_behaviour
+
+        def hopper(ctx, bc):
+            if ctx.site_name == "d":
+                yield ctx.sleep(0)
+                return "arrived"
+            yield ctx.jump(bc, "d")
+            return "moved"
+
+        register_behaviour("late_site_hopper", hopper, replace=True)
+        kernel.launch("a", "late_site_hopper", Briefcase())
+        kernel.run()
+        assert kernel.arrivals == 1
+        assert kernel.agents_at("d", active_only=False)
+
+    def test_add_site_rejects_duplicates_and_unknown_peers(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.add_site("a")
+        with pytest.raises(UnknownSiteError):
+            kernel.add_site("d", links=["nope"])
+        assert "d" not in kernel.site_names()       # nothing half-registered
+
+    def test_on_site_added_hooks_fire(self, kernel):
+        seen = []
+        kernel.on_site_added(seen.append)
+        kernel.add_site("d", links=["a"])
+        kernel.add_site("e", links=["d"])
+        assert seen == ["d", "e"]
+
+    def test_late_site_without_system_agents(self, kernel):
+        site = kernel.add_site("bare", links=["a"], install_system_agents=False)
+        assert not site.is_installed("rexec")
+
+    def test_late_site_inherits_the_construction_population(self):
+        from repro.net import lan
+        bare_kernel = Kernel(lan(["a", "b"]), install_system_agents=False)
+        # No explicit override: the late site matches the founding sites
+        # (no system agents), not add_site's own historical default.
+        site = bare_kernel.add_site("c", links=["a"])
+        assert not site.is_installed("rexec")
+        assert site.is_installed("rexec") == bare_kernel.site("a").is_installed("rexec")
+
+    def test_adaptive_knobs_without_a_window_are_rejected(self):
+        from repro.net import lan
+        for knobs in ({"delivery_batch_max_messages": 4},
+                      {"delivery_batch_max_bytes": 1024},
+                      {"delivery_batch_deadline": 0.5}):
+            with pytest.raises(KernelError):
+                Kernel(lan(["a", "b"]), config=KernelConfig(**knobs))
+        # With a window they are accepted.
+        Kernel(lan(["a", "b"]), config=KernelConfig(
+            delivery_batch_window=0.1, delivery_batch_max_messages=4))

@@ -190,3 +190,38 @@ class TestBroadcast:
             letters = [letter for letter in mail.inbox(site, "all")
                        if letter["subject"] == "announcement"]
             assert letters and letters[0]["to_site"] == site
+
+
+class TestBuildMailKernel:
+    def test_build_defaults_to_keep_results_retention(self):
+        mail = MailSystem.build(["tromso", "cornell"])
+        assert mail.kernel.table.retention.name == "keep-results"
+
+        mail.send("dag", "tromso", "fred", "cornell", "hello", "body")
+        mail.kernel.run(until=30.0)
+        # The long-running-deployment contract: outcomes are read through
+        # the mailbox cabinets, and they survive instance archival.
+        assert mail.delivered_count() == 1
+        assert any(letter["subject"] == "hello"
+                   for letter in mail.inbox("cornell", "fred"))
+        # Terminal agents were archived into compact records, not retained
+        # as full instances.
+        kinds = mail.kernel.table.ledger_entry_kinds()
+        assert kinds["records"] > 0
+        assert kinds["instances"] == 0
+
+    def test_build_accepts_topology_and_retention_override(self):
+        mail = MailSystem.build(topology=two_clusters(["a", "b"], ["c", "d"]),
+                                retention="keep-all")
+        assert sorted(mail.kernel.site_names()) == ["a", "b", "c", "d"]
+        assert mail.kernel.table.retention.name == "keep-all"
+
+    def test_build_rejects_seed_alongside_explicit_config(self):
+        # A seed next to a full config would be silently ignored.
+        with pytest.raises(ValueError):
+            MailSystem.build(["a", "b"], seed=7,
+                             config=KernelConfig(meet_overhead=0.1))
+
+    def test_build_seed_reaches_the_kernel(self):
+        mail = MailSystem.build(["a", "b"], seed=99)
+        assert mail.kernel.config.rng_seed == 99

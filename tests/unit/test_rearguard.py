@@ -70,6 +70,87 @@ class TestReleaseAgent:
             assert kernel.site(name).is_installed(RELEASE_AGENT_NAME)
 
 
+class TestBatchedReleases:
+    def test_release_folder_lists_released_hops(self):
+        folder = make_release_folder("ft-1", 5, released_seqs=[3, 1])
+        assert folder.elements() == [{"ft_id": "ft-1", "reached_seq": 5,
+                                      "done": False, "released_seqs": [1, 3]}]
+
+    def test_release_folder_without_seqs_keeps_legacy_shape(self):
+        folder = make_release_folder("ft-1", 3, done=True)
+        assert folder.elements() == [{"ft_id": "ft-1", "reached_seq": 3,
+                                      "done": True}]
+
+    def test_release_agent_acknowledges_an_envelope_once(self, kernel):
+        # One envelope carrying several notices is acknowledged exactly
+        # once — not once per notice, as N separate couriers would be.
+        def sender(ctx, bc):
+            folder = Folder("FT_RELEASE", [
+                {"ft_id": "ft-1", "reached_seq": 3, "done": False},
+                {"ft_id": "ft-2", "reached_seq": 7, "done": True},
+            ])
+            result = yield ctx.send_folder(folder, "b", RELEASE_AGENT_NAME)
+            return result.value
+
+        agent_id = kernel.launch("a", sender)
+        kernel.run()
+        assert kernel.result_of(agent_id) is True   # the courier accepted it
+        cabinet = kernel.site("b").cabinet(REARGUARD_CABINET)
+        assert len(cabinet.elements("releases")) == 2
+        acks = cabinet.elements("release_acks")
+        assert len(acks) == 1
+        assert acks[0]["notices"] == 2
+
+    def test_multi_hop_notice_retires_guards_by_reached_seq(self, kernel):
+        # A single envelope listing several released hops retires every
+        # matching guard at the site.
+        early = spawn_guard(kernel, site="b", ft_id="ft-1", protects_seq=1,
+                            per_hop=1.0)
+        later = spawn_guard(kernel, site="b", ft_id="ft-1", protects_seq=3,
+                            per_hop=1.0)
+        kernel.site("b").cabinet(REARGUARD_CABINET).put(
+            "releases", {"ft_id": "ft-1", "reached_seq": 5, "done": False,
+                         "released_seqs": [1, 3]})
+        kernel.run(until=30.0)
+        assert kernel.result_of(early) == "released"
+        assert kernel.result_of(later) == "released"
+
+
+class TestRelaunchBudget:
+    """Pin the relaunch budget semantics: a guard with max_relaunches=N
+    relaunches exactly N times, never N+1 — even when every relaunched twin
+    also stalls (nothing ever sends a release here)."""
+
+    def test_exactly_two_relaunches_for_budget_of_two(self, kernel):
+        guard_id = spawn_guard(kernel, protects_seq=1, per_hop=0.05,
+                               max_relaunches=2)
+        kernel.run(until=120.0)     # far past any further deadline
+        relaunches = kernel.site("a").cabinet(REARGUARD_CABINET).elements("relaunches")
+        assert [entry["attempt"] for entry in relaunches] == [1, 2]
+        outcomes = kernel.site("a").cabinet(REARGUARD_CABINET).elements("guard_outcomes")
+        assert outcomes[-1]["outcome"] == "gave-up"
+        assert outcomes[-1]["relaunches"] == 2
+        assert kernel.result_of(guard_id) == "gave-up"
+
+    def test_budget_of_zero_never_relaunches(self, kernel):
+        guard_id = spawn_guard(kernel, protects_seq=1, per_hop=0.05,
+                               max_relaunches=0)
+        kernel.run(until=60.0)
+        assert kernel.site("a").cabinet(REARGUARD_CABINET).elements("relaunches") == []
+        assert kernel.stats.migrations == 0
+        assert kernel.result_of(guard_id) == "gave-up"
+
+    def test_relaunch_ships_as_batchable_ft_relaunch_kind(self, kernel):
+        from repro.net.message import MessageKind
+        spawn_guard(kernel, protects_seq=1, per_hop=0.1, max_relaunches=1)
+        kernel.run(until=30.0)
+        # The snapshot re-shipment went out as ft-relaunch (fabric-eligible),
+        # not as a plain agent transfer — and still counts as a migration.
+        assert kernel.stats.per_kind[MessageKind.FT_RELAUNCH] >= 1
+        assert kernel.stats.per_kind.get(MessageKind.AGENT_TRANSFER, 0) == 0
+        assert kernel.stats.migrations >= 1
+
+
 class TestRearGuard:
     def test_guard_terminates_when_release_arrives(self, kernel):
         guard_id = spawn_guard(kernel, protects_seq=1)

@@ -67,6 +67,45 @@ class TestRexec:
         assert served_at == "a"
         assert kernel.stats.migrations == 0   # no network involved
 
+    def test_application_kind_folder_travels_untouched(self, kernel):
+        # An agent's own "KIND" folder is ordinary luggage: rexec only
+        # consumes it when it names a supported transfer kind (the rear
+        # guard relaunch override); anything else ships along unmodified
+        # as a plain agent transfer.
+        from repro.net.message import MessageKind
+
+        def client(ctx, bc):
+            request = Briefcase()
+            request.set("HOST", "b")
+            request.set("CONTACT", "ag_py")
+            request.set("KIND", "priority")         # app-defined folder
+            request.set("CODE", code_for("shell"))
+            result = yield ctx.meet("rexec", request)
+            return (result.value, request.has("KIND"))
+
+        value, kind_kept = run_client(kernel, client)
+        assert value is True
+        assert kind_kept is True
+        assert kernel.stats.per_kind[MessageKind.AGENT_TRANSFER] == 1
+        assert kernel.stats.per_kind.get(MessageKind.FT_RELAUNCH, 0) == 0
+
+    def test_ft_relaunch_kind_folder_is_consumed_and_used(self, kernel):
+        from repro.net.message import MessageKind
+
+        def client(ctx, bc):
+            request = Briefcase()
+            request.set("HOST", "b")
+            request.set("CONTACT", "ag_py")
+            request.set("KIND", MessageKind.FT_RELAUNCH)
+            request.set("CODE", code_for("shell"))
+            result = yield ctx.meet("rexec", request)
+            return (result.value, request.has("KIND"))
+
+        value, kind_kept = run_client(kernel, client)
+        assert value is True
+        assert kind_kept is False                  # consumed per shipment
+        assert kernel.stats.per_kind[MessageKind.FT_RELAUNCH] == 1
+
     def test_transfer_to_down_site_ends_meet_with_false(self, kernel):
         kernel.crash_site("b")
 
