@@ -1,0 +1,288 @@
+"""E12 — Durability cost vs recovery win (the repro.store subsystem).
+
+The paper says cabinets "can be flushed to disk when permanence is
+required" (section 6); before `repro.store`, permanence was free and fake —
+crashes killed agents while every in-memory cabinet silently survived.
+This experiment prices permanence honestly and measures what it buys:
+
+* **E12a (durability overhead)** — the same rear-guard-protected itinerary
+  workload with no failures, swept over the durability policies.  Durable
+  policies must cost strictly more simulated time than ``none`` (group
+  commits, fsyncs, checkpoint barriers) — a non-zero, quantified price.
+* **E12b (crash sweep: policy × crash rate)** — E6-style random crash
+  schedules with recovery.  Under ``none``, a coordinated loss (agent host
+  plus every trailing guard site down together) kills the computation; the
+  only recovery is re-running the whole itinerary from the origin, which
+  the harness does — that is the baseline's re-execution bill.  Under
+  ``wal-group-commit``, durable checkpoints revive guards at recovered
+  sites, so computations resume from the last durable checkpoint:
+  strictly fewer re-executed hops, zero durable folders lost, at the cost
+  of recovery delays and the E12a overhead.
+
+Run with ``--smoke`` for a tiny-population CI sanity pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.bench import Report
+from repro.core import Kernel, KernelConfig
+from repro.fault import completions, launch_ft_computation
+from repro.net import RandomCrasher, lan
+
+SITES = [f"n{i}" for i in range(8)]
+HOME, DELIVERY = SITES[0], SITES[-1]
+INTERMEDIATE = SITES[1:-1]
+ITINERARY = list(INTERMEDIATE) + [DELIVERY]
+#: distinct hops a computation must execute (seq 0 at home + itinerary)
+NEEDED_HOPS = len(ITINERARY) + 1
+
+POLICIES = ("none", "flush-on-demand", "wal-group-commit")
+PER_HOP = 0.5
+WORK_SECONDS = 0.25
+MAX_RELAUNCHES = 4
+STAGGER = 0.05
+COMMIT_WINDOW = 0.05
+#: crashes land in a tight window — a correlated outage (power dip, rack
+#: failure) while the computations are mid-itinerary, which is exactly the
+#: coordinated loss plain rear guards cannot cover
+CRASH_WINDOW = (1.2, 1.4)
+RECOVER_AFTER = 6.0
+FIRST_HORIZON = 40.0
+RESTART_ROUNDS = 3
+
+
+def _population(smoke: bool):
+    """(computations per point, seeds, crash probabilities)."""
+    if smoke:
+        return 4, (11,), (1.0,)
+    return 8, (11, 29), (0.9, 1.0)
+
+
+def build_kernel(policy: str, seed: int) -> Kernel:
+    config = KernelConfig(rng_seed=seed, durability=policy,
+                          store_commit_window=COMMIT_WINDOW)
+    kernel = Kernel(lan(SITES), transport="tcp", config=config)
+    for index, name in enumerate(SITES):
+        kernel.site(name).cabinet("data").put("VALUE", index)
+    return kernel
+
+
+def _base_of(ft_id: str) -> str:
+    return ft_id.split("/retry-")[0]
+
+
+def _family_completions(kernel: Kernel, base: str) -> List[dict]:
+    return [record for record in completions(kernel, DELIVERY)
+            if _base_of(str(record.get("ft_id"))) == base]
+
+
+def _re_executed_hops(kernel: Kernel, bases: List[str]) -> int:
+    """Hop executions beyond the first execution of each distinct hop.
+
+    Counted per *logical* computation (origin-restart retries fold into
+    their base id): every ``hop-exec`` event past the first for a given
+    hop number is work the system had to redo.
+    """
+    per_base: Dict[str, List[int]] = {base: [] for base in bases}
+    for _at, _agent, _site, message in kernel.event_log:
+        if not message.startswith("hop-exec "):
+            continue
+        _tag, ft_id, seq_part = message.split(" ")
+        base = _base_of(ft_id)
+        if base in per_base:
+            per_base[base].append(int(seq_part.split("=")[1]))
+    return sum(max(0, len(seqs) - len(set(seqs))) for seqs in per_base.values())
+
+
+def run_point(policy: str, crash_probability: float, seed: int,
+              n_computations: int) -> Dict[str, float]:
+    """One (policy, crash rate, seed) cell of the sweep."""
+    kernel = build_kernel(policy, seed)
+    bases = [f"e12-{seed}-{index:03d}" for index in range(n_computations)]
+    for index, base in enumerate(bases):
+        launch_ft_computation(kernel, HOME, ITINERARY, ft_id=base,
+                              per_hop=PER_HOP, max_relaunches=MAX_RELAUNCHES,
+                              work_seconds=WORK_SECONDS, delay=STAGGER * index,
+                              durable_checkpoints=(policy != "none"))
+    if crash_probability > 0:
+        RandomCrasher(crash_probability, window=CRASH_WINDOW,
+                      recover_after=RECOVER_AFTER, protect=[HOME, DELIVERY],
+                      seed=seed).install(kernel)
+    kernel.run(until=FIRST_HORIZON)
+
+    restarts = 0
+    if policy == "none":
+        # Without durable state the only recovery is to re-run lost
+        # computations end to end from the origin (fresh attempt ids: no
+        # durable memory of the first attempt exists to resume from).
+        for round_number in range(1, RESTART_ROUNDS + 1):
+            incomplete = [base for base in bases
+                          if not _family_completions(kernel, base)]
+            if not incomplete:
+                break
+            for base in incomplete:
+                launch_ft_computation(
+                    kernel, HOME, ITINERARY, ft_id=f"{base}/retry-{round_number}",
+                    per_hop=PER_HOP, max_relaunches=MAX_RELAUNCHES,
+                    work_seconds=WORK_SECONDS)
+                restarts += 1
+            kernel.run(until=FIRST_HORIZON + 20.0 * round_number)
+    else:
+        # Durable policies recover through checkpoint revival at site
+        # recovery time; give them the same total horizon, no restarts.
+        kernel.run(until=FIRST_HORIZON + 20.0 * RESTART_ROUNDS)
+
+    families = {base: _family_completions(kernel, base) for base in bases}
+    completed = sum(1 for records in families.values() if records)
+    duplicates = sum(max(0, len(records) - 1) for records in families.values())
+    completion_times = [record["completed_at"] for records in families.values()
+                        for record in records]
+    summary = kernel.store_summary()
+    return {
+        "attempted": n_computations,
+        "completed": completed,
+        "duplicates": duplicates,
+        "restarts": restarts,
+        "re_executed": _re_executed_hops(kernel, bases),
+        "messages": kernel.stats.messages_sent,
+        "sim_time": max(completion_times) if completion_times else float("inf"),
+        "recoveries": summary["recoveries"],
+        "recovery_seconds": summary["recovery_seconds"],
+        "wal_commits": summary["wal_commits"],
+        "state_lost_folders": summary["state_lost_folders"],
+        "durable_folders_lost": summary["durable_folders_lost"],
+    }
+
+
+def sweep_point(policy: str, crash_probability: float, smoke: bool) -> Dict[str, float]:
+    n_computations, seeds, _ = _population(smoke)
+    totals: Dict[str, float] = {}
+    for seed in seeds:
+        outcome = run_point(policy, crash_probability, seed, n_computations)
+        for key, value in outcome.items():
+            if key == "sim_time":
+                totals[key] = max(totals.get(key, 0.0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+# =============================================================================
+# E12a — the price of permanence (no failures)
+# =============================================================================
+
+@pytest.fixture(scope="module")
+def overhead_sweep(smoke):
+    return {policy: sweep_point(policy, 0.0, smoke) for policy in POLICIES}
+
+
+def test_e12a_durability_overhead(overhead_sweep, smoke, emit_report):
+    n_computations, seeds, _ = _population(smoke)
+    report = Report("E12a", "durability overhead with no failures "
+                            f"({n_computations * len(seeds)} computations per "
+                            f"policy, {len(ITINERARY)}-hop itinerary, "
+                            f"commit window={COMMIT_WINDOW}s)")
+    table = report.table(
+        "policy sweep: what permanence costs when nothing crashes",
+        ["policy", "completed", "sim s to finish", "wire msgs", "wal commits",
+         "re-exec hops"])
+    for policy in POLICIES:
+        outcome = overhead_sweep[policy]
+        table.add_row(policy, f"{outcome['completed']}/{outcome['attempted']}",
+                      round(outcome["sim_time"], 3), outcome["messages"],
+                      outcome["wal_commits"], outcome["re_executed"])
+    baseline = overhead_sweep["none"]["sim_time"]
+    table.add_note("overhead vs none: " + ", ".join(
+        f"{policy}: +{overhead_sweep[policy]['sim_time'] - baseline:.3f}s"
+        for policy in POLICIES if policy != "none"))
+    emit_report(report)
+
+    for policy in POLICIES:
+        outcome = overhead_sweep[policy]
+        assert outcome["completed"] == outcome["attempted"], policy
+        assert outcome["duplicates"] == 0, policy
+    # The price is real and non-zero: every durable policy pays simulated
+    # time over the free-permanence baseline.
+    for policy in ("flush-on-demand", "wal-group-commit"):
+        assert overhead_sweep[policy]["sim_time"] > baseline, policy
+    # ...because durable state actually moved through the WAL.
+    assert overhead_sweep["wal-group-commit"]["wal_commits"] > 0
+    assert overhead_sweep["flush-on-demand"]["wal_commits"] > 0
+
+
+# =============================================================================
+# E12b — crash sweep: policy × crash rate
+# =============================================================================
+
+@pytest.fixture(scope="module")
+def crash_sweep(smoke):
+    _, _, probabilities = _population(smoke)
+    return {probability: {policy: sweep_point(policy, probability, smoke)
+                          for policy in ("none", "wal-group-commit")}
+            for probability in probabilities}
+
+
+def test_e12b_checkpoints_beat_origin_restarts(crash_sweep, smoke, emit_report):
+    n_computations, seeds, probabilities = _population(smoke)
+    report = Report("E12b", "crash sweep: durable checkpoints vs origin restarts "
+                            f"({n_computations * len(seeds)} computations per "
+                            f"point, crash window {CRASH_WINDOW}, "
+                            f"recover after {RECOVER_AFTER}s)")
+    table = report.table(
+        "E6-style crash schedules, policy x crash rate",
+        ["crash prob", "policy", "completed", "restarts", "re-exec hops",
+         "wire msgs", "recoveries", "recovery s", "state-lost folders",
+         "durable lost"])
+    for probability in probabilities:
+        for policy in ("none", "wal-group-commit"):
+            outcome = crash_sweep[probability][policy]
+            table.add_row(probability, policy,
+                          f"{outcome['completed']}/{outcome['attempted']}",
+                          outcome["restarts"], outcome["re_executed"],
+                          outcome["messages"], outcome["recoveries"],
+                          round(outcome["recovery_seconds"], 3),
+                          outcome["state_lost_folders"],
+                          outcome["durable_folders_lost"])
+    table.add_note("none recovers lost computations by re-running the whole "
+                   "itinerary from the origin; wal-group-commit revives rear "
+                   "guards from durable checkpoints at site recovery")
+    emit_report(report)
+
+    # One-line summary for the CI workflow log.
+    for probability in probabilities:
+        none_arm = crash_sweep[probability]["none"]
+        wal_arm = crash_sweep[probability]["wal-group-commit"]
+        print(f"E12-SUMMARY | p={probability} | "
+              f"none: {none_arm['completed']}/{none_arm['attempted']} done, "
+              f"{none_arm['restarts']} origin restarts, "
+              f"{none_arm['re_executed']} re-exec hops | "
+              f"wal-group-commit: {wal_arm['completed']}/{wal_arm['attempted']} "
+              f"done, {wal_arm['re_executed']} re-exec hops, "
+              f"{wal_arm['recoveries']} recoveries "
+              f"({wal_arm['recovery_seconds']:.2f}s), "
+              f"{wal_arm['durable_folders_lost']} durable folders lost")
+
+    for probability in probabilities:
+        none_arm = crash_sweep[probability]["none"]
+        wal_arm = crash_sweep[probability]["wal-group-commit"]
+        # The baseline really needed origin restarts (the comparison is
+        # about something real)...
+        assert none_arm["restarts"] > 0, probability
+        # ...and both strategies eventually complete everything.
+        assert none_arm["completed"] == none_arm["attempted"], probability
+        assert wal_arm["completed"] == wal_arm["attempted"], probability
+        assert wal_arm["duplicates"] == 0, probability
+        # The recovery win: resuming from durable checkpoints re-executes
+        # strictly fewer hops than re-running itineraries from the origin.
+        assert wal_arm["re_executed"] < none_arm["re_executed"], probability
+        # The durability ledger is honest: crashes visibly lost volatile
+        # state, recoveries took simulated time, and no durable folder was
+        # ever lost.
+        assert wal_arm["state_lost_folders"] > 0, probability
+        assert wal_arm["recoveries"] > 0, probability
+        assert wal_arm["recovery_seconds"] > 0, probability
+        assert wal_arm["durable_folders_lost"] == 0, probability

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.briefcase import Briefcase
-from repro.core.context import AgentContext
+from repro.core.context import AgentContext, wait_until_durable
 from repro.core.kernel import Kernel
 
 __all__ = ["mailbox_behaviour", "MAILBOX_AGENT_NAME", "MAILBOX_CABINET",
@@ -49,6 +49,13 @@ def mailbox_behaviour(ctx: AgentContext, briefcase: Briefcase):
             filed += 1
         briefcase.set("FILED", filed)
         yield ctx.end_meet(filed)
+        # The spool is this system's durable record: under an explicit-flush
+        # policy the mailbox itself is the flush point (group-commit
+        # policies sync in the background, "none" is a no-op).  Flushing
+        # after end_meet keeps delivery latency out of the sender's meet.
+        store = ctx.store
+        if filed and store is not None and not store.policy.group_commit:
+            yield from wait_until_durable(ctx)
         return filed
 
     operation = briefcase.get("OP")
@@ -87,11 +94,20 @@ def mailbox_behaviour(ctx: AgentContext, briefcase: Briefcase):
                      if wanted is not None and letter.get("letter_id") != wanted]
         if wanted is None:
             remaining = []
-        mailbox_folder = cabinet.folder(folder_name, create=True)
-        mailbox_folder.replace(remaining)
         deleted = len(letters) - len(remaining)
+        if deleted:
+            mailbox_folder = cabinet.folder(folder_name, create=True)
+            mailbox_folder.replace(remaining)
+            # replace() mutates the Folder directly, bypassing the cabinet
+            # API: touch() re-indexes and marks the folder dirty so a
+            # durable spool journals the deletion (otherwise recovery would
+            # resurrect deleted letters).
+            cabinet.touch(folder_name)
         briefcase.set("DELETED", deleted)
         yield ctx.end_meet(deleted)
+        store = ctx.store
+        if deleted and store is not None and not store.policy.group_commit:
+            yield from wait_until_durable(ctx)
         return deleted
 
     briefcase.set("ERROR", f"unknown mailbox operation {operation!r}")

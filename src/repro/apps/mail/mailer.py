@@ -33,6 +33,11 @@ def build_mail_kernel(sites: Optional[Sequence[str]] = None,
     ``keep-results`` retention policy, archiving terminal agents into
     compact records so a mail site's memory does not grow with every
     letter ever sent.
+
+    The mailbox cabinets are the system's spool: when the kernel runs with
+    a durability policy other than "none" they are opted into the durable
+    store, so a site crash loses at most the letters filed since the last
+    commit/flush instead of silently keeping (or losing) everything.
     """
     if config is not None and seed is not None:
         raise ValueError("pass either seed or a full KernelConfig, not both "
@@ -43,8 +48,10 @@ def build_mail_kernel(sites: Optional[Sequence[str]] = None,
                        else ["tromso", "cornell", "sanfrancisco"])
     if config is None:
         config = KernelConfig(rng_seed=11 if seed is None else seed)
-    return Kernel(topology, transport=transport, config=config,
-                  retention=retention)
+    kernel = Kernel(topology, transport=transport, config=config,
+                    retention=retention)
+    kernel.make_durable(MAILBOX_CABINET)   # no-op under policy "none"
+    return kernel
 
 
 class MailSystem:

@@ -16,7 +16,8 @@ from repro.apps.stormcast.baseline import (BASELINE_CABINET, install_baseline_ag
 from repro.apps.stormcast.collector import STORMCAST_CABINET, launch_collectors
 from repro.apps.stormcast.prediction import (EXPERT_AGENT_NAME, PREDICTIONS_CABINET,
                                              StormExpert, make_expert_behaviour)
-from repro.apps.stormcast.sensors import WeatherGenerator, populate_sensor_sites
+from repro.apps.stormcast.sensors import (SENSOR_CABINET, WeatherGenerator,
+                                          populate_sensor_sites)
 from repro.core.kernel import Kernel, KernelConfig
 from repro.net.failures import FailureSchedule
 from repro.net.topology import Topology, star
@@ -49,6 +50,10 @@ class StormCastParams:
     #: its outputs from cabinets / ``result_of`` only, so terminal agents
     #: are archived into compact records by default
     retention: str = "keep-results"
+    #: durability policy of the per-site stores; with anything other than
+    #: "none" the sensor readings and the hub's collection/prediction
+    #: cabinets ride the durable store (see :mod:`repro.store`)
+    durability: str = "none"
 
     def sensor_names(self) -> List[str]:
         """The sensor site names for this parameter set."""
@@ -82,11 +87,22 @@ def build_stormcast_kernel(params: StormCastParams) -> Kernel:
     topology: Topology = star(params.hub_name, sensors, latency=params.link_latency,
                               bandwidth=params.link_bandwidth)
     kernel = Kernel(topology, transport=params.transport,
-                    config=KernelConfig(rng_seed=params.seed),
+                    config=KernelConfig(rng_seed=params.seed,
+                                        durability=params.durability),
                     retention=params.retention)
+    # The measurement record is what a weather service must not lose: the
+    # collections/predictions at the hub opt into the durable store
+    # (no-ops under policy "none").
+    kernel.make_durable(STORMCAST_CABINET, sites=[params.hub_name])
+    kernel.make_durable(PREDICTIONS_CABINET, sites=[params.hub_name])
     generator = WeatherGenerator(seed=params.seed, storm_rate=params.storm_rate,
                                  raw_payload_bytes=params.raw_payload_bytes)
     populate_sensor_sites(kernel, sensors, params.samples_per_site, generator)
+    # Sensor readings opt in *after* population: the pre-loaded readings
+    # model data already on disk, so they become the cabinet's durable base
+    # image (opting in first would leave an empty image, and the direct
+    # Folder pushes in populate_sensor_site never reach the journal).
+    kernel.make_durable(SENSOR_CABINET, sites=sensors)
     kernel.install_agent(params.hub_name, EXPERT_AGENT_NAME,
                          make_expert_behaviour(StormExpert()), replace=True)
     if params.failures is not None:

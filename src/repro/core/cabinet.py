@@ -20,7 +20,7 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.briefcase import Briefcase
 from repro.core.errors import CabinetError, CabinetPersistenceError, MissingFolderError
@@ -57,6 +57,34 @@ class FileCabinet:
         self._index: Dict[str, Dict[str, int]] = {}
         #: number of lookups served; used by the access-cost model in E3
         self.access_count = 0
+        #: mutation hook installed by a durable SiteStore (see repro.store);
+        #: called with the folder name on every cabinet-level mutation
+        self._store_hook: Optional[Callable[[str], None]] = None
+
+    # -- durability hook ---------------------------------------------------------
+
+    def attach_store(self, hook: Callable[[str], None]) -> None:
+        """Route cabinet-level mutations to a durable store's journal.
+
+        The hook only sees mutations made through the cabinet API (``add``,
+        ``remove``, ``put``, ``deposit``, folder creation).  Code that grabs
+        a :class:`Folder` and mutates it directly must call :meth:`touch`
+        for the change to reach the journal.
+        """
+        self._store_hook = hook
+
+    def touch(self, folder_name: str) -> None:
+        """Reconcile a direct Folder edit: rebuild the element index and
+        mark the folder dirty for the durable store."""
+        if folder_name in self._folders:
+            self._reindex(folder_name)
+        else:
+            self._index.pop(folder_name, None)
+        self._notify(folder_name)
+
+    def _notify(self, folder_name: str) -> None:
+        if self._store_hook is not None:
+            self._store_hook(folder_name)
 
     # -- folder access (briefcase-compatible surface) ---------------------------
 
@@ -66,6 +94,7 @@ class FileCabinet:
             raise CabinetError(f"cabinet already has a folder named {folder.name!r}")
         self._folders[folder.name] = folder
         self._reindex(folder.name)
+        self._notify(folder.name)
         return folder
 
     def folder(self, name: str, create: bool = False) -> Folder:
@@ -85,11 +114,21 @@ class FileCabinet:
             raise MissingFolderError(
                 f"cabinet {self.name!r} has no folder named {name!r}") from None
         self._index.pop(name, None)
+        self._notify(name)
         return folder
 
     def has(self, name: str) -> bool:
         """True if the cabinet holds a folder called *name*."""
         return name in self._folders
+
+    def clear(self) -> None:
+        """Drop every folder (crash semantics: volatile state is discarded).
+
+        Used by the durable store when a site crashes; deliberately does
+        *not* notify the store hook — the store itself drives the clearing.
+        """
+        self._folders.clear()
+        self._index.clear()
 
     def names(self) -> List[str]:
         """All folder names in the cabinet."""
@@ -106,6 +145,7 @@ class FileCabinet:
         folder = self.folder(folder_name, create=True)
         folder.push(element)
         self._index_element(folder_name, folder.raw_elements()[-1])
+        self._notify(folder_name)
 
     def get(self, folder_name: str, default: Any = None) -> Any:
         """Top element of *folder_name*, or *default*."""
@@ -154,6 +194,7 @@ class FileCabinet:
             else:
                 self._folders[folder.name] = folder.copy()
             self._reindex(folder.name)
+            self._notify(folder.name)
 
     def withdraw(self, names: Iterable[str]) -> Briefcase:
         """Copy the named folders out into a fresh briefcase (cabinet keeps them)."""
@@ -184,7 +225,12 @@ class FileCabinet:
 
         The on-disk format is JSON with hex-encoded elements — simple,
         inspectable, and independent of pickle availability at load time.
+        The write is atomic (temp file + ``os.replace``) and the temp file
+        is removed on failure, so a crash or error mid-flush can neither
+        leave a torn cabinet file nor litter the directory: the previous
+        flush, if any, stays intact.
         """
+        tmp_path = None
         try:
             os.makedirs(directory, exist_ok=True)
             payload = {
@@ -203,9 +249,16 @@ class FileCabinet:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
             os.replace(tmp_path, path)
+            tmp_path = None
             return path
         except OSError as exc:
             raise CabinetPersistenceError(f"flush of cabinet {self.name!r} failed: {exc}") from exc
+        finally:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
 
     @classmethod
     def load(cls, path: str) -> "FileCabinet":

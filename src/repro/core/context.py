@@ -23,7 +23,30 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from repro.core.kernel import Kernel
     from repro.core.site import Site
 
-__all__ = ["AgentContext"]
+__all__ = ["AgentContext", "wait_until_durable"]
+
+
+def wait_until_durable(ctx: "AgentContext", mark: Optional[int] = None):
+    """Generator helper: sleep until the site's durable state reaches *mark*.
+
+    Captures the journal mark up front (defaulting to everything written so
+    far by the time of the call), so later mutations by other agents cannot
+    starve the caller, then loops on the store's barrier estimate — a batch
+    can grow (and its sync lengthen) after being priced.  Use as::
+
+        yield from wait_until_durable(ctx)
+
+    A no-op under durability policy "none".
+    """
+    store = ctx.store
+    if store is None:
+        return
+    if mark is None:
+        mark = store.mutation_mark()
+    delay = store.barrier(mark)
+    while delay > 0:
+        yield ctx.sleep(delay)
+        delay = store.barrier(mark)
 
 
 class AgentContext:
@@ -97,6 +120,22 @@ class AgentContext:
     def has_cabinet(self, name: str) -> bool:
         """True if the site already has a cabinet called *name*."""
         return self._site.has_cabinet(name)
+
+    @property
+    def store(self):
+        """The site's durable store, or None when durability is "none"."""
+        return self._site.store
+
+    @property
+    def site_crash_count(self) -> int:
+        """How many times the current site has crashed (the crash epoch).
+
+        Lets agents tag site-local records with the epoch they were written
+        in: a record from an older epoch may describe state that died with
+        the crash (the ft visitor's done-markers use this to tell "the
+        original is still here, alive" from "the computation died here").
+        """
+        return self._site.crash_count
 
     # -- logging ---------------------------------------------------------------------
 

@@ -44,6 +44,10 @@ class CabinetPersistenceError(CabinetError):
     """Flushing or loading a file cabinet to/from disk failed."""
 
 
+class StoreError(TacomaError):
+    """A durable-store operation failed (bad policy, recovery misuse, ...)."""
+
+
 # ---------------------------------------------------------------------------
 # Codec / code-shipping errors
 # ---------------------------------------------------------------------------

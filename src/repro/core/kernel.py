@@ -45,6 +45,8 @@ from repro.net.stats import NetworkStats
 from repro.net.tcp import TcpTransport
 from repro.net.topology import Topology, lan
 from repro.net.transport import Transport
+from repro.store.policy import DurabilityPolicy, StoreCosts, resolve_policy
+from repro.store.sitestore import SiteStore
 
 __all__ = ["Kernel", "KernelConfig"]
 
@@ -92,6 +94,24 @@ class KernelConfig:
     #: serialize per-message transport setup at each source site (the cost
     #: model under which batching pays in simulated time, not just bytes)
     serialize_transport_setup: bool = False
+    #: durability policy of the per-site stores: "none" (legacy free
+    #: permanence, the default), "flush-on-demand", "wal-group-commit", or
+    #: a DurabilityPolicy instance (see :mod:`repro.store`)
+    durability: Union[str, "DurabilityPolicy"] = "none"
+    #: seconds charged per WAL record written at commit/flush time
+    store_write_latency: float = 0.0002
+    #: seconds charged per fsync (one per group commit or explicit flush)
+    store_fsync_latency: float = 0.004
+    #: group-commit window: how long the WAL batches dirty state before
+    #: syncing (wal-group-commit only)
+    store_commit_window: float = 0.05
+    #: seconds charged per snapshot folder / redo record replayed at recovery
+    store_replay_latency: float = 0.0005
+    #: fixed cost of beginning a recovery replay
+    store_recovery_base: float = 0.05
+    #: committed redo records tolerated before compaction folds them into
+    #: the base snapshot images
+    store_snapshot_threshold: int = 256
 
 
 class Kernel:
@@ -159,10 +179,18 @@ class Kernel:
         #: :meth:`add_site`; extensions like the Horus guard-group wiring
         #: use this so late sites are not invisible to them
         self._site_added_hooks: List[Callable[[str], None]] = []
+        #: callbacks fired (with the site name) once a recovery completes
+        #: and the site accepts traffic again (checkpoint revival uses this)
+        self._site_recovered_hooks: List[Callable[[str], None]] = []
+        #: the resolved durability policy; "none" builds no stores at all
+        self.durability = resolve_policy(self.config.durability)
+        #: per-site durable stores (empty when the policy is "none")
+        self.stores: Dict[str, SiteStore] = {}
         for name in self.topology.sites():
             site = Site(name)
             self.sites[name] = site
             self.transport.register_endpoint(name, self._make_site_handler(name))
+            self._attach_store(site)
 
         #: the lifecycle ledger: registration, indexes, retention (the
         #: kernel's agent-facing API delegates here)
@@ -213,6 +241,23 @@ class Kernel:
         return transport_cls(self.loop, self.topology, self.stats,
                              rng=random.Random(self.config.rng_seed + 1))
 
+    def _attach_store(self, site: Site) -> None:
+        """Build and attach the site's durable store (no-op for policy "none")."""
+        if not self.durability.durable:
+            return
+        costs = StoreCosts(
+            write_latency=self.config.store_write_latency,
+            fsync_latency=self.config.store_fsync_latency,
+            commit_window=self.config.store_commit_window,
+            replay_latency=self.config.store_replay_latency,
+            recovery_base=self.config.store_recovery_base,
+            snapshot_threshold=self.config.store_snapshot_threshold,
+        )
+        store = SiteStore(site, self.loop, self.durability, costs, self.stats,
+                          log_event=self.log_event)
+        site.attach_store(store)
+        self.stores[site.name] = store
+
     # ------------------------------------------------------------------
     # site access
     # ------------------------------------------------------------------
@@ -258,6 +303,7 @@ class Kernel:
         site = Site(name)
         self.sites[name] = site
         self.transport.register_endpoint(name, self._make_site_handler(name))
+        self._attach_store(site)
         if (self._install_system_agents if install_system_agents is None
                 else install_system_agents):
             from repro.sysagents import install_standard_agents
@@ -270,6 +316,56 @@ class Kernel:
     def on_site_added(self, callback: Callable[[str], None]) -> None:
         """Subscribe *callback* to late site registrations (see :meth:`add_site`)."""
         self._site_added_hooks.append(callback)
+
+    def on_site_recovered(self, callback: Callable[[str], None]) -> None:
+        """Subscribe *callback* to completed site recoveries.
+
+        Fired once the site accepts traffic again — after the durable
+        store's replay (when one exists), immediately on the legacy
+        instant-recovery path otherwise.  Checkpoint revival
+        (:mod:`repro.fault.recovery`) is the canonical subscriber.
+        """
+        self._site_recovered_hooks.append(callback)
+
+    # ------------------------------------------------------------------
+    # durable stores
+    # ------------------------------------------------------------------
+
+    def store(self, site_name: str) -> Optional[SiteStore]:
+        """The durable store of *site_name*, or None under policy "none"."""
+        self.site(site_name)  # raise UnknownSiteError for bad names
+        return self.stores.get(site_name)
+
+    def make_durable(self, cabinet_name: str,
+                     sites: Optional[Iterable[str]] = None) -> int:
+        """Opt the named cabinet into durability at the given (default: all) sites.
+
+        Returns how many stores accepted the opt-in; 0 under policy "none",
+        so callers can opt in unconditionally and pay nothing when
+        durability is off.
+        """
+        targets = list(sites) if sites is not None else self.site_names()
+        opted = 0
+        for site_name in targets:
+            store = self.store(site_name)
+            if store is not None:
+                store.make_durable(cabinet_name)
+                opted += 1
+        return opted
+
+    def store_summary(self) -> Dict[str, Any]:
+        """Aggregate durability ledger (what the E12 report prints).
+
+        Selected from the stats snapshot by prefix, so a durability counter
+        added to :class:`NetworkStats` shows up here without a second list
+        to maintain.
+        """
+        summary: Dict[str, Any] = {
+            key: value for key, value in self.stats.snapshot().items()
+            if key.startswith(("wal_", "store_", "recover", "durable_",
+                               "state_lost_"))}
+        summary["policy"] = self.durability.name
+        return summary
 
     def install_agent(self, site_name: Optional[str], name: str, behaviour: Callable,
                       system: bool = False, replace: bool = False) -> None:
@@ -536,26 +632,88 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def crash_site(self, name: str) -> None:
-        """Crash a site: kill resident agents, refuse traffic until recovery."""
+        """Crash a site: kill resident agents, refuse traffic until recovery.
+
+        With a durable store attached, the crash also discards every piece
+        of cabinet state that had not reached the store (un-flushed
+        folders, un-committed WAL records), logging a ``state lost`` kernel
+        event; under policy "none" cabinets survive untouched.  Crashing a
+        site that is mid-recovery aborts the replay — the durable image is
+        unharmed and a later :meth:`recover_site` starts over.
+        """
         site = self.site(name)
         if not site.alive:
+            store = self.stores.get(name)
+            if store is not None and store.recovering:
+                # Crashed again while replaying: the recovery never
+                # completed, so the site keeps refusing traffic and the
+                # scheduled completion becomes a stale no-op.
+                store.abort_recovery()
+                site.mark_crashed()
+                self.log_event("kernel", name, "site crashed during recovery; "
+                                               "replay aborted")
             return
         site.mark_crashed()
         self.topology.mark_down(name)
         self.transport.on_site_down(name)
         for agent in site.residents():  # snapshot: _kill unindexes as it goes
             self._kill(agent, reason=f"site {name} crashed")
+        store = self.stores.get(name)
+        if store is not None:
+            store.on_crash()
         self.log_event("kernel", name, "site crashed")
 
     def recover_site(self, name: str) -> None:
-        """Recover a crashed site.  Installed agents and cabinets survive."""
+        """Recover a crashed site.
+
+        Installed agents always survive (they model code on disk).  What
+        happens to cabinet state depends on the durability policy:
+
+        * ``none`` (no store) — the legacy model: recovery is instant and
+          every cabinet survives verbatim, permanence is free and fake;
+        * a durable policy — only the durable image (snapshot + committed
+          WAL) survives.  The store replays it with a modelled delay
+          proportional to the state replayed, and the site keeps refusing
+          traffic until the replay completes; only then is the site marked
+          up and ``on_site_recovered`` fired.
+        """
         site = self.site(name)
         if site.alive:
             return
+        store = self.stores.get(name)
+        if store is None:
+            site.mark_recovered()
+            self.topology.mark_up(name)
+            self.transport.on_site_up(name)
+            self.log_event("kernel", name, "site recovered")
+            self._fire_site_recovered(name)
+            return
+        if store.recovering:
+            return  # a replay is already underway
+        delay, token = store.begin_recovery()
+        self.log_event("kernel", name,
+                       f"site recovering: replaying snapshot + WAL "
+                       f"({delay:.4f}s)")
+        self.loop.schedule(delay, lambda: self._complete_recovery(name, token),
+                           label=f"recover-{name}")
+
+    def _complete_recovery(self, name: str, token: int) -> None:
+        """The store's replay finished: restore cabinets and open the site."""
+        site = self.sites[name]
+        store = self.stores[name]
+        if site.alive or not store.recovery_valid(token):
+            return  # aborted by a crash-during-recovery, or stale
+        restored = store.complete_recovery()
         site.mark_recovered()
         self.topology.mark_up(name)
         self.transport.on_site_up(name)
-        self.log_event("kernel", name, "site recovered")
+        self.log_event("kernel", name,
+                       f"site recovered: {restored} durable folders restored")
+        self._fire_site_recovered(name)
+
+    def _fire_site_recovered(self, name: str) -> None:
+        for hook in list(self._site_recovered_hooks):
+            hook(name)
 
     def partition(self, groups: Sequence[Iterable[str]]) -> None:
         """Partition the network into the given site groups.

@@ -48,6 +48,10 @@ class Site:
         #: agent id.  Maintained by the kernel on start/finish/kill/arrival
         #: so per-site queries cost O(residents), not O(all agents ever).
         self._residents: Dict[str, "AgentInstance"] = {}
+        #: the durable store attached by the kernel when it runs with a
+        #: durability policy other than "none" (see :mod:`repro.store`);
+        #: None means legacy free permanence — cabinets survive crashes.
+        self.store = None
 
     # -- installed agents ---------------------------------------------------------
 
@@ -110,10 +114,19 @@ class Site:
 
     # -- file cabinets ----------------------------------------------------------------
 
+    def attach_store(self, store) -> None:
+        """Attach a durable :class:`~repro.store.SiteStore` to this site."""
+        self.store = store
+        for cabinet in self._cabinets.values():
+            store.adopt(cabinet)
+
     def cabinet(self, name: str = "default") -> FileCabinet:
         """Return the named cabinet, creating it on first use."""
         if name not in self._cabinets:
-            self._cabinets[name] = FileCabinet(name, site=self.name)
+            cabinet = FileCabinet(name, site=self.name)
+            self._cabinets[name] = cabinet
+            if self.store is not None:
+                self.store.adopt(cabinet)
         return self._cabinets[name]
 
     def has_cabinet(self, name: str) -> bool:
@@ -148,7 +161,14 @@ class Site:
     # -- failure state --------------------------------------------------------------------
 
     def mark_crashed(self) -> None:
-        """Record a crash.  Cabinets survive (they model disk-backed storage)."""
+        """Record a crash.
+
+        What the crash does to cabinet contents is the durability policy's
+        business, not this ledger's: with policy ``none`` (no store
+        attached) cabinets survive untouched — the legacy free-permanence
+        model — while a durable store discards un-flushed state and
+        rebuilds the durable part at recovery (see :mod:`repro.store`).
+        """
         self.alive = False
         self.crash_count += 1
 

@@ -10,11 +10,17 @@ from repro.fault.ftmove import (FT_VISITOR_NAME, PLAIN_VISITOR_NAME, RESULTS_CAB
                                 completions, fan_out_ids, ft_visitor_behaviour,
                                 launch_ft_computation, launch_plain_computation,
                                 plain_visitor_behaviour)
-from repro.fault.rearguard import (GUARD_GROUP, REAR_GUARD_NAME, REARGUARD_CABINET,
-                                   RELEASE_AGENT_NAME, SUSPICIONS_FOLDER, guard_snapshot,
+from repro.fault.rearguard import (CHECKPOINTS_FOLDER, GUARD_GROUP, REAR_GUARD_NAME,
+                                   REARGUARD_CABINET, RELEASE_AGENT_NAME,
+                                   SUSPICIONS_FOLDER, guard_snapshot,
                                    install_fault_agents, install_horus_guard_detection,
-                                   make_release_folder, pending_guards,
+                                   make_release_folder, make_relaunch_ack_folder,
+                                   pending_guards, prune_released_checkpoints,
                                    rear_guard_behaviour, release_agent_behaviour)
+from repro.fault.recovery import (REVIVED_FOLDER, durable_ft_cabinets,
+                                  enable_durable_protection,
+                                  install_checkpoint_recovery, record_checkpoint,
+                                  revive_checkpoints)
 
 __all__ = [
     "TimeoutDetector", "Suspicion", "subscribe_horus_suspicions", "SUSPICION_CABINET",
@@ -22,7 +28,11 @@ __all__ = [
     "SUSPICIONS_FOLDER", "GUARD_GROUP",
     "rear_guard_behaviour", "release_agent_behaviour", "guard_snapshot",
     "install_fault_agents", "install_horus_guard_detection",
-    "pending_guards", "make_release_folder",
+    "pending_guards", "make_release_folder", "make_relaunch_ack_folder",
+    "prune_released_checkpoints",
+    "CHECKPOINTS_FOLDER", "REVIVED_FOLDER", "durable_ft_cabinets",
+    "record_checkpoint", "install_checkpoint_recovery",
+    "enable_durable_protection", "revive_checkpoints",
     "FT_VISITOR_NAME", "PLAIN_VISITOR_NAME", "RESULTS_CABINET",
     "ft_visitor_behaviour", "plain_visitor_behaviour",
     "launch_ft_computation", "launch_plain_computation", "completions", "fan_out_ids",

@@ -21,12 +21,14 @@ import itertools
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.briefcase import Briefcase
-from repro.core.context import AgentContext
+from repro.core.context import AgentContext, wait_until_durable
 from repro.core.kernel import Kernel
 from repro.core.registry import register_behaviour
 from repro.fault.rearguard import (REARGUARD_CABINET, RELEASE_AGENT_NAME, guard_snapshot,
                                    install_fault_agents, make_release_folder,
-                                   rear_guard_behaviour)
+                                   make_relaunch_ack_folder,
+                                   prune_released_checkpoints, rear_guard_behaviour)
+from repro.fault.recovery import record_checkpoint
 from repro.net.message import MessageKind
 
 __all__ = [
@@ -69,7 +71,8 @@ def _do_local_work(ctx: AgentContext, briefcase: Briefcase, seq: int):
 
 
 def _send_releases(ctx: AgentContext, briefcase: Briefcase, ft_id: str,
-                   reached_seq: int, done: bool = False):
+                   reached_seq: int, done: bool = False,
+                   retire_through: Optional[int] = None):
     """Retire every guard whose hop the computation has now moved safely past.
 
     Two guards trail the agent (the guards at the two most recently departed
@@ -84,24 +87,33 @@ def _send_releases(ctx: AgentContext, briefcase: Briefcase, ft_id: str,
     every released hop (a cyclic itinerary can park several guards at one
     site), instead of one courier per guard.  The envelope rides the
     delivery fabric, and the release agent acknowledges it once.
+
+    ``retire_through`` overrides the conservative two-behind rule: every
+    guard protecting a hop ``<= retire_through`` is retired.  The absorbed
+    duplicate-twin path uses it — a twin landing on a ``:departed`` marker
+    proves the hop it re-ships both ran and departed, so even the guard
+    that shipped the twin is provably stale.
     """
     guards_folder = briefcase.folder("GUARDS", create=True)
     guards: List[dict] = [guard for guard in guards_folder.elements()
                           if isinstance(guard, dict)]
     keep: List[dict] = []
     retiring_by_site: Dict[str, List[int]] = {}
+    threshold = reached_seq - 2 if retire_through is None else retire_through
     for guard in guards:
         protects_seq = int(guard.get("protects_seq", 0))
-        retire = done or protects_seq <= reached_seq - 2
+        retire = done or protects_seq <= threshold
         if not retire:
             keep.append(guard)
             continue
         retiring_by_site.setdefault(guard.get("site"), []).append(protects_seq)
     for guard_site, released_seqs in retiring_by_site.items():
         if guard_site == ctx.site_name:
-            ctx.cabinet(REARGUARD_CABINET).put(
+            local_cabinet = ctx.cabinet(REARGUARD_CABINET)
+            local_cabinet.put(
                 "releases", {"ft_id": ft_id, "reached_seq": reached_seq, "done": done,
                              "released_seqs": sorted(released_seqs)})
+            prune_released_checkpoints(local_cabinet)
         else:
             notice = make_release_folder(ft_id, reached_seq, done=done,
                                          released_seqs=released_seqs)
@@ -118,13 +130,55 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
     max_relaunches = int(briefcase.get("MAX_RELAUNCHES", 2))
     cabinet = ctx.cabinet(REARGUARD_CABINET)
 
-    # Duplicate suppression: a relaunched twin may arrive at a site that the
-    # original (merely slow, not dead) agent already processed.
+    # A relaunched twin acknowledges the guard that shipped it as soon as it
+    # lands: the ack is the end-to-end evidence the ft-relaunch envelope
+    # survived the delivery fabric (with batching on, an "accepted" shipment
+    # only means queued-in-outbox).  A guard whose shipment stays un-acked
+    # re-sends on its next timeout without burning its relaunch budget.
+    if briefcase.has("ACK_GUARD_SITE"):
+        ack_site = briefcase.remove("ACK_GUARD_SITE").peek()
+        if ack_site == ctx.site_name:
+            cabinet.put("relaunch_acks",
+                        {"ft_id": ft_id, "seq": seq, "at": ctx.now, "ack": True})
+        else:
+            yield ctx.send_folder(make_relaunch_ack_folder(ft_id, seq, ctx.now),
+                                  ack_site, RELEASE_AGENT_NAME,
+                                  kind=MessageKind.FT_RELEASE)
+
+    # Duplicate suppression, two-phase and crash-epoch-aware.  A twin is
+    # absorbed when this hop safely *departed* (the ``:departed`` marker is
+    # set once the next transfer was handed to the network), or when the
+    # hop already ran in the *current* crash epoch — the original is still
+    # here, alive and mid-work, and a twin must not chase a living
+    # computation (duplicate chains would compound).  An arrival marker
+    # from an older epoch means the computation died here mid-hop — the
+    # site crashed between landing and jump — so the twin re-executes the
+    # hop instead of vanishing against stale (possibly durably-restored)
+    # state.
     marker = f"{ft_id}:{seq}"
-    if cabinet.contains_element("done_markers", marker):
-        yield ctx.sleep(0)
+    if cabinet.contains_element("done_markers", f"{marker}:departed"):
+        # The departed marker proves hop *seq* both ran and left for hop
+        # seq+1, so the computation reached seq+1 — re-issue the releases
+        # with that evidence, retiring every guard protecting <= seq,
+        # *including* the guard that shipped this twin (it only fired
+        # because its release was lost, and nothing behind a departed
+        # marker is relaunchable anyway).  Final-hop duplicates are
+        # deduplicated downstream against ``completed_ids``.
+        yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq + 1,
+                                  retire_through=seq)
         return "duplicate-hop"
-    cabinet.put("done_markers", marker)
+    if cabinet.contains_element("done_markers",
+                                f"{marker}@{ctx.site_crash_count}"):
+        # Same epoch, not yet departed: the original is still executing
+        # this hop.  Conservative release only (reached *seq*) — the
+        # shipping guard stays armed until the live original's own
+        # progress releases it.
+        yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq)
+        return "duplicate-hop"
+    cabinet.put("done_markers", f"{marker}@{ctx.site_crash_count}")
+    # Logged only for hops that actually execute (absorbed duplicates cost
+    # a message, not work): E12 reads these events to count re-executed hops.
+    ctx.log(f"hop-exec {ft_id} seq={seq}")
 
     yield from _do_local_work(ctx, briefcase, seq)
 
@@ -146,9 +200,29 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
         yield ctx.spawn(rear_guard_behaviour,
                         guard_snapshot(ft_id, next_seq, snapshot, per_hop, max_relaunches,
                                        view_assisted=bool(briefcase.get("VIEW_ASSISTED",
-                                                                        False))),
+                                                                        False)),
+                                       ack_aware=True),
                         name=f"rear-guard-{ft_id}-{next_seq}")
-        yield jump
+        if briefcase.get("DURABLE_CHECKPOINT") and ctx.store is not None:
+            # Checkpointed guards: file the guard's exact snapshot in the
+            # durable store and wait out the durability barrier, so the
+            # checkpoint is committed before the transfer departs.  If this
+            # site and every trailing guard site later crash together, the
+            # post-recovery revival sweep resumes the computation from here
+            # instead of losing it (see repro.fault.recovery).  The barrier
+            # is looped against a journal mark: an estimate can come up
+            # short when the commit batch grows after pricing, and the
+            # checkpoint must genuinely be durable before the jump.
+            record_checkpoint(cabinet, ft_id, next_seq, snapshot.to_wire(),
+                              per_hop, max_relaunches)
+            yield from wait_until_durable(ctx)
+        result = yield jump
+        if result is not None and result.value:
+            # The transfer was handed to the network: a twin arriving here
+            # later is redundant and may be absorbed.  Crash before this
+            # point and the marker stays un-departed, so a twin re-executes
+            # the hop instead of vanishing against a stale marker.
+            cabinet.put("done_markers", f"{marker}:departed")
         return "moved"
 
     # Final hop: deliver exactly once.  The single done release retires
@@ -181,6 +255,7 @@ def plain_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
     """The same itinerary walk with no rear guards (E6 baseline)."""
     ft_id = briefcase.get("FT_ID", "plain-unnamed")
     seq = int(briefcase.get("SEQ", 0))
+    ctx.log(f"hop-exec {ft_id} seq={seq}")
 
     yield from _do_local_work(ctx, briefcase, seq)
 
@@ -217,7 +292,8 @@ register_behaviour(PLAIN_VISITOR_NAME, plain_visitor_behaviour, replace=True)
 
 def _build_briefcase(ft_id: str, itinerary: Sequence[str], per_hop: float,
                      max_relaunches: int, work_seconds: float,
-                     task: Optional[str], view_assisted: bool = False) -> Briefcase:
+                     task: Optional[str], view_assisted: bool = False,
+                     durable_checkpoints: bool = False) -> Briefcase:
     briefcase = Briefcase()
     briefcase.set("FT_ID", ft_id)
     briefcase.set("SEQ", 0)
@@ -226,6 +302,8 @@ def _build_briefcase(ft_id: str, itinerary: Sequence[str], per_hop: float,
     briefcase.set("WORK_SECONDS", work_seconds)
     if view_assisted:
         briefcase.set("VIEW_ASSISTED", True)
+    if durable_checkpoints:
+        briefcase.set("DURABLE_CHECKPOINT", True)
     if task is not None:
         briefcase.set("TASK", task)
     itinerary_folder = briefcase.folder("ITINERARY", create=True)
@@ -238,7 +316,8 @@ def launch_ft_computation(kernel: Kernel, origin: str, itinerary: Sequence[str],
                           ft_id: Optional[str] = None, per_hop: float = 0.5,
                           max_relaunches: int = 2, work_seconds: float = 0.01,
                           task: Optional[str] = None, delay: float = 0.0,
-                          view_assisted: bool = False) -> str:
+                          view_assisted: bool = False,
+                          durable_checkpoints: bool = False) -> str:
     """Launch a rear-guard-protected computation; returns its computation id.
 
     The itinerary lists the sites to visit *after* the origin; the last
@@ -246,12 +325,21 @@ def launch_ft_computation(kernel: Kernel, origin: str, itinerary: Sequence[str],
     release-recording agent is installed everywhere as a side effect
     (idempotent).  With ``view_assisted`` the guards additionally react to
     Horus view changes (call
-    :func:`repro.fault.install_horus_guard_detection` first).
+    :func:`repro.fault.install_horus_guard_detection` first).  With
+    ``durable_checkpoints`` the visitor files each hop's guard snapshot in
+    the site's durable store before jumping and checkpoint revival is
+    wired in (:func:`repro.fault.recovery.install_checkpoint_recovery`) —
+    meaningful only when the kernel runs with a durability policy other
+    than "none".
     """
     install_fault_agents(kernel)
+    if durable_checkpoints:
+        from repro.fault.recovery import install_checkpoint_recovery
+        install_checkpoint_recovery(kernel)
     ft_id = ft_id or f"ft-{next(_computation_ids):05d}"
     briefcase = _build_briefcase(ft_id, itinerary, per_hop, max_relaunches,
-                                 work_seconds, task, view_assisted=view_assisted)
+                                 work_seconds, task, view_assisted=view_assisted,
+                                 durable_checkpoints=durable_checkpoints)
     kernel.launch(origin, FT_VISITOR_NAME, briefcase, delay=delay)
     return ft_id
 

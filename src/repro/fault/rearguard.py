@@ -44,10 +44,11 @@ from repro.net.message import MessageKind
 
 __all__ = [
     "REAR_GUARD_NAME", "RELEASE_AGENT_NAME", "REARGUARD_CABINET",
-    "SUSPICIONS_FOLDER", "GUARD_GROUP",
+    "SUSPICIONS_FOLDER", "GUARD_GROUP", "CHECKPOINTS_FOLDER",
     "rear_guard_behaviour", "release_agent_behaviour",
     "guard_snapshot", "install_fault_agents", "install_horus_guard_detection",
-    "pending_guards", "make_release_folder",
+    "pending_guards", "make_release_folder", "make_relaunch_ack_folder",
+    "prune_released_checkpoints",
 ]
 
 #: registered name of the rear-guard behaviour
@@ -64,16 +65,21 @@ _GUARD_SNAPSHOT = "GUARD_SNAPSHOT"
 _GUARD_PER_HOP = "GUARD_PER_HOP"
 _GUARD_MAX_RELAUNCH = "GUARD_MAX_RELAUNCHES"
 _GUARD_VIEW_ASSISTED = "GUARD_VIEW_ASSISTED"
+_GUARD_ACK_AWARE = "GUARD_ACK_AWARE"
 
 #: folder (in the rearguard cabinet) where Horus view-change suspicions land
 SUSPICIONS_FOLDER = "suspicions"
 #: default group name used by install_horus_guard_detection
 GUARD_GROUP = "ft_sites"
+#: folder (in the rearguard cabinet) holding durable briefcase checkpoints
+#: (written by the ft visitor, revived by repro.fault.recovery, pruned here
+#: as releases retire them)
+CHECKPOINTS_FOLDER = "checkpoints"
 
 
 def guard_snapshot(ft_id: str, protects_seq: int, shipped_briefcase: Briefcase,
                    per_hop_time: float, max_relaunches: int = 2,
-                   view_assisted: bool = False) -> Briefcase:
+                   view_assisted: bool = False, ack_aware: bool = False) -> Briefcase:
     """Build the briefcase a rear guard is spawned with.
 
     ``shipped_briefcase`` is the exact briefcase being sent for hop
@@ -82,7 +88,11 @@ def guard_snapshot(ft_id: str, protects_seq: int, shipped_briefcase: Briefcase,
     the local Horus suspicion folder (see
     :func:`install_horus_guard_detection`) and relaunches as soon as the
     protected hop's destination drops out of the site group, instead of
-    waiting for its timeout to expire.
+    waiting for its timeout to expire.  With ``ack_aware`` the relaunched
+    twin is expected to acknowledge its landing (the ft visitor does), and
+    a shipment that stays un-acked is re-sent without consuming the
+    relaunch budget; leave it False for payloads that never ack, so the
+    exactly-``max_relaunches`` budget semantics stay pinned.
     """
     guard = Briefcase()
     guard.set(_GUARD_FT_ID, ft_id)
@@ -91,6 +101,7 @@ def guard_snapshot(ft_id: str, protects_seq: int, shipped_briefcase: Briefcase,
     guard.set(_GUARD_PER_HOP, float(per_hop_time))
     guard.set(_GUARD_MAX_RELAUNCH, int(max_relaunches))
     guard.set(_GUARD_VIEW_ASSISTED, bool(view_assisted))
+    guard.set(_GUARD_ACK_AWARE, bool(ack_aware))
     return guard
 
 
@@ -147,6 +158,9 @@ def install_horus_guard_detection(kernel, group_name: str = GUARD_GROUP) -> None
             # against current reality.
             down_folder = cabinet.folder("group_down", create=True)
             down_folder.replace([sorted(set(kernel.site_names()) - current)])
+            # replace() bypasses the cabinet API: mark the folder dirty so a
+            # durable rearguard cabinet journals the membership update.
+            cabinet.touch("group_down")
 
         return observer
 
@@ -182,18 +196,30 @@ def release_agent_behaviour(ctx: AgentContext, briefcase: Briefcase):
     — and each notice may itself list multiple released hops in
     ``released_seqs``; the whole envelope is acknowledged exactly once
     (one ``release_acks`` record, one ``end_meet``), not once per hop.
+
+    Relaunch acknowledgements (notices with ``ack=True``, sent by a
+    relaunched twin the moment it lands) arrive through the same path and
+    are recorded under ``relaunch_acks``: they are the end-to-end evidence
+    an ``ft-relaunch`` envelope survived the delivery fabric, which is what
+    lets a guard distinguish "my shipment was lost at flush time" from "the
+    twin died later".
     """
     cabinet = ctx.cabinet(REARGUARD_CABINET)
     recorded = 0
-    for folder_name in ("FT_RELEASE", briefcase.get("PAYLOAD_NAME", "FT_RELEASE")):
+    for folder_name in ("FT_RELEASE", "FT_RELAUNCH_ACK",
+                        briefcase.get("PAYLOAD_NAME", "FT_RELEASE")):
         if briefcase.has(folder_name):
             for notice in briefcase.folder(folder_name).elements():
                 if isinstance(notice, dict) and "ft_id" in notice:
-                    cabinet.put("releases", notice)
+                    target = "relaunch_acks" if notice.get("ack") else "releases"
+                    cabinet.put(target, notice)
                     recorded += 1
             break
     cabinet.put("release_acks", {"notices": recorded, "at": ctx.now,
                                  "from": briefcase.get("SENDER_SITE")})
+    if recorded:
+        # New releases may retire durable checkpoints parked here.
+        prune_released_checkpoints(cabinet)
     yield ctx.end_meet(recorded)
     return recorded
 
@@ -210,6 +236,39 @@ def _released(cabinet, ft_id: str, protects_seq: int) -> bool:
     return False
 
 
+def prune_released_checkpoints(cabinet) -> int:
+    """Drop durable checkpoints whose computation has released past them.
+
+    Checkpoints accumulate one entry per protected hop; without pruning, a
+    long-running durable workload grows the folder (and every WAL record
+    re-serializing it) without bound.  Called whenever new releases are
+    recorded; returns how many checkpoints were retired.
+    """
+    if not cabinet.has(CHECKPOINTS_FOLDER):
+        return 0
+    checkpoints = cabinet.elements(CHECKPOINTS_FOLDER)
+    keep = [checkpoint for checkpoint in checkpoints
+            if not (isinstance(checkpoint, dict) and "ft_id" in checkpoint
+                    and _released(cabinet, checkpoint["ft_id"],
+                                  int(checkpoint.get("protects_seq", 0))))]
+    pruned = len(checkpoints) - len(keep)
+    if pruned:
+        cabinet.folder(CHECKPOINTS_FOLDER).replace(keep)
+        cabinet.touch(CHECKPOINTS_FOLDER)
+    return pruned
+
+
+def _relaunch_acked(cabinet, ft_id: str, protects_seq: int, since: float) -> bool:
+    """Did a twin acknowledge landing for this guard's hop after *since*?"""
+    for notice in cabinet.elements("relaunch_acks"):
+        if not isinstance(notice, dict) or notice.get("ft_id") != ft_id:
+            continue
+        if (int(notice.get("seq", -1)) >= protects_seq
+                and float(notice.get("at", 0.0)) >= since):
+            return True
+    return False
+
+
 def rear_guard_behaviour(ctx: AgentContext, briefcase: Briefcase):
     """The rear guard proper: poll for a release, relaunch on timeout.
 
@@ -217,12 +276,22 @@ def rear_guard_behaviour(ctx: AgentContext, briefcase: Briefcase):
     ``guard_outcomes``): ``"released"``, ``"relaunched"`` (at least one
     relaunch happened before release), or ``"gave-up"`` after exhausting the
     relaunch budget.
+
+    The relaunch loop is ack-aware: with the delivery fabric enabled, an
+    "accepted" shipment only means queued-in-outbox, so the guard watches
+    ``relaunch_acks`` for the twin's landing acknowledgement.  A shipment
+    that stays un-acked by the next timeout was lost in flight or at flush
+    time (e.g. a partition dropped the batch) — the guard then *re-sends*
+    without consuming its relaunch budget, since the loss was the
+    network's fault, not evidence the computation keeps dying.  Re-sends
+    are bounded separately and recorded under ``relaunch_retries``.
     """
     ft_id = briefcase.get(_GUARD_FT_ID)
     protects_seq = int(briefcase.get(_GUARD_PROTECTS, 0))
     per_hop = float(briefcase.get(_GUARD_PER_HOP, 0.5))
     max_relaunches = int(briefcase.get(_GUARD_MAX_RELAUNCH, 2))
     view_assisted = bool(briefcase.get(_GUARD_VIEW_ASSISTED, False))
+    ack_aware = bool(briefcase.get(_GUARD_ACK_AWARE, False))
     snapshot_wire = briefcase.get(_GUARD_SNAPSHOT)
     protected_target = snapshot_wire and Briefcase.from_wire(snapshot_wire).get("TARGET_SITE")
 
@@ -231,6 +300,11 @@ def rear_guard_behaviour(ctx: AgentContext, briefcase: Briefcase):
     guard_started = ctx.now
     deadline = detector.deadline_from(guard_started)
     relaunches = 0
+    resends = 0
+    #: bound on budget-free re-sends of lost-unacked shipments
+    max_resends = max(2, max_relaunches)
+    #: ship time of the last accepted shipment still lacking a landing ack
+    awaiting_since: Optional[float] = None
     #: a view-change trigger fires at most once; afterwards only the timeout applies
     acted_on_view = False
     outcome = "released"
@@ -247,15 +321,30 @@ def rear_guard_behaviour(ctx: AgentContext, briefcase: Briefcase):
                 presumed_lost = True
                 acted_on_view = True
         if presumed_lost:
-            if relaunches >= max_relaunches or snapshot_wire is None:
+            if awaiting_since is not None and _relaunch_acked(
+                    cabinet, ft_id, protects_seq, awaiting_since):
+                # The twin landed (the envelope survived); continued silence
+                # now means the twin itself vanished later, so the next
+                # shipment is a real relaunch, charged to the budget again.
+                awaiting_since = None
+            retry = (ack_aware and awaiting_since is not None
+                     and resends < max_resends)
+            if not retry and (relaunches >= max_relaunches or snapshot_wire is None):
                 outcome = "gave-up"
                 break
             sent = yield from _relaunch(ctx, snapshot_wire)
-            relaunches += 1
+            if retry:
+                resends += 1
+                cabinet.put("relaunch_retries", {
+                    "ft_id": ft_id, "protects_seq": protects_seq,
+                    "retry": resends, "at": ctx.now, "accepted": bool(sent)})
+            else:
+                relaunches += 1
+                cabinet.put("relaunches", {"ft_id": ft_id, "protects_seq": protects_seq,
+                                           "attempt": relaunches, "at": ctx.now,
+                                           "accepted": bool(sent)})
             outcome = "relaunched"
-            cabinet.put("relaunches", {"ft_id": ft_id, "protects_seq": protects_seq,
-                                       "attempt": relaunches, "at": ctx.now,
-                                       "accepted": bool(sent)})
+            awaiting_since = ctx.now if sent else None
             deadline = detector.deadline_from(ctx.now)
         yield ctx.sleep(detector.poll_interval())
 
@@ -295,6 +384,10 @@ def _relaunch(ctx: AgentContext, snapshot_wire: dict):
                 skipped.push(missed)
             shipment.set("TARGET_SITE", candidate)
         shipment.set("RELAUNCHED", True)
+        # The twin acknowledges this site the moment it lands; the ack is
+        # what distinguishes "envelope lost at flush time" (re-send free of
+        # budget) from "twin died later" (a real relaunch).
+        shipment.set("ACK_GUARD_SITE", ctx.site_name)
         shipment.set("HOST", candidate)
         shipment.set("CONTACT", "ag_py")
         # Relaunches ride the delivery fabric: the guard already waited out
@@ -345,6 +438,16 @@ def make_release_folder(ft_id: str, reached_seq: int, done: bool = False,
     if released_seqs:
         notice["released_seqs"] = sorted(int(seq) for seq in released_seqs)
     return Folder("FT_RELEASE", [notice])
+
+
+def make_relaunch_ack_folder(ft_id: str, seq: int, at: float) -> Folder:
+    """The landing acknowledgement a relaunched twin sends its guard.
+
+    Rides the fabric as an ``ft-release`` payload to the guard site's
+    release agent, which records it under ``relaunch_acks``.
+    """
+    return Folder("FT_RELAUNCH_ACK",
+                  [{"ft_id": ft_id, "seq": int(seq), "at": float(at), "ack": True}])
 
 
 register_behaviour(REAR_GUARD_NAME, rear_guard_behaviour, replace=True)

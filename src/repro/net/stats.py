@@ -49,6 +49,33 @@ class NetworkStats:
     per_link: Dict[Tuple[str, str], LinkStats] = field(default_factory=dict)
     latencies: List[float] = field(default_factory=list)
 
+    # Durable-store counters (repro.store): the durability cost model and
+    # the crash/recovery ledger the E12 experiment reads.
+    #: cabinet mutations journaled by durable site stores
+    wal_appends: int = 0
+    #: group commits / explicit flushes (each pays one fsync)
+    wal_commits: int = 0
+    #: redo records made durable across those commits
+    wal_records_committed: int = 0
+    #: WAL compactions folding redo records into base snapshot images
+    store_snapshots: int = 0
+    #: redo records those compactions absorbed into the base images
+    wal_records_folded: int = 0
+    #: completed site recoveries (snapshot + WAL replay)
+    recoveries: int = 0
+    #: total simulated seconds sites spent replaying before accepting traffic
+    recovery_seconds: float = 0.0
+    #: durable folders rebuilt by those recoveries
+    durable_folders_restored: int = 0
+    #: durable folders a recovery failed to rebuild (an invariant breach:
+    #: committed state must never be lost — this stays 0 unless a durable
+    #: cabinet's image could not be restored)
+    durable_folders_lost: int = 0
+    #: un-flushed folders discarded by crashes ("state lost" events)
+    state_lost_folders: int = 0
+    #: un-committed WAL records discarded by crashes
+    state_lost_records: int = 0
+
     # -- recording -----------------------------------------------------------
 
     def record_send(self, source: str, destination: str, kind: str, size: int) -> None:
@@ -88,6 +115,33 @@ class NetworkStats:
         """Count one delivery-fabric outbox flush, keyed by what triggered it."""
         self.flush_causes[cause] += 1
 
+    def record_wal_append(self) -> None:
+        """Count one journaled cabinet mutation."""
+        self.wal_appends += 1
+
+    def record_wal_commit(self, records: int) -> None:
+        """Count one group commit / flush making *records* redo records durable."""
+        self.wal_commits += 1
+        self.wal_records_committed += records
+
+    def record_store_snapshot(self, folded: int) -> None:
+        """Count one WAL compaction (folding *folded* records into snapshots)."""
+        self.store_snapshots += 1
+        self.wal_records_folded += folded
+
+    def record_recovery(self, seconds: float, folders_restored: int,
+                        folders_lost: int = 0) -> None:
+        """Count one completed site recovery and the replay time it took."""
+        self.recoveries += 1
+        self.recovery_seconds += seconds
+        self.durable_folders_restored += folders_restored
+        self.durable_folders_lost += folders_lost
+
+    def record_state_lost(self, folders: int, records: int) -> None:
+        """Count a crash discarding un-flushed folders / un-committed records."""
+        self.state_lost_folders += folders
+        self.state_lost_records += records
+
     @property
     def early_flushes(self) -> int:
         """Flushes that fired before the window timer (threshold or deadline)."""
@@ -126,6 +180,17 @@ class NetworkStats:
             "batched_messages": self.batched_messages,
             "header_bytes_saved": self.header_bytes_saved,
             "early_flushes": self.early_flushes,
+            "wal_appends": self.wal_appends,
+            "wal_commits": self.wal_commits,
+            "wal_records_committed": self.wal_records_committed,
+            "store_snapshots": self.store_snapshots,
+            "wal_records_folded": self.wal_records_folded,
+            "recoveries": self.recoveries,
+            "recovery_seconds": self.recovery_seconds,
+            "durable_folders_restored": self.durable_folders_restored,
+            "durable_folders_lost": self.durable_folders_lost,
+            "state_lost_folders": self.state_lost_folders,
+            "state_lost_records": self.state_lost_records,
             "mean_latency": self.mean_latency() or 0.0,
             "delivery_ratio": self.delivery_ratio(),
         }

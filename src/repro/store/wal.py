@@ -1,0 +1,120 @@
+"""The write-ahead log: committed redo records for durable cabinets.
+
+The WAL is *logical*: each record carries the full serialized state of one
+folder at commit time (``elements`` is the folder's raw byte elements, or
+``None`` for a deletion).  Replaying records in order therefore converges —
+the last record for a folder wins — which is exactly the property the
+group commit relies on: every mutation between two commits collapses into
+one record per dirty folder.
+
+Sizes are tracked so the cost model can charge bytes-proportional work,
+and :meth:`WriteAheadLog.fold_into` lets the snapshot layer compact old
+records into base images (see :mod:`repro.store.snapshot`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["WalRecord", "WriteAheadLog", "apply_states"]
+
+#: a collapsed per-folder state map: (cabinet, folder) -> elements (None = deleted)
+FolderStates = Dict[Tuple[str, str], Optional[Tuple[bytes, ...]]]
+
+
+def apply_states(states: FolderStates,
+                 images: Dict[str, Dict[str, Tuple[bytes, ...]]]) -> None:
+    """Apply collapsed folder states to per-cabinet base *images* in place.
+
+    The single definition of redo semantics — compaction
+    (:meth:`WriteAheadLog.fold_into`) and recovery
+    (:meth:`SiteStore.durable_state`) both go through here, so they can
+    never disagree about what a deletion record means.
+    """
+    for (cabinet, folder), elements in states.items():
+        image = images.setdefault(cabinet, {})
+        if elements is None:
+            image.pop(folder, None)
+        else:
+            image[folder] = elements
+
+
+class WalRecord:
+    """One committed redo record: the durable state of one folder."""
+
+    __slots__ = ("seq", "cabinet", "folder", "elements", "size_bytes",
+                 "committed_at")
+
+    def __init__(self, seq: int, cabinet: str, folder: str,
+                 elements: Optional[Tuple[bytes, ...]], committed_at: float):
+        self.seq = seq
+        self.cabinet = cabinet
+        self.folder = folder
+        #: raw stored elements at commit time; None records a deletion
+        self.elements = elements
+        self.size_bytes = sum(len(item) for item in elements) if elements else 0
+        self.committed_at = committed_at
+
+    def __repr__(self) -> str:
+        what = "DEL" if self.elements is None else f"{len(self.elements)} elems"
+        return (f"WalRecord(#{self.seq} {self.cabinet}/{self.folder}: {what}, "
+                f"{self.size_bytes}B @ {self.committed_at:.4f})")
+
+
+class WriteAheadLog:
+    """An append-only list of committed redo records for one site."""
+
+    def __init__(self) -> None:
+        self._records: List[WalRecord] = []
+        self._next_seq = 1
+        #: total records ever committed (survives compaction, for ledgers)
+        self.total_committed = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def commit(self, captures: Iterable[Tuple[str, str, Optional[Tuple[bytes, ...]]]],
+               at: float) -> List[WalRecord]:
+        """Append one group commit's captured folder states; returns the records."""
+        records = []
+        for cabinet, folder, elements in captures:
+            record = WalRecord(self._next_seq, cabinet, folder, elements, at)
+            self._next_seq += 1
+            self._records.append(record)
+            records.append(record)
+        self.total_committed += len(records)
+        return records
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def records(self) -> List[WalRecord]:
+        """The committed redo records not yet folded into a snapshot."""
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def replay_states(self) -> FolderStates:
+        """Collapse the redo records into final per-folder states (last wins)."""
+        states: FolderStates = {}
+        for record in self._records:
+            states[(record.cabinet, record.folder)] = record.elements
+        return states
+
+    # -- compaction --------------------------------------------------------
+
+    def fold_into(self, images: Dict[str, Dict[str, Tuple[bytes, ...]]]) -> int:
+        """Apply every record to the base *images* and truncate the log.
+
+        Returns the number of records folded.  ``images`` maps cabinet name
+        to ``{folder name: raw elements}``; a deletion record removes the
+        folder from the image.
+        """
+        folded = len(self._records)
+        apply_states(self.replay_states(), images)
+        self._records = []
+        return folded
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog({len(self._records)} records pending replay, "
+                f"{self.total_committed} ever committed)")

@@ -1,0 +1,366 @@
+"""End-to-end durability: store interleavings, checkpointed guards, ack/retry.
+
+These are the failure-schedule interleavings the durable store must get
+right, driven through the public kernel API:
+
+* a crash landing inside an armed group-commit window (the batch dies);
+* recover-then-crash before the replay completes (the replay aborts, a
+  later recovery still restores the durable image);
+* a partitioned guard site whose checkpoints keep committing locally;
+* the coordinated loss that defeats plain rear guards (agent host and
+  every guard site crash together) — durable checkpoints + revival
+  recover it, policy "none" loses it;
+* an ``ft-relaunch`` envelope dropped by a partition mid-batch — the
+  guard's next timeout re-sends without burning its relaunch budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Kernel, KernelConfig
+from repro.fault import (CHECKPOINTS_FOLDER, REARGUARD_CABINET, completions,
+                         launch_ft_computation)
+from repro.net import FailureSchedule, lan
+
+SITES = ["h", "s1", "s2", "d"]
+HOME, DELIVERY = "h", "d"
+ITINERARY = ["s1", "s2", "d"]
+
+
+def make_kernel(durability="wal-group-commit", batch_window=0.0, seed=5):
+    config = KernelConfig(
+        rng_seed=seed,
+        durability=durability,
+        store_commit_window=0.05,
+        delivery_batch_window=batch_window,
+    )
+    return Kernel(lan(SITES), transport="tcp", config=config)
+
+
+def hop_time(kernel, ft_id, seq):
+    """When the computation executed hop *seq* (from the kernel event log)."""
+    needle = f"hop-exec {ft_id} seq={seq}"
+    for at, _agent, _site, message in kernel.event_log:
+        if message == needle:
+            return at
+    raise AssertionError(f"hop {seq} of {ft_id} never executed")
+
+
+def run_protected(durability, schedule_builder=None, work_seconds=1.0,
+                  per_hop=3.0, max_relaunches=3, until=120.0, batch_window=0.0):
+    """One protected computation over the 4-site LAN, with optional failures.
+
+    ``schedule_builder(kernel, ft_id)`` is called after a dry run of the
+    same configuration discovered the hop timings, so schedules can place
+    crashes relative to where the computation actually is.
+    """
+    kernel = make_kernel(durability, batch_window=batch_window)
+    ft_id = launch_ft_computation(
+        kernel, HOME, ITINERARY, per_hop=per_hop, work_seconds=work_seconds,
+        max_relaunches=max_relaunches, durable_checkpoints=True)
+    if schedule_builder is not None:
+        schedule_builder(kernel, ft_id)
+    kernel.run(until=until)
+    return kernel, ft_id
+
+
+class TestCommitWindowInterleavings:
+    def test_crash_during_armed_group_commit_loses_the_batch(self):
+        """A crash inside the commit window discards the armed batch, while
+        everything committed before it survives recovery."""
+        kernel = make_kernel()
+        kernel.make_durable("ledger", sites=["s1"])
+        cabinet = kernel.site("s1").cabinet("ledger")
+        cabinet.put("entries", "committed")
+        kernel.run(until=1.0)                      # first batch commits
+        cabinet.put("entries", "doomed")           # arms a new commit at +0.05
+        kernel.loop.schedule(0.02, lambda: kernel.crash_site("s1"),
+                             label="crash-mid-window")
+        kernel.run(until=1.1)                      # crash fires inside the window
+        assert kernel.stats.state_lost_records >= 1
+        kernel.recover_site("s1")
+        kernel.run(until=10.0)
+        assert kernel.site("s1").cabinet("ledger").elements("entries") == ["committed"]
+
+    def test_crash_during_fsync_loses_the_inflight_batch(self):
+        """Even after the commit event fired, the batch is volatile until
+        its write+fsync completes."""
+        from repro.store import StoreCosts
+        kernel = make_kernel()
+        # A long, visible fsync on the site under test.
+        kernel.stores["s1"].costs = StoreCosts(fsync_latency=0.5,
+                                               commit_window=0.05)
+        kernel.make_durable("ledger", sites=["s1"])
+        kernel.site("s1").cabinet("ledger").put("entries", "syncing")
+        # Commit fires at 0.05; the fsync completes at 0.55.  Crash between.
+        kernel.loop.schedule(0.3, lambda: kernel.crash_site("s1"),
+                             label="crash-mid-fsync")
+        kernel.run(until=2.0)
+        assert kernel.stats.state_lost_records >= 1
+        kernel.recover_site("s1")
+        kernel.run(until=10.0)
+        assert kernel.site("s1").cabinet("ledger").elements("entries") == []
+
+    def test_recover_then_crash_before_replay_completes(self):
+        """A crash mid-replay aborts the recovery; the durable image is
+        unharmed and a later recovery restores it in full."""
+        from repro.store import StoreCosts
+        kernel = make_kernel()
+        # A slow replay so a second crash can land inside it.
+        kernel.stores["s1"].costs = StoreCosts(recovery_base=5.0,
+                                               commit_window=0.05)
+        kernel.make_durable("ledger", sites=["s1"])
+        kernel.site("s1").cabinet("ledger").put("entries", "precious")
+        kernel.run(until=1.0)
+        (FailureSchedule()
+            .crash("s1", at=2.0)
+            .recover("s1", at=3.0)       # begins a >= 5s replay
+            .crash("s1", at=5.0)         # crashes again mid-replay
+            .recover("s1", at=20.0)      # second recovery, this one completes
+         ).install(kernel)
+        kernel.run(until=18.0)
+        assert not kernel.site("s1").alive     # first replay was aborted
+        kernel.run(until=40.0)
+        assert kernel.site("s1").alive
+        assert kernel.site("s1").cabinet("ledger").elements("entries") == ["precious"]
+        assert kernel.stats.recoveries == 1    # only the completed replay counts
+
+
+class TestCheckpointedGuards:
+    def test_coordinated_loss_is_unrecoverable_without_durability(self):
+        """Crash the agent's host and every guard site at once: with policy
+        "none" the computation is gone for good."""
+        dry_kernel, dry_id = run_protected("none")
+        assert len(completions(dry_kernel, DELIVERY, dry_id)) == 1
+        strike_at = hop_time(dry_kernel, dry_id, 2) + 0.4   # mid-work at s2
+
+        def schedule(kernel, ft_id):
+            schedule = FailureSchedule()
+            for site in ("h", "s1", "s2"):     # host + both guard sites
+                schedule.crash(site, at=strike_at)
+                schedule.recover(site, at=strike_at + 5.0)
+            schedule.install(kernel)
+
+        kernel, ft_id = run_protected("none", schedule)
+        assert completions(kernel, DELIVERY, ft_id) == []
+
+    def test_durable_checkpoints_revive_and_complete(self):
+        """The same coordinated loss with wal-group-commit: the recovered
+        sites revive guards from durable checkpoints and the computation
+        completes exactly once."""
+        dry_kernel, dry_id = run_protected("wal-group-commit")
+        assert len(completions(dry_kernel, DELIVERY, dry_id)) == 1
+        strike_at = hop_time(dry_kernel, dry_id, 2) + 0.4
+
+        def schedule(kernel, ft_id):
+            schedule = FailureSchedule()
+            for site in ("h", "s1", "s2"):
+                schedule.crash(site, at=strike_at)
+                schedule.recover(site, at=strike_at + 5.0)
+            schedule.install(kernel)
+
+        kernel, ft_id = run_protected("wal-group-commit", schedule, until=240.0)
+        records = completions(kernel, DELIVERY, ft_id)
+        assert len(records) == 1               # exactly once, via revival
+        assert kernel.stats.recoveries == 3
+        revivals = [entry for entry in kernel.event_log
+                    if "revived rear guard" in entry[3]]
+        assert revivals
+        # Zero durable folders were lost: everything restored came back.
+        assert kernel.stats.durable_folders_restored > 0
+
+    def test_revival_survives_a_second_crash_of_the_same_site(self):
+        """A second crash killing the revived guard must not end protection:
+        the next recovery revives again (liveness decides, not a durable
+        marker)."""
+        dry_kernel, dry_id = run_protected("wal-group-commit")
+        strike_at = hop_time(dry_kernel, dry_id, 2) + 0.4
+
+        def schedule(kernel, ft_id):
+            schedule = FailureSchedule()
+            for site in ("h", "s1", "s2"):
+                schedule.crash(site, at=strike_at)
+                schedule.recover(site, at=strike_at + 5.0)
+                # Crash everything again right after revival, before any
+                # revived guard's timeout (per_hop=3.0 -> deadline 6s) can
+                # fire, then recover once more.
+                schedule.crash(site, at=strike_at + 5.5)
+                schedule.recover(site, at=strike_at + 12.0)
+            schedule.install(kernel)
+
+        kernel, ft_id = run_protected("wal-group-commit", schedule, until=300.0)
+        records = completions(kernel, DELIVERY, ft_id)
+        assert len(records) == 1
+        revivals = [entry for entry in kernel.event_log
+                    if "revived rear guard" in entry[3]]
+        # At least one checkpoint was revived on both recovery rounds.
+        assert len(revivals) >= 2
+
+    def test_partitioned_guard_site_keeps_checkpointing(self):
+        """A partition cannot stop local durability: the isolated guard
+        site's checkpoints commit, survive a crash, and revive."""
+        dry_kernel, dry_id = run_protected("wal-group-commit")
+        arrive_d = hop_time(dry_kernel, dry_id, 2)   # wal arm reaches s2 here
+
+        def schedule(kernel, ft_id):
+            # Isolate s1 after the computation has left it (its checkpoint
+            # for hop 2 is committed locally), then crash and recover it
+            # while still partitioned, and only heal much later.
+            (FailureSchedule()
+                .partition([["s1"], ["h", "s2", "d"]], at=arrive_d + 0.2)
+                .crash("s1", at=arrive_d + 2.0)
+                .recover("s1", at=arrive_d + 4.0)
+                .heal(at=arrive_d + 30.0)
+             ).install(kernel)
+
+        kernel, ft_id = run_protected("wal-group-commit", schedule, until=300.0)
+        records = completions(kernel, DELIVERY, ft_id)
+        assert len(records) == 1               # delivery-site dedup holds
+        # The isolated site's durable state survived partition + crash.
+        state = kernel.store("s1").durable_state().get(REARGUARD_CABINET, {})
+        assert CHECKPOINTS_FOLDER in state
+        revivals = [entry for entry in kernel.event_log
+                    if "revived rear guard" in entry[3] and entry[2] == "s1"]
+        assert revivals
+
+
+class TestTwinAbsorption:
+    def test_spurious_twin_does_not_chase_a_live_original(self):
+        """A guard false-firing against a slow-but-alive original (deadline
+        far shorter than the hop time, zero failures) must not start a
+        duplicate chain: the twin lands in the same crash epoch and is
+        absorbed, so no hop executes twice."""
+        kernel, ft_id = run_protected("none", per_hop=0.05, work_seconds=1.0,
+                                      max_relaunches=2, until=600.0)
+        assert len(completions(kernel, DELIVERY, ft_id)) == 1
+        executions = [message for _at, _agent, _site, message in kernel.event_log
+                      if message.startswith(f"hop-exec {ft_id} ")]
+        assert len(executions) == len(set(executions)), executions
+    def test_released_checkpoints_are_pruned_after_completion(self):
+        """Durable checkpoints must not accumulate forever: once the
+        computation's releases retire a hop, its checkpoint is dropped."""
+        kernel, ft_id = run_protected("wal-group-commit", until=120.0)
+        assert len(completions(kernel, DELIVERY, ft_id)) == 1
+        for site_name in SITES:
+            site = kernel.site(site_name)
+            if not site.has_cabinet(REARGUARD_CABINET):
+                continue
+            cabinet = site.cabinet(REARGUARD_CABINET)
+            stale = [checkpoint
+                     for checkpoint in cabinet.elements(CHECKPOINTS_FOLDER)
+                     if isinstance(checkpoint, dict)
+                     and checkpoint.get("ft_id") == ft_id]
+            assert stale == [], site_name
+
+
+class TestRelaunchAckRetry:
+    def test_envelope_dropped_by_partition_mid_batch_is_resent(self):
+        """Regression (delivery-fabric ack/retry): with batching on, an
+        accepted ft-relaunch only means queued-in-outbox.  A partition that
+        drops the batch at flush time must not cost the guard its budget —
+        the un-acked shipment is re-sent on the next timeout and the
+        computation still completes with max_relaunches=1."""
+        # Pilot: crash s1 while the agent works there, recover it quickly so
+        # the guard's relaunch is *posted* to a routable site (it queues in
+        # the outbox rather than being refused).
+        def crash_only(kernel, ft_id):
+            strike = hop_time(pilot, pilot_id, 1) + 0.3
+            (FailureSchedule()
+                .crash("s1", at=strike)
+                .recover("s1", at=strike + 1.0)
+             ).install(kernel)
+
+        pilot, pilot_id = run_protected("none", None, work_seconds=1.0,
+                                        per_hop=3.0, batch_window=0.5)
+        kernel2, ft2 = run_protected("none", crash_only, work_seconds=1.0,
+                                     per_hop=3.0, max_relaunches=1,
+                                     batch_window=0.5)
+        relaunches = kernel2.site("h").cabinet(REARGUARD_CABINET).elements("relaunches")
+        assert relaunches, "pilot: the guard at h must have relaunched"
+        relaunch_at = relaunches[0]["at"]
+
+        # Real run: same crash, plus a partition landing right after the
+        # relaunch is queued (inside the 0.5s flush window) that severs
+        # h from the rest, dropping the batch at flush time.
+        def schedule(kernel, ft_id):
+            strike = hop_time(pilot, pilot_id, 1) + 0.3
+            (FailureSchedule()
+                .crash("s1", at=strike)
+                .recover("s1", at=strike + 1.0)
+                .partition([["h"], ["s1", "s2", "d"]], at=relaunch_at + 0.05)
+                .heal(at=relaunch_at + 2.0)
+             ).install(kernel)
+
+        kernel, ft_id = run_protected("none", schedule, work_seconds=1.0,
+                                      per_hop=3.0, max_relaunches=1,
+                                      batch_window=0.5, until=300.0)
+        cabinet = kernel.site("h").cabinet(REARGUARD_CABINET)
+        retries = cabinet.elements("relaunch_retries")
+        assert retries, "the lost envelope must be re-sent, not skipped ahead"
+        assert all(entry["retry"] >= 1 for entry in retries)
+        # The budget was NOT burned by the network's loss: with
+        # max_relaunches=1 the computation still completed exactly once.
+        assert len(completions(kernel, DELIVERY, ft_id)) == 1
+        acks = cabinet.elements("relaunch_acks")
+        assert acks and all(notice["ack"] for notice in acks)
+
+
+class TestDurableApps:
+    def test_mail_spool_survives_crash_under_wal(self):
+        from repro.apps.mail import MailSystem
+        from repro.apps.mail.mailbox import MAILBOX_CABINET
+        config = KernelConfig(rng_seed=11, durability="wal-group-commit",
+                              store_commit_window=0.05)
+        mail = MailSystem.build(sites=["t", "c"], config=config)
+        kernel = mail.kernel
+        mail.send("dag", "t", "fred", "c", "hi", "durable?")
+        kernel.run(until=30.0)
+        assert len(mail.inbox("c", "fred")) == 1
+        kernel.crash_site("c")
+        assert mail.inbox("c", "fred") == []   # honest: live state discarded
+        kernel.recover_site("c")
+        kernel.run(until=60.0)
+        assert len(mail.inbox("c", "fred")) == 1   # the spool was durable
+        assert kernel.store("c").durable_state().get(MAILBOX_CABINET)
+
+    def test_mail_spool_is_durable_under_flush_on_demand(self):
+        # The mailbox agent itself is the flush point: no manual flush call
+        # anywhere, yet delivered letters survive a crash.
+        from repro.apps.mail import MailSystem
+        config = KernelConfig(rng_seed=11, durability="flush-on-demand")
+        mail = MailSystem.build(sites=["t", "c"], config=config)
+        kernel = mail.kernel
+        mail.send("dag", "t", "fred", "c", "hi", "spooled")
+        kernel.run(until=30.0)
+        assert len(mail.inbox("c", "fred")) == 1
+        kernel.crash_site("c")
+        kernel.recover_site("c")
+        kernel.run(until=60.0)
+        assert len(mail.inbox("c", "fred")) == 1
+
+    def test_stormcast_runs_with_durability_enabled(self):
+        from repro.apps.stormcast.workload import StormCastParams, run_agent_pipeline
+        params = StormCastParams(n_sensors=3, samples_per_site=40,
+                                 durability="wal-group-commit")
+        result = run_agent_pipeline(params)
+        assert result.sites_covered == 3
+        assert result.predictions
+
+    def test_stormcast_sensor_readings_survive_a_sensor_crash(self):
+        # Pre-loaded readings model data already on disk: they are the
+        # durable base image even though populate pushes Folders directly.
+        from repro.apps.stormcast.sensors import READINGS_FOLDER, SENSOR_CABINET
+        from repro.apps.stormcast.workload import (StormCastParams,
+                                                   build_stormcast_kernel)
+        params = StormCastParams(n_sensors=3, samples_per_site=25,
+                                 durability="wal-group-commit")
+        kernel = build_stormcast_kernel(params)
+        site = kernel.site("sensor00")
+        before = len(site.cabinet(SENSOR_CABINET).elements(READINGS_FOLDER))
+        assert before == 25
+        kernel.crash_site("sensor00")
+        kernel.recover_site("sensor00")
+        kernel.run(until=30.0)
+        after = len(site.cabinet(SENSOR_CABINET).elements(READINGS_FOLDER))
+        assert after == before

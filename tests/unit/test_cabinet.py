@@ -174,3 +174,62 @@ class TestPersistence:
         cabinet = FileCabinet("c")
         with pytest.raises(CabinetPersistenceError):
             cabinet.flush("/proc/definitely/not/writable")
+
+
+class TestAtomicFlush:
+    """A crash (or error) mid-flush must neither tear the cabinet file nor
+    litter the directory with temp files: the write goes to a temp file
+    that is atomically renamed on success and removed on failure."""
+
+    def test_failed_replace_keeps_previous_flush_intact(self, tmp_path, monkeypatch):
+        cabinet = FileCabinet("spool")
+        cabinet.put("letters", {"id": 1})
+        path = cabinet.flush(str(tmp_path))
+
+        cabinet.put("letters", {"id": 2})
+        monkeypatch.setattr(os, "replace",
+                            lambda *a, **k: (_ for _ in ()).throw(OSError("disk died")))
+        with pytest.raises(CabinetPersistenceError):
+            cabinet.flush(str(tmp_path))
+        monkeypatch.undo()
+
+        # The previous flush still loads, untorn — only the old contents.
+        loaded = FileCabinet.load(path)
+        assert loaded.elements("letters") == [{"id": 1}]
+
+    def test_failed_flush_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        cabinet = FileCabinet("spool")
+        cabinet.put("letters", {"id": 1})
+        monkeypatch.setattr(os, "replace",
+                            lambda *a, **k: (_ for _ in ()).throw(OSError("disk died")))
+        with pytest.raises(CabinetPersistenceError):
+            cabinet.flush(str(tmp_path))
+        monkeypatch.undo()
+        assert [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+    def test_successful_flush_leaves_no_temp_files(self, tmp_path):
+        cabinet = FileCabinet("spool")
+        cabinet.put("letters", {"id": 1})
+        cabinet.flush(str(tmp_path))
+        assert [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+
+class TestTouch:
+    def test_touch_rebuilds_the_element_index_after_direct_folder_edits(self):
+        cabinet = FileCabinet("spool")
+        cabinet.put("letters", {"id": 1})
+        cabinet.put("letters", {"id": 2})
+        assert cabinet.contains_element("letters", {"id": 1})
+        cabinet.folder("letters").replace([{"id": 2}])
+        cabinet.touch("letters")
+        assert not cabinet.contains_element("letters", {"id": 1})
+        assert cabinet.contains_element("letters", {"id": 2})
+
+    def test_touch_notifies_the_store_hook(self):
+        seen = []
+        cabinet = FileCabinet("spool")
+        cabinet.attach_store(seen.append)
+        cabinet.put("letters", {"id": 1})
+        cabinet.folder("letters").replace([])
+        cabinet.touch("letters")
+        assert seen.count("letters") >= 2     # put + touch both journal

@@ -1,0 +1,402 @@
+"""Unit tests for the durable storage subsystem (repro.store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Kernel, KernelConfig
+from repro.core.errors import StoreError
+from repro.net import lan
+from repro.store import (FlushOnDemand, NoDurability, WalGroupCommit, WriteAheadLog,
+                         resolve_policy)
+
+
+def make_kernel(policy="wal-group-commit", **knobs):
+    config = KernelConfig(rng_seed=3, durability=policy, **knobs)
+    return Kernel(lan(["a", "b", "c"]), transport="tcp", config=config)
+
+
+class TestPolicyResolution:
+    def test_names_resolve(self):
+        assert isinstance(resolve_policy("none"), NoDurability)
+        assert isinstance(resolve_policy("flush-on-demand"), FlushOnDemand)
+        assert isinstance(resolve_policy("wal-group-commit"), WalGroupCommit)
+
+    def test_instance_passes_through(self):
+        policy = WalGroupCommit()
+        assert resolve_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_policy("fsync-maybe")
+
+    def test_none_policy_builds_no_stores(self):
+        kernel = make_kernel("none")
+        assert kernel.stores == {}
+        assert kernel.store("a") is None
+        assert kernel.make_durable("anything") == 0
+
+    def test_store_requires_durable_policy(self):
+        from repro.store import SiteStore
+        from repro.store.policy import StoreCosts
+        kernel = make_kernel("none")
+        with pytest.raises(StoreError):
+            SiteStore(kernel.site("a"), kernel.loop, NoDurability(), StoreCosts(),
+                      kernel.stats)
+
+
+class TestWriteAheadLog:
+    def test_commit_and_replay_last_wins(self):
+        wal = WriteAheadLog()
+        wal.commit([("cab", "f", (b"one",))], at=1.0)
+        wal.commit([("cab", "f", (b"one", b"two"))], at=2.0)
+        assert wal.replay_states() == {("cab", "f"): (b"one", b"two")}
+        assert wal.total_committed == 2
+
+    def test_deletion_record_removes_from_image(self):
+        wal = WriteAheadLog()
+        wal.commit([("cab", "f", (b"x",))], at=1.0)
+        wal.commit([("cab", "f", None)], at=2.0)
+        images = {"cab": {"f": (b"stale",)}}
+        folded = wal.fold_into(images)
+        assert folded == 2
+        assert images == {"cab": {}}
+        assert len(wal) == 0
+
+
+class TestGroupCommit:
+    def test_mutations_become_durable_after_commit_window(self):
+        kernel = make_kernel(store_commit_window=0.5)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", "hello")
+        store = kernel.store("a")
+        assert store.dirty_count == 1          # one dirty (cabinet, folder) pair
+        kernel.run(until=0.4)
+        assert store.durable_state().get("m", {}) == {}   # not yet committed
+        kernel.run(until=1.0)
+        assert store.dirty_count == 0
+        assert "f" in store.durable_state()["m"]
+        assert kernel.stats.wal_commits == 1
+        assert kernel.stats.wal_appends == 2
+
+    def test_commit_batches_many_mutations_into_one_fsync(self):
+        kernel = make_kernel(store_commit_window=0.5)
+        kernel.make_durable("m", sites=["a"])
+        cabinet = kernel.site("a").cabinet("m")
+        for index in range(50):
+            cabinet.put("f", index)
+        kernel.run(until=2.0)
+        # 50 appends, one commit, one redo record (one dirty folder).
+        assert kernel.stats.wal_appends == 51  # + folder creation
+        assert kernel.stats.wal_commits == 1
+        assert kernel.stats.wal_records_committed == 1
+
+    def test_crash_before_commit_discards_uncommitted_state(self):
+        kernel = make_kernel(store_commit_window=1.0)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", "volatile")
+        kernel.run(until=0.2)
+        kernel.crash_site("a")                 # commit never fired
+        assert kernel.stats.state_lost_records > 0
+        assert kernel.store("a").durable_state().get("m", {}) == {}
+        # The crash cleared the live cabinet too.
+        assert kernel.site("a").cabinet("m").elements("f") == []
+        assert any("state lost" in entry[3] for entry in kernel.event_log)
+
+    def test_folder_removal_is_journaled(self):
+        kernel = make_kernel(store_commit_window=0.1)
+        kernel.make_durable("m", sites=["a"])
+        cabinet = kernel.site("a").cabinet("m")
+        cabinet.put("f", 1)
+        kernel.run(until=0.5)
+        assert "f" in kernel.store("a").durable_state()["m"]
+        cabinet.remove("f")
+        kernel.run(until=1.0)
+        assert "f" not in kernel.store("a").durable_state()["m"]
+
+
+class TestCrashRecovery:
+    def test_recovery_restores_committed_state_with_delay(self):
+        kernel = make_kernel(store_commit_window=0.1)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", "precious")
+        kernel.run(until=1.0)
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+        site = kernel.site("a")
+        assert not site.alive                  # replay has a modelled delay
+        kernel.run(until=5.0)
+        assert site.alive
+        assert site.cabinet("m").elements("f") == ["precious"]
+        assert kernel.stats.recoveries == 1
+        assert kernel.stats.recovery_seconds > 0
+        assert kernel.stats.durable_folders_restored >= 1
+
+    def test_site_refuses_traffic_while_replaying(self):
+        kernel = make_kernel(store_commit_window=0.1,
+                             store_recovery_base=2.0)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", 1)
+        kernel.run(until=1.0)
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+
+        def sender(ctx, bc):
+            bc.set("HOST", "a")
+            bc.set("CONTACT", "ag_py")
+            bc.set("CODE", {"kind": "behaviour", "name": "shell"})
+            result = yield ctx.meet("rexec", bc)
+            return result.value
+
+        from repro.core import Briefcase
+        kernel.launch("b", sender, Briefcase())
+        kernel.run(until=1.5)                  # replay (>= 2s) still underway
+        dropped_before = kernel.stats.messages_dropped + kernel.undeliverable
+        assert dropped_before > 0              # the transfer did not get in
+        kernel.run(until=10.0)
+        assert kernel.site("a").alive
+
+    def test_crash_during_recovery_aborts_and_recovers_later(self):
+        kernel = make_kernel(store_commit_window=0.1,
+                             store_recovery_base=3.0)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", "precious")
+        kernel.run(until=1.0)
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+        kernel.run(until=2.0)                  # replay running (needs 3s)
+        kernel.crash_site("a")                 # crash mid-replay
+        assert not kernel.store("a").recovering
+        kernel.run(until=10.0)
+        assert not kernel.site("a").alive      # stale completion was a no-op
+        kernel.recover_site("a")
+        kernel.run(until=20.0)
+        assert kernel.site("a").alive
+        assert kernel.site("a").cabinet("m").elements("f") == ["precious"]
+
+    def test_recover_site_is_idempotent_while_replaying(self):
+        kernel = make_kernel(store_recovery_base=2.0)
+        kernel.make_durable("m", sites=["a"])
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+        kernel.recover_site("a")               # second call is a no-op
+        kernel.run(until=10.0)
+        assert kernel.site("a").alive
+        assert kernel.stats.recoveries == 1
+
+    def test_policy_none_keeps_legacy_instant_recovery(self):
+        kernel = make_kernel("none")
+        kernel.site("a").cabinet("m").put("f", "kept")
+        kernel.crash_site("a")
+        # Legacy free permanence: cabinets survive the crash untouched.
+        assert kernel.site("a").cabinet("m").elements("f") == ["kept"]
+        kernel.recover_site("a")
+        assert kernel.site("a").alive          # instant, no replay
+        # The recovery ledger is a store ledger: nothing was replayed.
+        assert kernel.stats.recoveries == 0
+        assert kernel.stats.recovery_seconds == 0.0
+
+    def test_non_durable_cabinets_are_lost_under_durable_policy(self):
+        kernel = make_kernel(store_commit_window=0.1)
+        kernel.make_durable("kept", sites=["a"])
+        site = kernel.site("a")
+        site.cabinet("kept").put("f", 1)
+        site.cabinet("scratch").put("g", 2)
+        kernel.run(until=1.0)
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+        kernel.run(until=5.0)
+        assert site.cabinet("kept").elements("f") == [1]
+        assert site.cabinet("scratch").elements("g") == []
+        assert kernel.stats.state_lost_folders >= 1
+
+
+class TestFlushOnDemand:
+    def test_nothing_durable_until_flush_completes(self):
+        kernel = make_kernel("flush-on-demand")
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", "volatile")
+        kernel.run(until=5.0)
+        store = kernel.store("a")
+        assert store.durable_state().get("m", {}) == {}
+        cost = store.flush()
+        assert cost > 0
+        # The flush captured the state but the write+fsync is still in
+        # flight: durability arrives only once the cost has elapsed.
+        assert store.durable_state().get("m", {}) == {}
+        kernel.run(until=5.0 + cost + 0.001)
+        assert "f" in store.durable_state()["m"]
+
+    def test_crash_during_flush_sync_loses_the_batch(self):
+        kernel = make_kernel("flush-on-demand")
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", "doomed")
+        store = kernel.store("a")
+        store.flush()
+        kernel.crash_site("a")                 # before the write+fsync lands
+        kernel.recover_site("a")
+        kernel.run(until=10.0)
+        assert kernel.site("a").cabinet("m").elements("f") == []
+        assert kernel.stats.state_lost_records >= 1
+
+    def test_flush_then_crash_recovers_flushed_state_only(self):
+        kernel = make_kernel("flush-on-demand")
+        kernel.make_durable("m", sites=["a"])
+        cabinet = kernel.site("a").cabinet("m")
+        cabinet.put("f", "flushed")
+        cost = kernel.store("a").flush()
+        kernel.run(until=cost + 0.001)         # let the sync complete
+        cabinet.put("f", "after-flush")
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+        kernel.run(until=5.0)
+        assert kernel.site("a").cabinet("m").elements("f") == ["flushed"]
+
+    def test_flush_with_nothing_pending_is_free(self):
+        kernel = make_kernel("flush-on-demand")
+        kernel.make_durable("m", sites=["a"])
+        assert kernel.store("a").flush() == 0.0
+
+    def test_sustained_flush_traffic_cannot_starve_durability(self):
+        # Flushes arriving faster than the write+fsync completes must not
+        # cancel and restart the in-flight sync: the disk drains one batch
+        # at a time and everything still becomes durable.
+        kernel = make_kernel("flush-on-demand", store_fsync_latency=0.004)
+        kernel.make_durable("m", sites=["a"])
+        cabinet = kernel.site("a").cabinet("m")
+        store = kernel.store("a")
+        for index in range(50):
+            def write_and_flush(index=index):
+                cabinet.put(f"entry-{index}", index)
+                store.flush()
+            kernel.loop.schedule(0.001 * index, write_and_flush)
+        kernel.run(until=0.050)               # mid-burst: commits are landing
+        assert kernel.stats.wal_commits > 0
+        kernel.run(until=1.0)
+        assert len(store.durable_state()["m"]) == 50
+        assert store.is_durable(store.mutation_mark())
+
+
+class TestBarrier:
+    def test_barrier_reports_time_until_group_commit_completes(self):
+        kernel = make_kernel(store_commit_window=0.5, store_fsync_latency=0.1)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", 1)
+        barrier = kernel.store("a").barrier()
+        # window + one redo record's write + fsync, measured from now (t=0).
+        assert barrier == pytest.approx(0.5 + 0.0002 + 0.1)
+        kernel.run(until=barrier + 0.01)
+        assert kernel.store("a").barrier() == 0.0
+
+    def test_barrier_is_zero_with_nothing_pending(self):
+        kernel = make_kernel()
+        kernel.make_durable("m", sites=["a"])
+        assert kernel.store("a").barrier() == 0.0
+
+    def test_wait_until_durable_is_a_noop_under_policy_none(self):
+        from repro.core.context import wait_until_durable
+        kernel = make_kernel("none")
+        seen = {}
+
+        def probe(ctx, bc):
+            seen["store"] = ctx.store
+            seen["before"] = ctx.now
+            yield from wait_until_durable(ctx)
+            seen["after"] = ctx.now
+            yield ctx.sleep(0)
+
+        kernel.launch("a", probe)
+        kernel.run()
+        assert seen["store"] is None
+        assert seen["after"] == seen["before"]
+
+
+class TestBarrierMarks:
+    def test_barrier_loops_until_the_marks_batch_is_really_durable(self):
+        # The batch covering the caller's mark can grow after the barrier
+        # is priced, pushing its fsync later than the estimate; the mark
+        # API must keep reporting a positive wait until it truly committed.
+        kernel = make_kernel(store_commit_window=0.5, store_write_latency=0.1,
+                             store_fsync_latency=0.1)
+        kernel.make_durable("m", sites=["a"])
+        cabinet = kernel.site("a").cabinet("m")
+        cabinet.put("mine", 1)
+        store = kernel.store("a")
+        mark = store.mutation_mark()
+        estimate = store.barrier(mark)        # priced for a 1-record batch
+        # Five more folders join the same batch before the commit fires.
+        kernel.loop.schedule(0.3, lambda: [cabinet.put(f"other-{i}", i)
+                                           for i in range(5)])
+        kernel.run(until=estimate)
+        assert not store.is_durable(mark)     # the estimate came up short
+        assert store.barrier(mark) > 0        # ...and the loop knows it
+        kernel.run(until=estimate + store.barrier(mark) + 0.01)
+        assert store.is_durable(mark)
+        assert store.barrier(mark) == 0.0
+
+    def test_overlapping_commit_defers_instead_of_clobbering_the_sync(self):
+        # write+fsync outlasting the commit window must not drop the
+        # in-flight batch: the next commit waits for the disk.
+        kernel = make_kernel(store_commit_window=0.05,
+                             store_fsync_latency=1.0)
+        kernel.make_durable("m", sites=["a"])
+        cabinet = kernel.site("a").cabinet("m")
+        cabinet.put("first", 1)               # commit @0.05, fsync done @~1.05
+        kernel.loop.schedule(0.1, lambda: cabinet.put("second", 2))
+        kernel.run(until=5.0)
+        state = kernel.store("a").durable_state()["m"]
+        assert "first" in state and "second" in state
+        assert kernel.stats.wal_commits == 2  # two syncs, neither lost
+
+    def test_crash_mid_sync_counts_the_inflight_folders_as_lost(self):
+        kernel = make_kernel(store_commit_window=0.05,
+                             store_fsync_latency=1.0)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("doomed", 1)
+        kernel.run(until=0.5)                 # commit fired, fsync pending
+        kernel.crash_site("a")
+        assert kernel.stats.state_lost_records == 1
+        assert kernel.stats.state_lost_folders == 1   # the ledger agrees
+
+
+class TestSnapshotCompaction:
+    def test_wal_folds_into_snapshot_past_threshold(self):
+        kernel = make_kernel(store_commit_window=0.01,
+                             store_snapshot_threshold=5)
+        kernel.make_durable("m", sites=["a"])
+        cabinet = kernel.site("a").cabinet("m")
+        for index in range(10):
+            cabinet.put(f"folder-{index}", index)
+            kernel.run(until=(index + 1) * 0.5)   # one commit per put
+        store = kernel.store("a")
+        assert kernel.stats.store_snapshots >= 1
+        assert len(store.wal) <= 5
+        # Compaction must not change the durable image.
+        state = store.durable_state()["m"]
+        assert len(state) == 10
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+        kernel.run(until=30.0)
+        assert len(kernel.site("a").cabinet("m").names()) == 10
+
+    def test_opt_in_captures_existing_contents(self):
+        kernel = make_kernel()
+        cabinet = kernel.site("a").cabinet("m")
+        cabinet.put("pre", "existing")
+        kernel.make_durable("m", sites=["a"])
+        assert kernel.store("a").durable_state()["m"]["pre"]
+        kernel.crash_site("a")
+        kernel.recover_site("a")
+        kernel.run(until=5.0)
+        assert kernel.site("a").cabinet("m").elements("pre") == ["existing"]
+
+
+class TestLateSites:
+    def test_add_site_gets_a_store(self):
+        kernel = make_kernel()
+        kernel.add_site("late", links=["a"])
+        assert kernel.store("late") is not None
+        kernel.make_durable("m", sites=["late"])
+        kernel.site("late").cabinet("m").put("f", 1)
+        kernel.run(until=1.0)
+        assert "f" in kernel.store("late").durable_state()["m"]
