@@ -1,0 +1,348 @@
+"""E13 — The unified flow-control layer (repro.flow).
+
+Three claims, one shared layer (see `docs/architecture.md`):
+
+* **E13a (adaptive per-destination windows)** — on a mixed hot/cold
+  fan-in, per-pair windows sized from observed arrival rates beat every
+  global fixed window: no fixed window matches the adaptive arm on both
+  wire messages and p50 delivery latency, and the best fixed window that
+  meets the latency budget sends strictly more messages.
+* **E13b (bytes-proportional WAL costs)** — the store's write cost comes
+  from the shared :class:`~repro.flow.CostModel`, so a group commit's
+  simulated time scales with the payload bytes its redo records carry;
+  the ablation (byte term zeroed) stays flat.
+* **E13c (barrier piggybacking)** — on the E12 fault-tolerance sweep, a
+  pre-jump checkpoint barrier triggers the group commit immediately
+  instead of waiting out the commit window, strictly reducing per-hop
+  checkpoint latency while durability guarantees stay intact (every
+  computation completes, zero durable folders lost).
+
+Run with ``--smoke`` for the CI sanity pass (E13a runs at full size — it
+is cheap and the EWMA needs traffic to converge; E13b/E13c shrink).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.bench import Report
+from repro.bench.workloads import MixedTrafficParams, run_mixed_traffic
+from repro.core import Kernel, KernelConfig
+from repro.fault import completions, launch_ft_computation
+from repro.net import RandomCrasher, lan
+
+# =============================================================================
+# E13a — adaptive per-destination windows vs the global fixed sweep
+# =============================================================================
+
+#: the fixed global windows swept (seconds); 0 = fabric off
+FIXED_WINDOWS = (0.0, 0.02, 0.05, 0.15, 0.6)
+#: adaptive arm: bounds + target batch of the per-pair flow controller
+ADAPTIVE = dict(batch_window=0.02, flow_window_min=0.01, flow_window_max=0.6,
+                flow_target_batch=6)
+#: delivery-latency budget the "best fixed window" must meet (p50, seconds)
+LATENCY_SLO = 0.1
+
+MIXED_BASE = dict(n_hot=2, hot_deliveries=40, hot_gap=0.002, n_trickle=6,
+                  trickle_deliveries=8, trickle_gap=0.35, payload_bytes=200)
+
+
+@pytest.fixture(scope="module")
+def mixed_sweep():
+    arms = {}
+    for window in FIXED_WINDOWS:
+        label = "off" if window == 0 else f"fixed {window:g}"
+        arms[label] = run_mixed_traffic(
+            MixedTrafficParams(batch_window=window, **MIXED_BASE))
+    arms["adaptive"] = run_mixed_traffic(
+        MixedTrafficParams(**ADAPTIVE, **MIXED_BASE))
+    return arms
+
+
+def test_e13a_adaptive_windows_beat_every_fixed_window(mixed_sweep, emit_report):
+    adaptive = mixed_sweep["adaptive"]
+    report = Report("E13a", "adaptive per-destination windows vs global fixed "
+                            f"windows ({MIXED_BASE['n_hot']} hot senders x "
+                            f"{MIXED_BASE['hot_deliveries']} folders, "
+                            f"{MIXED_BASE['n_trickle']} trickle senders x "
+                            f"{MIXED_BASE['trickle_deliveries']}, "
+                            f"adaptive [{ADAPTIVE['flow_window_min']}, "
+                            f"{ADAPTIVE['flow_window_max']}]s, "
+                            f"target batch {ADAPTIVE['flow_target_batch']})")
+    table = report.table(
+        "mixed hot/cold fan-in: one window per pair vs one window for all",
+        ["fabric", "folders", "wire msgs", "batches", "p50 latency s",
+         "mean latency s"])
+    for label, outcome in mixed_sweep.items():
+        table.add_row(label,
+                      f"{outcome.folders_received}/{outcome.folders_expected}",
+                      outcome.wire_messages, outcome.batches,
+                      round(outcome.p50_latency, 4),
+                      round(outcome.mean_latency, 4))
+    hot = {pair: info for pair, info in adaptive.flow_windows.items()
+           if pair.startswith("hot")}
+    cold = {pair: info for pair, info in adaptive.flow_windows.items()
+            if pair.startswith("cold")}
+    table.add_note("adaptive windows converged to: hot pairs "
+                   + ", ".join(f"{info['window']:.3f}s" for info in hot.values())
+                   + "; trickle pairs "
+                   + ", ".join(sorted({f"{info['window']:.3f}s"
+                                       for info in cold.values()})))
+    table.add_note(f"latency budget for 'best fixed': p50 <= {LATENCY_SLO}s")
+    emit_report(report)
+
+    # Nothing is ever lost, in any arm.
+    for label, outcome in mixed_sweep.items():
+        assert outcome.folders_received == outcome.folders_expected, label
+
+    fixed_arms = {label: outcome for label, outcome in mixed_sweep.items()
+                  if label != "adaptive"}
+    # (1) No fixed window dominates the adaptive arm: each one loses on
+    # wire messages or on p50 delivery latency.
+    for label, fixed in fixed_arms.items():
+        assert (adaptive.wire_messages < fixed.wire_messages
+                or adaptive.p50_latency < fixed.p50_latency), label
+    # (2) The compromise windows a single global knob forces you into are
+    # strictly dominated: some fixed arm loses on *both* metrics.
+    assert any(adaptive.wire_messages < fixed.wire_messages
+               and adaptive.p50_latency < fixed.p50_latency
+               for fixed in fixed_arms.values())
+    # (3) The headline: against the best fixed window that meets the
+    # latency budget (fewest wire messages with p50 <= SLO), the adaptive
+    # fabric sends strictly fewer messages at equal or lower p50.
+    feasible = [fixed for fixed in fixed_arms.values()
+                if fixed.p50_latency <= LATENCY_SLO]
+    best_fixed = min(feasible, key=lambda outcome: outcome.wire_messages)
+    assert adaptive.p50_latency <= best_fixed.p50_latency
+    assert adaptive.wire_messages < best_fixed.wire_messages
+
+    # The telemetry tells the mechanism's story: hot pairs run tight
+    # windows, trickle pairs wide ones, all inside the configured bounds.
+    hot_windows = [info["window"] for pair, info in adaptive.flow_windows.items()
+                   if pair.startswith("hot")]
+    cold_windows = [info["window"] for pair, info in adaptive.flow_windows.items()
+                    if pair.startswith("cold")]
+    assert hot_windows and cold_windows
+    assert max(hot_windows) < min(cold_windows)
+    for window in hot_windows + cold_windows:
+        assert ADAPTIVE["flow_window_min"] <= window <= ADAPTIVE["flow_window_max"]
+
+
+# =============================================================================
+# E13b — WAL write costs scale with payload bytes
+# =============================================================================
+
+#: per-byte write latency of the priced arm (a deliberately visible device)
+BYTE_LATENCY = 0.000001
+PAYLOADS = (1_024, 4_096, 16_384, 65_536)
+N_FOLDERS = 8
+
+
+def wal_flush_cost(payload_bytes: int, byte_latency: float) -> float:
+    """Simulated cost of flushing N folders of *payload_bytes* each."""
+    kernel = Kernel(lan(["a", "b"]), transport="tcp",
+                    config=KernelConfig(rng_seed=3,
+                                        durability="wal-group-commit",
+                                        store_write_byte_latency=byte_latency))
+    kernel.make_durable("m", sites=["a"])
+    cabinet = kernel.site("a").cabinet("m")
+    for index in range(N_FOLDERS):
+        cabinet.put(f"folder-{index}", b"\0" * payload_bytes)
+    cost = kernel.store("a").flush()
+    kernel.run()
+    assert kernel.stats.wal_bytes_committed >= N_FOLDERS * payload_bytes
+    return cost
+
+
+@pytest.fixture(scope="module")
+def wal_byte_sweep(smoke):
+    payloads = PAYLOADS[:2] + PAYLOADS[-1:] if smoke else PAYLOADS
+    return {
+        payload: {
+            "priced": wal_flush_cost(payload, BYTE_LATENCY),
+            "flat": wal_flush_cost(payload, 0.0),
+        }
+        for payload in payloads
+    }
+
+
+def test_e13b_wal_cost_scales_with_payload_bytes(wal_byte_sweep, emit_report):
+    report = Report("E13b", f"WAL group-commit cost vs payload bytes "
+                            f"({N_FOLDERS} folders per flush, byte term "
+                            f"{BYTE_LATENCY:g} s/B vs ablated to 0)")
+    table = report.table(
+        "bytes-proportional vs flat per-record pricing",
+        ["payload B/folder", "priced flush s", "flat flush s"])
+    for payload, costs in sorted(wal_byte_sweep.items()):
+        table.add_row(payload, round(costs["priced"], 5), round(costs["flat"], 5))
+    emit_report(report)
+
+    payloads = sorted(wal_byte_sweep)
+    priced = [wal_byte_sweep[payload]["priced"] for payload in payloads]
+    flat = [wal_byte_sweep[payload]["flat"] for payload in payloads]
+    # The priced arm grows strictly with payload bytes...
+    assert all(earlier < later for earlier, later in zip(priced, priced[1:]))
+    # ...roughly proportionally once the byte term dominates...
+    span = payloads[-1] / payloads[0]
+    assert priced[-1] / priced[0] > span / 4
+    # ...while the ablated arm does not care about bytes at all.
+    assert max(flat) == pytest.approx(min(flat))
+    assert all(p > f for p, f in zip(priced, flat))
+
+
+# =============================================================================
+# E13c — checkpoint barriers piggyback on the group commit (E12 FT sweep)
+# =============================================================================
+
+SITES = [f"n{i}" for i in range(8)]
+HOME, DELIVERY = SITES[0], SITES[-1]
+ITINERARY = SITES[1:]
+PER_HOP = 0.5
+WORK_SECONDS = 0.25
+MAX_RELAUNCHES = 4
+STAGGER = 0.05
+COMMIT_WINDOW = 0.05
+CRASH_WINDOW = (1.2, 1.4)
+RECOVER_AFTER = 6.0
+HORIZON = 100.0
+
+
+def _checkpoint_waits(kernel: Kernel) -> List[float]:
+    """Per-hop checkpoint barrier waits logged by the ft visitor."""
+    waits = []
+    for _at, _agent, _site, message in kernel.event_log:
+        if message.startswith("ckpt-wait "):
+            waits.append(float(message.rsplit("waited=", 1)[1]))
+    return waits
+
+
+def run_ft_point(piggyback: bool, crash_probability: float, seed: int,
+                 n_computations: int) -> Dict[str, float]:
+    config = KernelConfig(rng_seed=seed, durability="wal-group-commit",
+                          store_commit_window=COMMIT_WINDOW,
+                          store_barrier_piggyback=piggyback)
+    kernel = Kernel(lan(SITES), transport="tcp", config=config)
+    for index, name in enumerate(SITES):
+        kernel.site(name).cabinet("data").put("VALUE", index)
+    ids = [launch_ft_computation(kernel, HOME, ITINERARY,
+                                 ft_id=f"e13c-{seed}-{index:03d}",
+                                 per_hop=PER_HOP, max_relaunches=MAX_RELAUNCHES,
+                                 work_seconds=WORK_SECONDS,
+                                 delay=STAGGER * index,
+                                 durable_checkpoints=True)
+           for index in range(n_computations)]
+    if crash_probability > 0:
+        RandomCrasher(crash_probability, window=CRASH_WINDOW,
+                      recover_after=RECOVER_AFTER, protect=[HOME, DELIVERY],
+                      seed=seed).install(kernel)
+    kernel.run(until=HORIZON)
+
+    counts = [len(completions(kernel, DELIVERY, ft_id)) for ft_id in ids]
+    waits = _checkpoint_waits(kernel)
+    completion_times = [record["completed_at"]
+                        for record in completions(kernel, DELIVERY)]
+    summary = kernel.store_summary()
+    return {
+        "attempted": n_computations,
+        "completed": sum(1 for count in counts if count >= 1),
+        "duplicates": sum(max(0, count - 1) for count in counts),
+        "ckpt_waits": len(waits),
+        "mean_ckpt_wait": (sum(waits) / len(waits)) if waits else 0.0,
+        "max_ckpt_wait": max(waits) if waits else 0.0,
+        "finished_at": max(completion_times) if completion_times else 0.0,
+        "piggybacks": summary["wal_barrier_piggybacks"],
+        "durable_lost": summary["durable_folders_lost"],
+        "recoveries": summary["recoveries"],
+    }
+
+
+def _e13c_population(smoke: bool):
+    """(computations per point, seeds, crash probabilities)."""
+    if smoke:
+        return 4, (11,), (0.0, 1.0)
+    return 8, (11, 29), (0.0, 1.0)
+
+
+def _sweep_arm(piggyback: bool, probability: float, seeds, n_computations):
+    totals: Dict[str, float] = {}
+    wait_sum, wait_count = 0.0, 0
+    for seed in seeds:
+        outcome = run_ft_point(piggyback, probability, seed, n_computations)
+        wait_sum += outcome["mean_ckpt_wait"] * outcome["ckpt_waits"]
+        wait_count += outcome["ckpt_waits"]
+        for key in ("attempted", "completed", "duplicates", "ckpt_waits",
+                    "piggybacks", "durable_lost", "recoveries"):
+            totals[key] = totals.get(key, 0) + outcome[key]
+        totals["finished_at"] = max(totals.get("finished_at", 0.0),
+                                    outcome["finished_at"])
+    totals["mean_ckpt_wait"] = wait_sum / wait_count if wait_count else 0.0
+    return totals
+
+
+@pytest.fixture(scope="module")
+def barrier_sweep(smoke):
+    n_computations, seeds, probabilities = _e13c_population(smoke)
+    return {probability: {
+                "window-wait": _sweep_arm(False, probability, seeds, n_computations),
+                "piggyback": _sweep_arm(True, probability, seeds, n_computations)}
+            for probability in probabilities}
+
+
+def test_e13c_barrier_piggyback_cuts_checkpoint_latency(barrier_sweep, smoke,
+                                                        emit_report):
+    n_computations, seeds, probabilities = _e13c_population(smoke)
+    report = Report("E13c", "checkpoint barriers piggybacking on the group "
+                            f"commit ({n_computations * len(seeds)} durable FT "
+                            f"computations per point, commit window "
+                            f"{COMMIT_WINDOW}s, E12 crash schedule)")
+    table = report.table(
+        "per-hop checkpoint barrier latency, piggyback on vs off",
+        ["crash prob", "barrier", "completed", "mean ckpt wait s",
+         "ckpt barriers", "piggybacks", "recoveries", "durable lost",
+         "finished at s"])
+    for probability, arms in sorted(barrier_sweep.items()):
+        for label in ("window-wait", "piggyback"):
+            outcome = arms[label]
+            table.add_row(probability, label,
+                          f"{outcome['completed']}/{outcome['attempted']}",
+                          round(outcome["mean_ckpt_wait"], 4),
+                          outcome["ckpt_waits"], outcome["piggybacks"],
+                          outcome["recoveries"], outcome["durable_lost"],
+                          round(outcome["finished_at"], 2))
+    reductions = {
+        probability: arms["window-wait"]["mean_ckpt_wait"]
+        / max(arms["piggyback"]["mean_ckpt_wait"], 1e-9)
+        for probability, arms in barrier_sweep.items()}
+    table.add_note("mean checkpoint-wait reduction (window-wait/piggyback): "
+                   + ", ".join(f"p={probability}: {reduction:.1f}x"
+                               for probability, reduction
+                               in sorted(reductions.items())))
+    emit_report(report)
+
+    for probability, arms in barrier_sweep.items():
+        waiting, piggybacked = arms["window-wait"], arms["piggyback"]
+        print(f"E13C-SUMMARY | p={probability} | "
+              f"window-wait: {waiting['completed']}/{waiting['attempted']} done, "
+              f"mean ckpt wait {waiting['mean_ckpt_wait']:.4f}s | "
+              f"piggyback: {piggybacked['completed']}/{piggybacked['attempted']} "
+              f"done, mean ckpt wait {piggybacked['mean_ckpt_wait']:.4f}s, "
+              f"{piggybacked['piggybacks']} piggybacked commits, "
+              f"{piggybacked['durable_lost']} durable folders lost")
+
+    for probability, arms in barrier_sweep.items():
+        waiting, piggybacked = arms["window-wait"], arms["piggyback"]
+        # Durability guarantees are untouched: everything completes exactly
+        # once, and committed state is never lost — in either arm.
+        for outcome in (waiting, piggybacked):
+            assert outcome["completed"] == outcome["attempted"], probability
+            assert outcome["duplicates"] == 0, probability
+            assert outcome["durable_lost"] == 0, probability
+            assert outcome["ckpt_waits"] > 0, probability
+        # The mechanism genuinely fired (and only in the piggyback arm)...
+        assert piggybacked["piggybacks"] > 0, probability
+        assert waiting["piggybacks"] == 0, probability
+        # ...and per-hop checkpoint latency strictly dropped.
+        assert piggybacked["mean_ckpt_wait"] < waiting["mean_ckpt_wait"], \
+            probability

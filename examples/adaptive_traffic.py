@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Adaptive per-destination flush windows on a hot-pair + trickle topology.
+
+The delivery fabric coalesces folder traffic per (source, destination)
+pair, but a *single* global flush window cannot serve a mixed workload:
+two sensor hubs blast readings at a collector nearly back to back (hot
+pairs) while six field stations send an occasional report (trickle
+pairs).  A tight window leaves the trickle folders unbatched — many wire
+messages; a wide one sits on the hot pairs' full batches — high delivery
+latency.
+
+The flow-control layer (``repro.flow``) sizes each pair's window from its
+observed arrival rate instead: hot pairs get tight windows (their batches
+fill fast anyway), trickle pairs get wide ones.  The example sweeps the
+fixed windows, runs the adaptive fabric, and prints the converged
+per-pair windows — no fixed window matches the adaptive arm on both wire
+messages and p50 latency.
+
+Run with::
+
+    python examples/adaptive_traffic.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import MixedTrafficParams, run_mixed_traffic
+
+#: two hot senders, six trickle senders, all couriering to one hub
+WORKLOAD = dict(n_hot=2, hot_deliveries=40, hot_gap=0.002, n_trickle=6,
+                trickle_deliveries=8, trickle_gap=0.35, payload_bytes=200)
+FIXED_WINDOWS = (0.0, 0.02, 0.05, 0.15, 0.6)
+ADAPTIVE = dict(batch_window=0.02, flow_window_min=0.01, flow_window_max=0.6,
+                flow_target_batch=6)
+
+
+def main() -> None:
+    print(f"{'fabric':<14} {'folders':>8} {'wire msgs':>10} {'batches':>8} "
+          f"{'p50 latency':>12} {'mean latency':>13}")
+    arms = {}
+    for window in FIXED_WINDOWS:
+        label = "off" if window == 0 else f"fixed {window:g}s"
+        arms[label] = run_mixed_traffic(
+            MixedTrafficParams(batch_window=window, **WORKLOAD))
+    arms["adaptive"] = run_mixed_traffic(
+        MixedTrafficParams(**ADAPTIVE, **WORKLOAD))
+    for label, result in arms.items():
+        print(f"{label:<14} {result.folders_received:>5}/{result.folders_expected}"
+              f" {result.wire_messages:>10} {result.batches:>8} "
+              f"{result.p50_latency:>11.4f}s {result.mean_latency:>12.4f}s")
+
+    adaptive = arms["adaptive"]
+    print("\nConverged per-pair windows (repro.flow telemetry):")
+    for pair, info in sorted(adaptive.flow_windows.items()):
+        print(f"  {pair:<14} window={info['window']:.3f}s "
+              f"rate={info['message_rate']:7.1f} msg/s")
+    print("\nHot pairs run tight windows (full batches, low latency); trickle")
+    print("pairs run wide ones (their folders finally share a wire message).")
+    print("Every fixed window loses to the adaptive fabric on wire messages")
+    print("or on p50 delivery latency — usually the one you cared about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,8 +41,10 @@ __all__ = [
     "run_high_population",
     "AgentChurnParams", "AgentChurnResult", "execute_agent_churn", "run_agent_churn",
     "CourierFanInParams", "CourierFanInResult", "run_courier_fan_in",
+    "MixedTrafficParams", "MixedTrafficResult", "run_mixed_traffic",
     "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME", "POPULATION_WORKER_NAME",
     "CHURN_WORKER_NAME", "FANIN_COLLECTOR_NAME", "FANIN_SENDER_NAME",
+    "MIXED_COLLECTOR_NAME", "MIXED_SENDER_NAME",
 ]
 
 #: cabinet each data site stores its records in
@@ -680,4 +682,159 @@ def run_itinerary(params: ItineraryParams) -> ItineraryResult:
         bytes_on_wire=kernel.stats.bytes_sent,
         migration_bytes=kernel.stats.migration_bytes,
         mean_hop_time=(sum(hop_deltas) / len(hop_deltas)) if hop_deltas else 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# mixed hot/cold traffic workload — E13a (adaptive per-destination windows)
+# ---------------------------------------------------------------------------
+
+#: name the latency-measuring collector contact runs under at the hub
+MIXED_COLLECTOR_NAME = "mixed_collector"
+#: registered name of the paced per-site sender
+MIXED_SENDER_NAME = "mixed_sender"
+#: hub cabinet where per-folder delivery latencies are filed
+MIXED_CABINET = "mixed_fanin"
+
+
+@dataclass
+class MixedTrafficParams:
+    """The E13a flow-control scenario: one hot pair plus several trickles.
+
+    Hot senders fire folders at the hub nearly back to back; trickle
+    senders space theirs far apart.  No single fixed flush window suits
+    both: a tight one leaves the trickle folders unbatched (many wire
+    messages), a wide one sits on the hot pair's full batches (high
+    delivery latency).  With ``flow_window_max > 0`` the fabric sizes each
+    pair's window from its observed rate instead
+    (:class:`repro.flow.FlowController`), which is what this workload
+    measures against the fixed sweep.
+    """
+
+    n_hot: int = 1
+    hot_deliveries: int = 60
+    hot_gap: float = 0.002
+    n_trickle: int = 6
+    trickle_deliveries: int = 8
+    trickle_gap: float = 0.35
+    payload_bytes: int = 200
+    #: the fabric's base window (0 = fabric off); in adaptive mode this is
+    #: only the seed for pairs with no traffic history
+    batch_window: float = 0.0
+    #: adaptive per-destination window bounds (window_max > 0 = adaptive on)
+    flow_window_min: float = 0.0
+    flow_window_max: float = 0.0
+    flow_target_batch: int = 8
+    transport: str = "tcp"
+    hub_name: str = "hub"
+    seed: int = 31
+    link_latency: float = 0.01
+    link_bandwidth: float = 250_000.0
+
+    def hot_names(self) -> List[str]:
+        return [f"hot{i:02d}" for i in range(max(0, self.n_hot))]
+
+    def trickle_names(self) -> List[str]:
+        return [f"cold{i:02d}" for i in range(max(0, self.n_trickle))]
+
+
+@dataclass
+class MixedTrafficResult:
+    """Outcome of one mixed-traffic run."""
+
+    folders_expected: int
+    folders_received: int
+    wire_messages: int
+    batches: int
+    batched_messages: int
+    bytes_on_wire: int
+    #: per-folder queue-to-contact delivery latency, simulated seconds
+    p50_latency: float
+    mean_latency: float
+    sim_seconds: float
+    #: per-pair window/rate telemetry ("src->dst"), empty when not adaptive
+    flow_windows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _mixed_collector(ctx: AgentContext, briefcase: Briefcase):
+    """Hub-side contact: file each folder's queue-to-arrival latency."""
+    payload_name = briefcase.get("PAYLOAD_NAME")
+    elements = (briefcase.folder(payload_name).elements()
+                if payload_name and briefcase.has(payload_name) else [])
+    cabinet = ctx.cabinet(MIXED_CABINET)
+    for element in elements:
+        if isinstance(element, dict) and "queued_at" in element:
+            cabinet.put("latencies", ctx.now - float(element["queued_at"]))
+    yield ctx.sleep(0)
+    return len(elements)
+
+
+def _mixed_sender(ctx: AgentContext, briefcase: Briefcase):
+    """Courier *COUNT* stamped folders to the hub, sleeping *GAP* between."""
+    hub = briefcase.get("HUB")
+    count = int(briefcase.get("COUNT", 1))
+    gap = float(briefcase.get("GAP", 0.0))
+    size = int(briefcase.get("BYTES", 0))
+    accepted = 0
+    for index in range(count):
+        folder = Folder("REPORT", [{
+            "from": ctx.site_name,
+            "seq": index,
+            "queued_at": ctx.now,
+            "payload": b"\0" * size,
+        }])
+        result = yield ctx.send_folder(folder, hub, MIXED_COLLECTOR_NAME)
+        if result is not None and result.value:
+            accepted += 1
+        if gap > 0:
+            yield ctx.sleep(gap)
+    return accepted
+
+
+register_behaviour(MIXED_SENDER_NAME, _mixed_sender, replace=True)
+
+
+def run_mixed_traffic(params: MixedTrafficParams) -> MixedTrafficResult:
+    """Run the mixed hot/cold fan-in scenario for *params*."""
+    senders = params.hot_names() + params.trickle_names()
+    topology = star(params.hub_name, senders, latency=params.link_latency,
+                    bandwidth=params.link_bandwidth)
+    kernel = Kernel(topology, transport=params.transport,
+                    config=KernelConfig(
+                        rng_seed=params.seed,
+                        delivery_batch_window=params.batch_window,
+                        flow_window_min=params.flow_window_min,
+                        flow_window_max=params.flow_window_max,
+                        flow_target_batch=params.flow_target_batch))
+    kernel.install_agent(params.hub_name, MIXED_COLLECTOR_NAME, _mixed_collector)
+    for site, count, gap in (
+            [(name, params.hot_deliveries, params.hot_gap)
+             for name in params.hot_names()]
+            + [(name, params.trickle_deliveries, params.trickle_gap)
+               for name in params.trickle_names()]):
+        briefcase = Briefcase()
+        briefcase.set("HUB", params.hub_name)
+        briefcase.set("COUNT", count)
+        briefcase.set("GAP", gap)
+        briefcase.set("BYTES", params.payload_bytes)
+        kernel.launch(site, MIXED_SENDER_NAME, briefcase)
+    kernel.run()
+
+    latencies = sorted(
+        float(value) for value in
+        kernel.site(params.hub_name).cabinet(MIXED_CABINET).elements("latencies"))
+    expected = (params.n_hot * params.hot_deliveries
+                + params.n_trickle * params.trickle_deliveries)
+    p50 = latencies[len(latencies) // 2] if latencies else 0.0
+    return MixedTrafficResult(
+        folders_expected=expected,
+        folders_received=len(latencies),
+        wire_messages=kernel.stats.messages_sent,
+        batches=kernel.stats.batches,
+        batched_messages=kernel.stats.batched_messages,
+        bytes_on_wire=kernel.stats.bytes_sent,
+        p50_latency=p50,
+        mean_latency=(sum(latencies) / len(latencies)) if latencies else 0.0,
+        sim_seconds=kernel.now,
+        flow_windows=kernel.stats.flow_snapshot(),
     )

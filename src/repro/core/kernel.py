@@ -37,6 +37,7 @@ from repro.core.lifecycle import AgentTable, RetentionPolicy
 from repro.core.registry import BehaviourRegistry, default_registry
 from repro.core.site import Site
 from repro.core.syscalls import EndMeet, Meet, MeetResult, Sleep, Spawn, Syscall, Terminate, Transmit
+from repro.flow import CommitGovernor
 from repro.net.horus import HorusTransport
 from repro.net.message import Message, MessageKind
 from repro.net.rsh import RshTransport
@@ -91,6 +92,18 @@ class KernelConfig:
     #: traffic but an outbox never waits longer than this past its first
     #: queued message (0 = fixed window, no sliding)
     delivery_batch_deadline: float = 0.0
+    #: adaptive per-destination windows (repro.flow): with flow_window_max
+    #: > 0, each (source, destination) pair's flush window is sized from
+    #: its observed arrival rate — hot pairs tight, trickle pairs wide —
+    #: clamped into [flow_window_min, flow_window_max]; requires a positive
+    #: delivery_batch_window (the fabric master switch, also the seed
+    #: window for pairs with no traffic history)
+    flow_window_min: float = 0.0
+    flow_window_max: float = 0.0
+    #: how many messages an adaptive window should ideally coalesce
+    flow_target_batch: int = 8
+    #: EWMA smoothing factor of the per-pair rate estimators
+    flow_ewma_alpha: float = 0.2
     #: serialize per-message transport setup at each source site (the cost
     #: model under which batching pays in simulated time, not just bytes)
     serialize_transport_setup: bool = False
@@ -100,11 +113,19 @@ class KernelConfig:
     durability: Union[str, "DurabilityPolicy"] = "none"
     #: seconds charged per WAL record written at commit/flush time
     store_write_latency: float = 0.0002
+    #: seconds charged per payload byte a WAL record carries (the
+    #: bytes-proportional term of the disk cost model; the default models
+    #: a ~100 MB/s log device)
+    store_write_byte_latency: float = 0.00000001
     #: seconds charged per fsync (one per group commit or explicit flush)
     store_fsync_latency: float = 0.004
     #: group-commit window: how long the WAL batches dirty state before
     #: syncing (wal-group-commit only)
     store_commit_window: float = 0.05
+    #: let a pending durability barrier (wait_until_durable, the FT layer's
+    #: pre-jump checkpoints) trigger the group commit immediately instead
+    #: of waiting out the commit window (see repro.flow.CommitGovernor)
+    store_barrier_piggyback: bool = True
     #: seconds charged per snapshot folder / redo record replayed at recovery
     store_replay_latency: float = 0.0005
     #: fixed cost of beginning a recovery replay
@@ -160,11 +181,40 @@ class Kernel:
             raise KernelError(
                 "delivery_batch_max_messages/_max_bytes/_deadline require a "
                 "positive delivery_batch_window (the fabric is off at 0)")
+        if self.config.delivery_batch_window == 0 and (
+                self.config.flow_window_min > 0
+                or self.config.flow_window_max > 0):
+            # Same guard for the adaptive bounds: with the fabric off, no
+            # outbox exists for the flow controller to size.
+            raise KernelError(
+                "flow_window_min/_max require a positive "
+                "delivery_batch_window (the fabric is off at 0)")
+        if self.config.flow_target_batch <= 0:
+            # Validated here (not only in configure_batching) so a typo is
+            # caught even while the fabric is off.
+            raise KernelError(f"flow_target_batch must be > 0, got "
+                              f"{self.config.flow_target_batch}")
+        if not 0.0 < self.config.flow_ewma_alpha <= 1.0:
+            raise KernelError(f"flow_ewma_alpha must be in (0, 1], got "
+                              f"{self.config.flow_ewma_alpha}")
+        if self.config.flow_window_min > 0 >= self.config.flow_window_max:
+            # A floor with no ceiling is silently inert (adaptive mode is
+            # keyed on flow_window_max > 0); refuse rather than ignore it.
+            raise KernelError(
+                "flow_window_min requires a positive flow_window_max "
+                "(adaptive windows are off while flow_window_max is 0)")
+        if (self.config.flow_window_max > 0
+                and self.config.flow_window_min > self.config.flow_window_max):
+            raise KernelError(
+                f"flow_window_min ({self.config.flow_window_min}) must not "
+                f"exceed flow_window_max ({self.config.flow_window_max})")
         if (self.config.delivery_batch_window != 0
                 or self.config.serialize_transport_setup
                 or self.config.delivery_batch_max_messages != 0
                 or self.config.delivery_batch_max_bytes != 0
-                or self.config.delivery_batch_deadline != 0):
+                or self.config.delivery_batch_deadline != 0
+                or self.config.flow_window_min != 0
+                or self.config.flow_window_max != 0):
             # != 0 (not > 0) so a negative knob reaches configure_batching
             # and raises there instead of silently running with batching off.
             self.transport.configure_batching(
@@ -172,7 +222,11 @@ class Kernel:
                 serialize_setup=self.config.serialize_transport_setup,
                 max_messages=self.config.delivery_batch_max_messages,
                 max_bytes=self.config.delivery_batch_max_bytes,
-                deadline=self.config.delivery_batch_deadline)
+                deadline=self.config.delivery_batch_deadline,
+                window_min=self.config.flow_window_min,
+                window_max=self.config.flow_window_max,
+                target_batch=self.config.flow_target_batch,
+                ewma_alpha=self.config.flow_ewma_alpha)
 
         self.sites: Dict[str, Site] = {}
         #: callbacks fired (with the site name) when a site joins late via
@@ -247,14 +301,16 @@ class Kernel:
             return
         costs = StoreCosts(
             write_latency=self.config.store_write_latency,
+            write_byte_latency=self.config.store_write_byte_latency,
             fsync_latency=self.config.store_fsync_latency,
             commit_window=self.config.store_commit_window,
             replay_latency=self.config.store_replay_latency,
             recovery_base=self.config.store_recovery_base,
             snapshot_threshold=self.config.store_snapshot_threshold,
         )
+        governor = CommitGovernor(piggyback=self.config.store_barrier_piggyback)
         store = SiteStore(site, self.loop, self.durability, costs, self.stats,
-                          log_event=self.log_event)
+                          log_event=self.log_event, governor=governor)
         site.attach_store(store)
         self.stores[site.name] = store
 

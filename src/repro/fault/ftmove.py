@@ -212,10 +212,17 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
             # instead of losing it (see repro.fault.recovery).  The barrier
             # is looped against a journal mark: an estimate can come up
             # short when the commit batch grows after pricing, and the
-            # checkpoint must genuinely be durable before the jump.
+            # checkpoint must genuinely be durable before the jump.  With
+            # the store's commit governor piggybacking (the default), the
+            # barrier commits the batch immediately instead of sitting out
+            # the commit window — the wait logged below is what E13 reads
+            # to price checkpoint latency per hop.
             record_checkpoint(cabinet, ft_id, next_seq, snapshot.to_wire(),
                               per_hop, max_relaunches)
+            barrier_from = ctx.now
             yield from wait_until_durable(ctx)
+            ctx.log(f"ckpt-wait {ft_id} seq={next_seq} "
+                    f"waited={ctx.now - barrier_from:.6f}")
         result = yield jump
         if result is not None and result.value:
             # The transfer was handed to the network: a twin arriving here

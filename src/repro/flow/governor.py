@@ -1,0 +1,34 @@
+"""The group-commit governor: may batched durable work jump the window?
+
+The durable store's group commit is the disk-side twin of the delivery
+fabric's flush window: dirty state coalesces for the cost table's
+``commit_window`` simulated seconds, then one batched write + one fsync
+makes it durable.  The window itself stays where it always lived — on
+:class:`~repro.store.policy.StoreCosts`, read live — and the
+:class:`CommitGovernor` owns the one scheduling decision the window alone
+gets wrong: a **pending durability barrier**.
+
+An agent blocked on ``wait_until_durable`` (the fault-tolerance layer's
+pre-jump checkpoint is the canonical case) gains nothing from further
+coalescing — every extra millisecond of window is pure added checkpoint
+latency.  With ``piggyback`` enabled the barrier therefore rides the group
+commit mechanism instead of waiting for it: the store captures and syncs
+the dirty batch immediately (see ``SiteStore.barrier``), and the barrier's
+wait collapses from ``window remainder + write + fsync`` to just
+``write + fsync``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CommitGovernor"]
+
+
+class CommitGovernor:
+    """Policy for when a site store's group commit may fire early."""
+
+    def __init__(self, piggyback: bool = True):
+        #: whether a pending durability barrier commits the batch early
+        self.piggyback = bool(piggyback)
+
+    def __repr__(self) -> str:
+        return f"CommitGovernor(piggyback={'on' if self.piggyback else 'off'})"

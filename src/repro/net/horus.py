@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.errors import GroupError, NotMemberError
+from repro.flow import CostModel
 from repro.net.message import Message, MessageKind
 from repro.net.transport import Transport
 
@@ -84,6 +85,11 @@ class HorusTransport(Transport):
     #: how long after a crash surviving members install the next view
     DETECTION_DELAY = 0.150
 
+    #: shared cost-model view: per-message protocol-stack base, plus one
+    #: sync (channel establishment) on first contact between a pair
+    SETUP_COSTS = CostModel(base=ESTABLISHED_SETUP,
+                            sync=CONNECT_SETUP - ESTABLISHED_SETUP)
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._channels: set = set()
@@ -99,9 +105,9 @@ class HorusTransport(Transport):
     def setup_delay(self, message: Message) -> float:
         pair = tuple(sorted((message.source, message.destination)))
         if pair in self._channels:
-            return self.ESTABLISHED_SETUP
+            return self.SETUP_COSTS.cost(items=1, syncs=0)
         self._channels.add(pair)
-        return self.CONNECT_SETUP
+        return self.SETUP_COSTS.cost(items=1, syncs=1)
 
     # ------------------------------------------------------------------
     # group management

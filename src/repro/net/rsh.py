@@ -10,6 +10,7 @@ message, largest for agent transfers.
 
 from __future__ import annotations
 
+from repro.flow import CostModel
 from repro.net.message import Message, MessageKind
 from repro.net.transport import Transport
 
@@ -28,8 +29,12 @@ class RshTransport(Transport):
     #: jitter fraction applied to the setup cost
     JITTER = 0.10
 
+    #: the shared cost-model view of the two setups: every message pays a
+    #: full fork (a sync in CostModel terms), noisily — nothing is cached
+    AGENT_COSTS = CostModel(sync=AGENT_SETUP, jitter=JITTER)
+    MESSAGE_COSTS = CostModel(sync=MESSAGE_SETUP, jitter=JITTER)
+
     def setup_delay(self, message: Message) -> float:
-        base = self.AGENT_SETUP if message.kind == MessageKind.AGENT_TRANSFER \
-            else self.MESSAGE_SETUP
-        jitter = base * self.JITTER * self.rng.random()
-        return base + jitter
+        model = self.AGENT_COSTS if message.kind == MessageKind.AGENT_TRANSFER \
+            else self.MESSAGE_COSTS
+        return model.cost(items=0, syncs=1, rng=self.rng)

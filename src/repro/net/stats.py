@@ -44,6 +44,9 @@ class NetworkStats:
     #: "size" / "bytes" (threshold early flush), "deadline" (hard-deadline
     #: override of a sliding window), "reconfigure", "partition", "manual"
     flush_causes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: latest flow-control telemetry per (source, destination) pair when the
+    #: fabric runs adaptive windows: current window, EWMA message/byte rates
+    flow_windows: Dict[Tuple[str, str], Dict[str, float]] = field(default_factory=dict)
     per_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_kind_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_link: Dict[Tuple[str, str], LinkStats] = field(default_factory=dict)
@@ -57,6 +60,12 @@ class NetworkStats:
     wal_commits: int = 0
     #: redo records made durable across those commits
     wal_records_committed: int = 0
+    #: payload bytes those redo records carried (the bytes-proportional
+    #: term of the WAL cost model charges for exactly these)
+    wal_bytes_committed: int = 0
+    #: group commits triggered early by a pending durability barrier
+    #: (checkpoint piggybacking) instead of the full commit window
+    wal_barrier_piggybacks: int = 0
     #: WAL compactions folding redo records into base snapshot images
     store_snapshots: int = 0
     #: redo records those compactions absorbed into the base images
@@ -115,14 +124,33 @@ class NetworkStats:
         """Count one delivery-fabric outbox flush, keyed by what triggered it."""
         self.flush_causes[cause] += 1
 
+    def record_flow(self, source: str, destination: str, window: float,
+                    message_rate: float, bytes_rate: float) -> None:
+        """Publish the latest adaptive window/rate estimate for one pair."""
+        self.flow_windows[(source, destination)] = {
+            "window": window,
+            "message_rate": message_rate,
+            "bytes_rate": bytes_rate,
+        }
+
+    def reset_flow_for_site(self, site_name: str) -> None:
+        """Drop flow telemetry for pairs touching *site_name* (crash reset)."""
+        for key in [key for key in self.flow_windows if site_name in key]:
+            del self.flow_windows[key]
+
     def record_wal_append(self) -> None:
         """Count one journaled cabinet mutation."""
         self.wal_appends += 1
 
-    def record_wal_commit(self, records: int) -> None:
+    def record_wal_commit(self, records: int, size_bytes: int = 0) -> None:
         """Count one group commit / flush making *records* redo records durable."""
         self.wal_commits += 1
         self.wal_records_committed += records
+        self.wal_bytes_committed += size_bytes
+
+    def record_barrier_piggyback(self) -> None:
+        """Count one group commit a pending durability barrier fired early."""
+        self.wal_barrier_piggybacks += 1
 
     def record_store_snapshot(self, folded: int) -> None:
         """Count one WAL compaction (folding *folded* records into snapshots)."""
@@ -166,7 +194,17 @@ class NetworkStats:
         """Total bytes sent with messages of *kind*."""
         return self.per_kind_bytes.get(kind, 0)
 
-    def snapshot(self) -> Dict[str, float]:
+    def flow_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-pair flow telemetry keyed ``"source->destination"`` (JSON-able).
+
+        The public view of the adaptive fabric's per-destination windows and
+        EWMA rates — benchmarks and tests read this instead of reaching into
+        the transport's flow controller.
+        """
+        return {f"{source}->{destination}": dict(info)
+                for (source, destination), info in self.flow_windows.items()}
+
+    def snapshot(self) -> Dict[str, object]:
         """A plain-dict summary used by the benchmark reports."""
         return {
             "messages_sent": self.messages_sent,
@@ -180,9 +218,14 @@ class NetworkStats:
             "batched_messages": self.batched_messages,
             "header_bytes_saved": self.header_bytes_saved,
             "early_flushes": self.early_flushes,
+            "flush_causes": dict(self.flush_causes),
+            "flow_pairs": len(self.flow_windows),
+            "flow_windows": self.flow_snapshot(),
             "wal_appends": self.wal_appends,
             "wal_commits": self.wal_commits,
             "wal_records_committed": self.wal_records_committed,
+            "wal_bytes_committed": self.wal_bytes_committed,
+            "wal_barrier_piggybacks": self.wal_barrier_piggybacks,
             "store_snapshots": self.store_snapshots,
             "wal_records_folded": self.wal_records_folded,
             "recoveries": self.recoveries,

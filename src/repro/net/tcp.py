@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
+from repro.flow import CostModel
 from repro.net.message import Message
 from repro.net.transport import Transport
 
@@ -28,6 +29,12 @@ class TcpTransport(Transport):
     #: per-message overhead on an established connection
     ESTABLISHED_SETUP = 0.002
 
+    #: the shared cost-model view: every message pays the per-message base,
+    #: and the first contact between a pair additionally pays one sync (the
+    #: handshake) — so CONNECT_SETUP = base + sync exactly
+    SETUP_COSTS = CostModel(base=ESTABLISHED_SETUP,
+                            sync=CONNECT_SETUP - ESTABLISHED_SETUP)
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._connections: Set[Tuple[str, str]] = set()
@@ -37,10 +44,10 @@ class TcpTransport(Transport):
     def setup_delay(self, message: Message) -> float:
         pair = self._pair(message.source, message.destination)
         if pair in self._connections:
-            return self.ESTABLISHED_SETUP
+            return self.SETUP_COSTS.cost(items=1, syncs=0)
         self._connections.add(pair)
         self.connects[pair] = self.connects.get(pair, 0) + 1
-        return self.CONNECT_SETUP
+        return self.SETUP_COSTS.cost(items=1, syncs=1)
 
     def on_site_down(self, site_name: str) -> None:
         """Drop every cached connection that touches the crashed site."""

@@ -21,11 +21,20 @@ The fabric is *adaptive*: besides the flush window, an outbox ships early
 the moment it holds ``batch_max_messages`` messages or
 ``batch_max_bytes`` of queued payload (a hot pair never waits out the
 window once the batch is full), and with ``batch_deadline`` set the window
-*slides* — each new message extends the flush by ``batch_window`` to keep
+*slides* — each new message extends the flush by the pair's window to keep
 coalescing a burst, but never past ``first message + batch_deadline``.
 Every flush is recorded in ``NetworkStats.flush_causes`` under the trigger
 that fired it (``window`` / ``size`` / ``bytes`` / ``deadline`` /
 ``reconfigure`` / ``partition`` / ``manual``).
+
+Window sizing itself is delegated to the flow-control layer
+(:mod:`repro.flow`): a per-(source, destination)
+:class:`~repro.flow.controller.FlowController` watches each pair's
+arrival rate (EWMA, fed from every ``post``) and — when adaptive mode is
+on (``window_max > 0``) — sizes that pair's window between
+``window_min``/``window_max`` so hot pairs get tight windows and trickle
+pairs wide ones, replacing the single global knob.  Per-pair window/rate
+telemetry is published through ``NetworkStats.flow_windows``.
 
 Concrete transports: :class:`~repro.net.rsh.RshTransport`,
 :class:`~repro.net.tcp.TcpTransport` and
@@ -39,6 +48,7 @@ import random
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import NoRouteError, SiteDownError, TransportError
+from repro.flow import FlowController
 from repro.net.message import Message, MessageKind
 from repro.net.simclock import Event, EventLoop
 from repro.net.stats import NetworkStats
@@ -113,8 +123,9 @@ class Transport(abc.ABC):
         self.stats = stats if stats is not None else NetworkStats()
         self.rng = rng if rng is not None else random.Random(0)
         self._handlers: Dict[str, DeliveryHandler] = {}
-        #: delivery-fabric flush window in simulated seconds (0 = fabric off)
-        self.batch_window: float = 0.0
+        #: per-destination window sizing (repro.flow); also holds the
+        #: fabric's base flush window (0 = fabric off)
+        self.flow = FlowController()
         #: message kinds the fabric may coalesce
         self.batch_kinds: Tuple[str, ...] = BATCHABLE_KINDS
         #: flush early once an outbox holds this many messages (0 = no limit)
@@ -149,17 +160,32 @@ class Transport(abc.ABC):
     def setup_delay(self, message: Message) -> float:
         """Per-message setup cost in seconds (process start, connection, ...)."""
 
+    @property
+    def batch_window(self) -> float:
+        """The fabric's base flush window (0 = fabric off).
+
+        Owned by the flow controller — in adaptive mode it is only the seed
+        for pairs with no traffic history; set it via
+        :meth:`configure_batching`.
+        """
+        return self.flow.base_window
+
     def on_site_down(self, site_name: str) -> None:
         """Hook invoked by the kernel when a site crashes.
 
         The base implementation drops every pending outbox that touches the
         crashed site (messages still queued at a crashed source die with it;
-        messages bound for a crashed destination are counted as drops).
+        messages bound for a crashed destination are counted as drops) and
+        resets the flow-control state of those pairs — the observed rates
+        described traffic that died with the crash, so a recovered site
+        starts from the seed window, with no stale flush events.
         Subclasses overriding this must call ``super().on_site_down``.
         """
         for key in [key for key in self._outboxes if site_name in key]:
             self._drop_outbox(key)
         self._source_busy_until.pop(site_name, None)
+        self.flow.reset_site(site_name)
+        self.stats.reset_flow_for_site(site_name)
 
     def on_site_up(self, site_name: str) -> None:
         """Hook invoked by the kernel when a site recovers."""
@@ -171,15 +197,24 @@ class Transport(abc.ABC):
                            serialize_setup: Optional[bool] = None,
                            max_messages: Optional[int] = None,
                            max_bytes: Optional[int] = None,
-                           deadline: Optional[float] = None) -> None:
+                           deadline: Optional[float] = None,
+                           window_min: Optional[float] = None,
+                           window_max: Optional[float] = None,
+                           target_batch: Optional[int] = None,
+                           ewma_alpha: Optional[float] = None) -> None:
         """Turn the delivery fabric on/off and tune what/how it coalesces.
 
         ``max_messages`` / ``max_bytes`` flush an outbox early the moment it
         fills (0 disables the threshold); ``deadline`` > 0 makes the window
-        slide with traffic, capped at first-message + deadline.  Outboxes
-        armed under the previous configuration are reconciled immediately:
-        shrinking or zeroing the window (or tightening a threshold) never
-        leaves messages waiting out a flush event armed under the old rules.
+        slide with traffic, capped at first-message + deadline.
+        ``window_max`` > 0 turns on adaptive per-destination windows
+        (:mod:`repro.flow`): each pair's window is sized from its observed
+        arrival rate to coalesce about ``target_batch`` messages, clamped
+        into ``[window_min, window_max]``; ``ewma_alpha`` tunes how fast
+        the rate estimate tracks.  Outboxes armed under the previous
+        configuration are reconciled immediately: shrinking or zeroing the
+        window (or tightening a threshold) never leaves messages waiting
+        out a flush event armed under the old rules.
         """
         if batch_window < 0:
             raise TransportError(f"batch window must be >= 0, got {batch_window}")
@@ -189,7 +224,26 @@ class Transport(abc.ABC):
             raise TransportError(f"max_bytes must be >= 0, got {max_bytes}")
         if deadline is not None and deadline < 0:
             raise TransportError(f"deadline must be >= 0, got {deadline}")
-        self.batch_window = batch_window
+        if window_min is not None and window_min < 0:
+            raise TransportError(f"window_min must be >= 0, got {window_min}")
+        if window_max is not None and window_max < 0:
+            raise TransportError(f"window_max must be >= 0, got {window_max}")
+        effective_min = self.flow.window_min if window_min is None else window_min
+        effective_max = self.flow.window_max if window_max is None else window_max
+        if effective_min > 0 >= effective_max:
+            raise TransportError(
+                f"window_min {effective_min} requires a positive window_max "
+                f"(adaptive windows are off while window_max is 0)")
+        if effective_max > 0 and effective_min > effective_max:
+            raise TransportError(f"window_min {effective_min} must not exceed "
+                                 f"window_max {effective_max}")
+        if target_batch is not None and target_batch <= 0:
+            raise TransportError(f"target_batch must be > 0, got {target_batch}")
+        if ewma_alpha is not None and not 0.0 < ewma_alpha <= 1.0:
+            raise TransportError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.flow.configure(base_window=batch_window, window_min=window_min,
+                            window_max=window_max, target_batch=target_batch,
+                            alpha=ewma_alpha)
         if batch_kinds is not None:
             self.batch_kinds = tuple(batch_kinds)
         if serialize_setup is not None:
@@ -230,14 +284,15 @@ class Transport(abc.ABC):
                 continue
             first = outbox.first_queued_at if outbox.first_queued_at is not None \
                 else self.loop.now
-            due, cause = first + self.batch_window, "window"
+            window = self.flow.window_for(key)
+            due, cause = first + window, "window"
             if self.batch_deadline > 0:
                 # Sliding mode: the window runs from the *last* post (so a
                 # reconfigure with unchanged rules re-arms the flush where
                 # it already was, not in the past), capped at the deadline.
                 last = outbox.messages[-1].sent_at
                 cap = first + self.batch_deadline
-                due, cause = last + self.batch_window, "window"
+                due, cause = last + window, "window"
                 if due >= cap:
                     due, cause = cap, "deadline"
             if due <= self.loop.now:
@@ -297,6 +352,14 @@ class Transport(abc.ABC):
             outbox.first_queued_at = self.loop.now
         outbox.messages.append(message)
         outbox.queued_body_bytes += message.body_bytes()
+        if self.flow.adaptive:
+            # observe() just re-derived (and clamped) the pair's window.
+            window = self.flow.observe(key, self.loop.now,
+                                       message.body_bytes()).window
+        else:
+            # Fixed mode: no per-pair estimation — the EWMA would never be
+            # read, and this is the fabric's per-post hot path.
+            window = self.flow.base_window
         threshold = self._threshold_cause(outbox)
         if threshold is not None:
             # The pair is hot and the batch is full: ship now rather than
@@ -306,13 +369,21 @@ class Transport(abc.ABC):
             # Sliding window: this post extends the flush, capped at the
             # hard deadline measured from the first queued message.
             cap = outbox.first_queued_at + self.batch_deadline
-            due = self.loop.now + self.batch_window
+            due = self.loop.now + window
             if due < cap:
                 self._arm_flush(outbox, key, due, cause="window")
             else:
                 self._arm_flush(outbox, key, cap, cause="deadline")
+        elif self.flow.adaptive:
+            # The pair's window tracks its rate, so every post re-prices
+            # the flush: due is first-message + the *current* window.  A
+            # window tightened below the time already waited ships now.
+            due = outbox.first_queued_at + window
+            if due <= self.loop.now:
+                return self._flush_outbox(key, cause="window")
+            self._arm_flush(outbox, key, due, cause="window")
         elif outbox.flush_event is None:
-            self._arm_flush(outbox, key, self.loop.now + self.batch_window,
+            self._arm_flush(outbox, key, self.loop.now + window,
                             cause="window")
         return outbox.flush_event
 
@@ -326,6 +397,15 @@ class Transport(abc.ABC):
             outbox.flush_event.cancel()
             outbox.flush_event = None
         self.stats.record_flush(cause)
+        if self.flow.adaptive:
+            # Publish the pair's window/rate telemetry once per flush (not
+            # per post — that would allocate on the fabric's hot path).
+            state = self.flow.state(key)
+            if state is not None:
+                self.stats.record_flow(outbox.source, outbox.destination,
+                                       self.flow.window_for(key),
+                                       state.estimator.message_rate,
+                                       state.estimator.bytes_rate)
         messages = outbox.messages
         if len(messages) == 1:
             # No coalescing happened: ship the original message unwrapped so
@@ -395,6 +475,10 @@ class Transport(abc.ABC):
     def pending_outbox_messages(self) -> int:
         """Messages currently queued in the fabric (introspection for tests)."""
         return sum(len(outbox) for outbox in self._outboxes.values())
+
+    def flow_telemetry(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Per-(source, destination) window/rate telemetry (see repro.flow)."""
+        return self.flow.telemetry()
 
     # -- sending --------------------------------------------------------------------
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
+from repro.flow import CostModel
+
 __all__ = ["DurabilityPolicy", "NoDurability", "FlushOnDemand", "WalGroupCommit",
            "POLICIES", "resolve_policy", "StoreCosts"]
 
@@ -37,6 +39,11 @@ class StoreCosts:
 
     #: seconds charged per WAL record written at commit/flush time
     write_latency: float = 0.0002
+    #: seconds charged per payload byte a WAL record carries — the
+    #: bytes-proportional term of the disk's cost model, so a fat snapshot
+    #: record genuinely costs more than a tiny counter update (the default
+    #: models a ~100 MB/s log device)
+    write_byte_latency: float = 0.00000001
     #: seconds charged per fsync (once per group commit or explicit flush)
     fsync_latency: float = 0.004
     #: group-commit window: how long the WAL batches appends before syncing
@@ -48,6 +55,17 @@ class StoreCosts:
     #: committed redo records tolerated before compaction folds them into
     #: the base snapshot images
     snapshot_threshold: int = 256
+
+    def wal_cost_model(self) -> CostModel:
+        """The disk as a :class:`~repro.flow.CostModel`.
+
+        One batched write of N records carrying B payload bytes costs
+        ``write_latency * N + write_byte_latency * B + fsync_latency``
+        — the same shared pricing shape the transports use for the wire.
+        """
+        return CostModel(base=self.write_latency,
+                         per_byte=self.write_byte_latency,
+                         sync=self.fsync_latency)
 
 
 class DurabilityPolicy:

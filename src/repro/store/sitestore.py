@@ -15,6 +15,16 @@ when dirty state becomes durable:
   flush returns the simulated delay the caller must sleep (agents use
   ``yield from wait_until_durable(ctx)``).
 
+Write costs come from the shared flow-control layer: the disk is a
+:class:`~repro.flow.CostModel` (per-record base + bytes-proportional term
++ one fsync per sync), so a commit's price scales with the payload bytes
+its redo records carry, not just their count.  Commit *timing* is owned by
+a :class:`~repro.flow.CommitGovernor`: normally the full
+``commit_window``, but a pending durability barrier (an agent blocked in
+``wait_until_durable`` — e.g. the FT layer's pre-jump checkpoint)
+*piggybacks* on the group commit, shipping the in-flight batch
+immediately instead of waiting out the window.
+
 Crash and recovery are driven by the kernel: :meth:`on_crash` discards all
 volatile cabinet state (durable cabinets are rebuilt later, non-durable
 ones are simply gone) and reports what was lost;
@@ -28,6 +38,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import StoreError
+from repro.flow import CommitGovernor
 from repro.store.policy import DurabilityPolicy, StoreCosts
 from repro.store.snapshot import (CabinetImage, capture_cabinet, capture_folder,
                                   image_folder_count, restore_cabinet)
@@ -43,7 +54,8 @@ class SiteStore:
     """Durable storage for one site's file cabinets."""
 
     def __init__(self, site, loop, policy: DurabilityPolicy, costs: StoreCosts,
-                 stats, log_event: Optional[Callable[[str, str, str], None]] = None):
+                 stats, log_event: Optional[Callable[[str, str, str], None]] = None,
+                 governor: Optional[CommitGovernor] = None):
         if not policy.durable:
             raise StoreError("a SiteStore needs a durable policy; "
                              "policy 'none' builds no stores")
@@ -51,6 +63,9 @@ class SiteStore:
         self.loop = loop
         self.policy = policy
         self.costs = costs
+        #: whether a pending durability barrier commits the batch early;
+        #: the commit window itself stays on ``costs`` (read live)
+        self.governor = governor if governor is not None else CommitGovernor()
         self.stats = stats
         self._log = log_event or (lambda agent, site_name, message: None)
 
@@ -140,15 +155,66 @@ class SiteStore:
         self._dirty.clear()
         return captures
 
-    def _write_cost(self, n_records: int) -> float:
-        """Simulated seconds to write *n_records* and fsync once."""
-        return self.costs.write_latency * n_records + self.costs.fsync_latency
+    @staticmethod
+    def _captures_bytes(captures: List[Capture]) -> int:
+        """Payload bytes the captured folder states carry (deletions are free)."""
+        return sum(sum(len(element) for element in elements)
+                   for _, _, elements in captures if elements)
+
+    def _dirty_bytes_estimate(self) -> int:
+        """Payload bytes the dirty set would capture right now.
+
+        Reads the live folders' raw (already serialized) elements, so the
+        estimate is exact for the current state — though a batch can still
+        grow or shrink before its commit actually captures it, which is why
+        barrier callers loop.
+        """
+        total = 0
+        for cabinet_name, folder_name in self._dirty:
+            if self.site.has_cabinet(cabinet_name):
+                cabinet = self.site.cabinet(cabinet_name)
+                if cabinet.has(folder_name):
+                    total += sum(len(element) for element
+                                 in cabinet.folder(folder_name).raw_elements())
+        return total
+
+    @property
+    def cost_model(self):
+        """The disk's shared price model (per record, per byte, per fsync).
+
+        Derived live from ``self.costs`` so tests swapping the cost table
+        on a running store see their prices — and the commit window, which
+        also lives on ``costs`` — take effect immediately.
+        """
+        return self.costs.wal_cost_model()
+
+    def _write_cost(self, n_records: int, size_bytes: int = 0) -> float:
+        """Simulated seconds to write *n_records* (*size_bytes* of payload)
+        and fsync once — the shared cost model's pricing of the disk."""
+        return self.cost_model.cost(items=n_records, size_bytes=size_bytes,
+                                    syncs=1)
 
     def _arm_commit(self, delay: float) -> None:
         """Arm the group-commit event *delay* out (at most one armed at a time)."""
         if self._commit_event is None:
             self._commit_event = self.loop.schedule(
                 delay, self._commit, label=f"store-commit-{self.site.name}")
+
+    def _rearm_commit(self, at: float) -> bool:
+        """Pull the armed commit event forward to absolute time *at*.
+
+        Used by barrier piggybacking when a sync is already on the disk:
+        the dirty tail commits the moment the disk frees up instead of
+        waiting out a fresh window.  Never pushes a commit later; returns
+        whether the commit actually moved.
+        """
+        if self._commit_event is not None:
+            if self._commit_event.time <= at + 1e-12:
+                return False
+            self._commit_event.cancel()
+            self._commit_event = None
+        self._arm_commit(max(0.0, at - self.loop.now))
+        return True
 
     def _start_sync(self, captures: List[Capture]) -> float:
         """Begin the batched write+fsync for *captures*; returns its cost.
@@ -157,7 +223,7 @@ class SiteStore:
         when :meth:`_finalize` runs, and they cover every mutation journaled
         up to now (``_inflight_through``).
         """
-        cost = self._write_cost(len(captures))
+        cost = self._write_cost(len(captures), self._captures_bytes(captures))
         self._inflight = captures
         self._inflight_through = self._mutation_counter
         self._inflight_done_at = self.loop.now + cost
@@ -186,7 +252,8 @@ class SiteStore:
         records = self.wal.commit(self._inflight, at=self.loop.now)
         self._inflight = None
         self._durable_through = self._inflight_through
-        self.stats.record_wal_commit(len(records))
+        self.stats.record_wal_commit(
+            len(records), sum(record.size_bytes for record in records))
         self._maybe_compact()
 
     def flush(self) -> float:
@@ -209,7 +276,8 @@ class SiteStore:
                 self._arm_commit(max(0.0, self._inflight_done_at - self.loop.now))
             wait = max(0.0, self._inflight_done_at - self.loop.now)
             if self._dirty:
-                wait += self._write_cost(len(self._dirty))
+                wait += self._write_cost(len(self._dirty),
+                                         self._dirty_bytes_estimate())
             return wait
         if self._commit_event is not None:
             self._commit_event.cancel()
@@ -232,6 +300,31 @@ class SiteStore:
         """True once every mutation journaled up to *mark* is durable."""
         return mark <= self._durable_through
 
+    def _piggyback_commit(self) -> None:
+        """A durability barrier is pending: ship the dirty batch now.
+
+        The barrier rides the group-commit mechanism instead of waiting for
+        it — further coalescing only adds latency to an agent that is
+        already blocked.  With the disk free, the armed window commit is
+        cancelled and the capture+sync starts immediately; with a sync
+        already in flight, the dirty tail is queued to commit the moment
+        the disk frees up (one sync at a time, never clobbered).
+        """
+        if not self._dirty:
+            return
+        if self._inflight is not None:
+            # Counted only when the tail commit genuinely moved forward —
+            # a commit already due at (or before) the disk's completion
+            # was not accelerated by this barrier.
+            if self._rearm_commit(self._inflight_done_at):
+                self.stats.record_barrier_piggyback()
+            return
+        if self._commit_event is not None:
+            self._commit_event.cancel()
+            self._commit_event = None
+        self.stats.record_barrier_piggyback()
+        self._start_sync(self._capture_dirty())
+
     def barrier(self, mark: Optional[int] = None) -> float:
         """Simulated seconds to sleep before state up to *mark* is durable.
 
@@ -248,6 +341,12 @@ class SiteStore:
         covering *mark* has fired, the next estimate is the exact time left
         on its write+fsync.  With no *mark*, everything pending right now
         is awaited.  Flush-on-demand policies start the flush themselves.
+
+        Under ``wal-group-commit`` with the governor's piggybacking on
+        (the default), a barrier that would otherwise sit out the commit
+        window triggers the commit immediately — the wait collapses to the
+        batched write+fsync, which is the checkpoint-latency win the E13
+        experiment measures.
         """
         if mark is None:
             mark = self._mutation_counter
@@ -258,14 +357,19 @@ class SiteStore:
         if not self.policy.group_commit:
             # The mark is still sitting in the dirty set: flush it.
             return self.flush()
-        if self._dirty:  # defensive: dirty state must always have a commit armed
+        if self.governor.piggyback:
+            self._piggyback_commit()
+            if self._inflight is not None and mark <= self._inflight_through:
+                return max(0.0, self._inflight_done_at - self.loop.now)
+        elif self._dirty:  # defensive: dirty state must always have a commit armed
             self._arm_commit(self.costs.commit_window)
         candidates = []
         if self._inflight is not None:
             candidates.append(self._inflight_done_at)
         if self._commit_event is not None:
             candidates.append(self._commit_event.time
-                              + self._write_cost(max(1, len(self._dirty))))
+                              + self._write_cost(max(1, len(self._dirty)),
+                                                 self._dirty_bytes_estimate()))
         if not candidates:
             return 0.0
         return max(0.0, max(candidates) - self.loop.now)

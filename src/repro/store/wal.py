@@ -7,8 +7,13 @@ the last record for a folder wins — which is exactly the property the
 group commit relies on: every mutation between two commits collapses into
 one record per dirty folder.
 
-Sizes are tracked so the cost model can charge bytes-proportional work,
-and :meth:`WriteAheadLog.fold_into` lets the snapshot layer compact old
+Sizes are tracked because the store's cost model charges
+bytes-proportional work: a commit of N records carrying B payload bytes is
+priced ``write_latency * N + write_byte_latency * B + fsync_latency``
+through the shared :class:`~repro.flow.CostModel` (see
+:meth:`~repro.store.policy.StoreCosts.wal_cost_model`), so
+:attr:`WalRecord.size_bytes` is load-bearing, not just telemetry.
+:meth:`WriteAheadLog.fold_into` lets the snapshot layer compact old
 records into base images (see :mod:`repro.store.snapshot`).
 """
 
@@ -90,6 +95,11 @@ class WriteAheadLog:
     def records(self) -> List[WalRecord]:
         """The committed redo records not yet folded into a snapshot."""
         return self._records
+
+    @property
+    def bytes_pending(self) -> int:
+        """Payload bytes across the records awaiting compaction."""
+        return sum(record.size_bytes for record in self._records)
 
     def __len__(self) -> int:
         return len(self._records)

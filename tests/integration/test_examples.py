@@ -23,6 +23,7 @@ EXAMPLES = [
     "fault_tolerant_itinerary.py",
     "agent_mail.py",
     "runaway_containment.py",
+    "adaptive_traffic.py",
 ]
 
 

@@ -501,6 +501,202 @@ class TestCrashDuringArmedFlush:
         kernel.heal_partition()
 
 
+class TestAdaptiveWindows:
+    """Per-destination adaptive windows (repro.flow behind the fabric)."""
+
+    def test_hot_pair_tightens_its_window_below_the_base(self):
+        kernel = make_kernel(window=0.5, flow_window_min=0.01,
+                             flow_window_max=1.0, flow_target_batch=4)
+        install_receiver(kernel)
+        transmit_spaced(kernel, 20, gap=0.005)
+        kernel.run()
+        assert kernel.arrivals == 20
+        telemetry = kernel.transport.flow_telemetry()
+        info = telemetry[("a", "b")]
+        # ~150+ msg/s stream: the window collapses well below the 0.5 seed.
+        assert info["window"] < 0.1
+        assert info["message_rate"] > 50
+        # ...and the tight window produced several batches instead of one.
+        assert kernel.stats.batches > 2
+
+    def test_trickle_pair_widens_its_window_to_the_max(self):
+        kernel = make_kernel(window=0.05, flow_window_min=0.01,
+                             flow_window_max=2.0, flow_target_batch=4)
+        install_receiver(kernel)
+        transmit_spaced(kernel, 6, gap=0.4)
+        kernel.run()
+        assert kernel.arrivals == 6
+        info = kernel.transport.flow_telemetry()[("a", "b")]
+        # ~2.5 msg/s: the ideal window (target/rate ~ 1.6s) is far above
+        # the 0.05 s base the pair would otherwise run, within the cap.
+        assert 1.0 < info["window"] <= 2.0
+        # The wide window let spaced folders share wire messages where the
+        # 0.05 base window would have shipped every one alone.
+        assert kernel.stats.batches > 0
+        assert kernel.stats.messages_sent < 6
+
+    def test_window_tightened_below_elapsed_wait_ships_immediately(self):
+        # A pair that was idle long enough to look like a trickle gets a
+        # wide window; when a burst re-rates it mid-batch, the recomputed
+        # due time (first message + new tight window) may already be in
+        # the past — the batch must ship, not strand.
+        kernel = make_kernel(window=1.0, flow_window_min=0.01,
+                             flow_window_max=1.0, flow_target_batch=2)
+        install_receiver(kernel)
+        transmit_n(kernel, 8)
+        kernel.run()
+        assert kernel.arrivals == 8
+        assert kernel.transport.pending_outbox_messages() == 0
+
+    def test_per_destination_windows_are_independent(self):
+        kernel = make_kernel(window=0.2, flow_window_min=0.01,
+                             flow_window_max=1.0, flow_target_batch=4)
+        install_receiver(kernel, site="b")
+        install_receiver(kernel, site="c")
+
+        def sender(ctx, bc):
+            for index in range(30):
+                payload = Briefcase()
+                payload.set("X", index)
+                yield ctx.transmit("b", "receiver", payload,
+                                   kind=MessageKind.FOLDER_DELIVERY)
+                if index < 4:
+                    yield ctx.transmit("c", "receiver", payload,
+                                       kind=MessageKind.FOLDER_DELIVERY)
+                    yield ctx.sleep(0.3)    # c is a trickle, b stays hot
+            return "sent"
+
+        kernel.launch("a", sender, system=True)
+        kernel.run()
+        telemetry = kernel.transport.flow_telemetry()
+        assert telemetry[("a", "b")]["window"] < telemetry[("a", "c")]["window"]
+
+    def test_stats_publish_per_pair_flow_telemetry(self):
+        kernel = make_kernel(window=0.2, flow_window_min=0.01,
+                             flow_window_max=1.0)
+        install_receiver(kernel)
+        transmit_n(kernel, 4)
+        kernel.run()
+        snapshot = kernel.stats.snapshot()
+        assert snapshot["flow_pairs"] == 1
+        info = snapshot["flow_windows"]["a->b"]
+        assert {"window", "message_rate", "bytes_rate"} <= set(info)
+        # Fixed-window kernels publish nothing (the telemetry is adaptive).
+        fixed = make_kernel(window=0.2)
+        install_receiver(fixed)
+        transmit_n(fixed, 4)
+        fixed.run()
+        assert fixed.stats.snapshot()["flow_pairs"] == 0
+
+
+class TestAdaptiveReconfigureRaces:
+    """Resizing the adaptive bounds while outboxes are armed, and crash /
+    recovery mid-window: flow state must reset, with no stale flushes."""
+
+    def test_resizing_bounds_while_an_outbox_is_armed_reconciles_it(self):
+        kernel = make_kernel(window=5.0, flow_window_min=0.5,
+                             flow_window_max=10.0, flow_target_batch=50)
+        install_receiver(kernel)
+        transmit_n(kernel, 3)
+        kernel.run(until=0.01)
+        assert kernel.transport.pending_outbox_messages() == 3
+        # Tighten the band under the armed outbox: its recomputed due time
+        # (first + clamped window) is already past, so it ships at once.
+        kernel.transport.configure_batching(5.0, window_min=0.001,
+                                            window_max=0.005)
+        assert kernel.transport.pending_outbox_messages() == 0
+        assert kernel.stats.flush_causes["reconfigure"] == 1
+        kernel.run()
+        assert kernel.arrivals == 3
+        assert kernel.stats.messages_dropped == 0
+
+    def test_widening_bounds_mid_window_rearms_not_drops(self):
+        kernel = make_kernel(window=0.2, flow_window_min=0.1,
+                             flow_window_max=0.3)
+        install_receiver(kernel)
+        transmit_n(kernel, 2)
+        kernel.run(until=0.01)
+        kernel.transport.configure_batching(0.2, window_min=0.1,
+                                            window_max=5.0)
+        # Still pending (re-armed on the recomputed window), nothing lost.
+        kernel.run()
+        assert kernel.arrivals == 2
+        assert kernel.stats.messages_dropped == 0
+        assert kernel.stats.batches == 1
+
+    def test_destination_crash_mid_window_resets_flow_state(self):
+        kernel = make_kernel(window=0.5, flow_window_min=0.01,
+                             flow_window_max=1.0, flow_target_batch=4)
+        install_receiver(kernel)
+        transmit_spaced(kernel, 20, gap=0.005)
+        kernel.run(until=0.04)                  # hot: tight window learned
+        assert ("a", "b") in kernel.transport.flow_telemetry()
+        assert kernel.transport.pending_outbox_messages() > 0
+        kernel.crash_site("b")
+        # Flow state and telemetry for the pair are gone with the crash...
+        assert ("a", "b") not in kernel.transport.flow_telemetry()
+        assert ("a", "b") not in kernel.stats.flow_windows
+        # ...and so is the armed outbox (no stale flush event fires later).
+        assert kernel.transport.pending_outbox_messages() == 0
+        arrivals_at_crash = kernel.arrivals
+        batches_at_crash = kernel.stats.batches
+        kernel.run(until=2.0)
+        # The sender's later posts are refused at post time (destination
+        # down): nothing new arrives, no stale flush ships a batch, and no
+        # flow state is re-learned for the dead pair.
+        assert kernel.arrivals == arrivals_at_crash
+        assert kernel.stats.batches == batches_at_crash
+        assert ("a", "b") not in kernel.transport.flow_telemetry()
+
+    def test_recovered_destination_starts_from_the_seed_window(self):
+        kernel = make_kernel(window=0.5, flow_window_min=0.01,
+                             flow_window_max=1.0, flow_target_batch=4)
+        install_receiver(kernel)
+        transmit_spaced(kernel, 10, gap=0.005)
+        kernel.run(until=0.03)
+        kernel.crash_site("b")
+        kernel.run(until=1.0)
+        kernel.recover_site("b")
+        kernel.run(until=1.1)
+        # Fresh traffic re-learns from scratch: the first post sees the
+        # seed window (clamped base), not the pre-crash hot estimate.
+        assert kernel.transport.flow.window_for(("a", "b")) == 0.5
+        transmit_n(kernel, 2, contact="receiver")
+        kernel.run()
+        assert kernel.transport.pending_outbox_messages() == 0
+        info = kernel.transport.flow_telemetry().get(("a", "b"))
+        assert info is not None and info["messages"] == 2
+
+    def test_fixed_mode_does_no_flow_estimation_on_the_hot_path(self):
+        # With adaptive windows off, post() must not build per-pair EWMA
+        # state that nothing will ever read.
+        kernel = make_kernel(window=0.1)
+        install_receiver(kernel)
+        transmit_n(kernel, 5)
+        kernel.run()
+        assert kernel.arrivals == 5
+        assert kernel.transport.flow_telemetry() == {}
+        assert kernel.stats.flow_windows == {}
+
+    def test_flow_knob_validation_at_the_transport(self):
+        from repro.core.errors import TransportError
+        kernel = make_kernel(window=0.0)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, window_min=-0.1)
+        with pytest.raises(TransportError):
+            # A floor with no ceiling would be silently inert.
+            kernel.transport.configure_batching(0.1, window_min=0.5)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, window_max=-1.0)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, window_min=2.0,
+                                                window_max=1.0)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, target_batch=0)
+        with pytest.raises(TransportError):
+            kernel.transport.configure_batching(0.1, ewma_alpha=1.5)
+
+
 class TestConfigureBatching:
     def test_negative_window_rejected(self):
         kernel = make_kernel(window=0.0)

@@ -537,3 +537,58 @@ class TestLateSiteRegistration:
         # With a window they are accepted.
         Kernel(lan(["a", "b"]), config=KernelConfig(
             delivery_batch_window=0.1, delivery_batch_max_messages=4))
+
+    def test_flow_knobs_without_a_window_are_rejected(self):
+        # Same guard as the thresholds: flow bounds size per-pair windows
+        # of a fabric that must be on for any outbox to exist.
+        from repro.net import lan
+        for knobs in ({"flow_window_min": 0.05},
+                      {"flow_window_max": 1.0},
+                      {"flow_window_min": 0.05, "flow_window_max": 1.0}):
+            with pytest.raises(KernelError):
+                Kernel(lan(["a", "b"]), config=KernelConfig(**knobs))
+        # With the fabric on they are accepted and reach the transport.
+        kernel = Kernel(lan(["a", "b"]), config=KernelConfig(
+            delivery_batch_window=0.1, flow_window_min=0.05,
+            flow_window_max=1.0, flow_target_batch=4, flow_ewma_alpha=0.5))
+        assert kernel.transport.flow.adaptive
+        assert kernel.transport.flow.window_min == 0.05
+        assert kernel.transport.flow.window_max == 1.0
+        assert kernel.transport.flow.target_batch == 4
+        assert kernel.transport.flow.alpha == 0.5
+
+    def test_inverted_flow_window_bounds_are_rejected(self):
+        from repro.net import lan
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), config=KernelConfig(
+                delivery_batch_window=0.1, flow_window_min=2.0,
+                flow_window_max=1.0))
+
+    def test_flow_floor_without_a_ceiling_is_rejected(self):
+        # flow_window_min alone is silently inert (adaptive mode keys on
+        # flow_window_max > 0): refuse it instead of ignoring it.
+        from repro.net import lan
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), config=KernelConfig(
+                delivery_batch_window=0.1, flow_window_min=0.05))
+
+    def test_flow_tuning_typos_are_caught_even_with_the_fabric_off(self):
+        # target_batch/ewma_alpha are validated unconditionally — a typo
+        # must not lie dormant until someone later enables the window.
+        from repro.net import lan
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), config=KernelConfig(flow_target_batch=0))
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), config=KernelConfig(flow_ewma_alpha=7.0))
+
+    def test_negative_flow_bounds_are_rejected(self):
+        # Negative knobs reach configure_batching and raise there, exactly
+        # like the negative threshold knobs.
+        from repro.core.errors import TransportError
+        from repro.net import lan
+        with pytest.raises(TransportError):
+            Kernel(lan(["a", "b"]), config=KernelConfig(
+                delivery_batch_window=0.1, flow_window_min=-0.5))
+        with pytest.raises(TransportError):
+            Kernel(lan(["a", "b"]), config=KernelConfig(
+                delivery_batch_window=0.1, flow_window_max=-1.0))

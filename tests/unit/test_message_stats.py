@@ -100,14 +100,52 @@ class TestNetworkStats:
         stats.record_send("a", "b", MessageKind.DATA, 10)
         snapshot = stats.snapshot()
         for key in ("messages_sent", "bytes_sent", "migrations", "delivery_ratio",
-                    "mean_latency"):
+                    "mean_latency", "flush_causes", "flow_pairs", "flow_windows",
+                    "wal_bytes_committed", "wal_barrier_piggybacks"):
             assert key in snapshot
+
+    def test_snapshot_exposes_the_flush_cause_breakdown(self):
+        # Benchmarks used to reach into the private defaultdict; the
+        # snapshot carries a plain copy now.
+        stats = NetworkStats()
+        stats.record_flush("window")
+        stats.record_flush("size")
+        stats.record_flush("size")
+        assert stats.snapshot()["flush_causes"] == {"window": 1, "size": 2}
+
+    def test_flow_telemetry_recording_and_reset(self):
+        stats = NetworkStats()
+        stats.record_flow("a", "b", window=0.05, message_rate=120.0,
+                          bytes_rate=24_000.0)
+        stats.record_flow("c", "b", window=0.8, message_rate=2.0,
+                          bytes_rate=400.0)
+        snapshot = stats.snapshot()
+        assert snapshot["flow_pairs"] == 2
+        assert snapshot["flow_windows"]["a->b"]["window"] == 0.05
+        assert stats.flow_snapshot()["c->b"]["message_rate"] == 2.0
+        # A crash of b drops every pair touching it.
+        stats.reset_flow_for_site("b")
+        assert stats.snapshot()["flow_pairs"] == 0
+
+    def test_wal_commit_bytes_and_piggyback_counters(self):
+        stats = NetworkStats()
+        stats.record_wal_commit(3, size_bytes=4_096)
+        stats.record_wal_commit(1)              # bytes default to 0
+        stats.record_barrier_piggyback()
+        assert stats.wal_commits == 2
+        assert stats.wal_records_committed == 4
+        assert stats.wal_bytes_committed == 4_096
+        assert stats.wal_barrier_piggybacks == 1
 
     def test_reset_zeroes_everything(self):
         stats = NetworkStats()
         stats.record_send("a", "b", MessageKind.DATA, 10)
         stats.record_migration(10)
+        stats.record_flow("a", "b", window=0.1, message_rate=1.0, bytes_rate=1.0)
+        stats.record_barrier_piggyback()
         stats.reset()
         assert stats.messages_sent == 0
         assert stats.migrations == 0
         assert stats.per_link == {}
+        assert stats.flow_windows == {}
+        assert stats.wal_barrier_piggybacks == 0

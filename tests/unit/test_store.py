@@ -278,13 +278,31 @@ class TestFlushOnDemand:
 
 
 class TestBarrier:
-    def test_barrier_reports_time_until_group_commit_completes(self):
-        kernel = make_kernel(store_commit_window=0.5, store_fsync_latency=0.1)
+    def test_barrier_piggybacks_on_the_group_commit_by_default(self):
+        # A pending barrier must not sit out the commit window: the commit
+        # fires immediately and the wait collapses to write + fsync.
+        kernel = make_kernel(store_commit_window=0.5, store_fsync_latency=0.1,
+                             store_write_byte_latency=0.0)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", 1)
+        barrier = kernel.store("a").barrier()
+        assert barrier == pytest.approx(0.0002 + 0.1)
+        assert kernel.stats.wal_barrier_piggybacks == 1
+        kernel.run(until=barrier + 0.01)
+        assert kernel.store("a").barrier() == 0.0
+        assert kernel.stats.wal_commits == 1
+        assert "f" in kernel.store("a").durable_state()["m"]
+
+    def test_barrier_without_piggyback_waits_out_the_commit_window(self):
+        kernel = make_kernel(store_commit_window=0.5, store_fsync_latency=0.1,
+                             store_write_byte_latency=0.0,
+                             store_barrier_piggyback=False)
         kernel.make_durable("m", sites=["a"])
         kernel.site("a").cabinet("m").put("f", 1)
         barrier = kernel.store("a").barrier()
         # window + one redo record's write + fsync, measured from now (t=0).
         assert barrier == pytest.approx(0.5 + 0.0002 + 0.1)
+        assert kernel.stats.wal_barrier_piggybacks == 0
         kernel.run(until=barrier + 0.01)
         assert kernel.store("a").barrier() == 0.0
 
@@ -316,8 +334,11 @@ class TestBarrierMarks:
         # The batch covering the caller's mark can grow after the barrier
         # is priced, pushing its fsync later than the estimate; the mark
         # API must keep reporting a positive wait until it truly committed.
+        # Piggybacking is off: this pins the window-wait estimation path
+        # (with it on, the first barrier call would commit immediately).
         kernel = make_kernel(store_commit_window=0.5, store_write_latency=0.1,
-                             store_fsync_latency=0.1)
+                             store_fsync_latency=0.1,
+                             store_barrier_piggyback=False)
         kernel.make_durable("m", sites=["a"])
         cabinet = kernel.site("a").cabinet("m")
         cabinet.put("mine", 1)
@@ -357,6 +378,65 @@ class TestBarrierMarks:
         kernel.crash_site("a")
         assert kernel.stats.state_lost_records == 1
         assert kernel.stats.state_lost_folders == 1   # the ledger agrees
+
+
+class TestBytesProportionalCosts:
+    def test_flush_cost_scales_with_payload_bytes(self):
+        # Identical record counts, 100x the payload: the priced flush must
+        # cost measurably more (write_byte_latency is the per-byte term).
+        small = make_kernel("flush-on-demand", store_write_byte_latency=1e-6)
+        large = make_kernel("flush-on-demand", store_write_byte_latency=1e-6)
+        for kernel, payload in ((small, 100), (large, 10_000)):
+            kernel.make_durable("m", sites=["a"])
+            kernel.site("a").cabinet("m").put("f", b"\0" * payload)
+        small_cost = small.store("a").flush()
+        large_cost = large.store("a").flush()
+        assert large_cost > small_cost
+        # The difference is the byte term exactly: ~9900 extra bytes at
+        # 1e-6 s/B (plus constant serialization overhead on both sides).
+        assert large_cost - small_cost == pytest.approx(9_900 * 1e-6, rel=0.05)
+
+    def test_byte_term_zeroed_restores_flat_per_record_pricing(self):
+        kernel = make_kernel("flush-on-demand", store_write_byte_latency=0.0,
+                             store_write_latency=0.0002,
+                             store_fsync_latency=0.004)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", b"\0" * 50_000)
+        assert kernel.store("a").flush() == pytest.approx(0.0002 + 0.004)
+
+    def test_committed_bytes_are_ledgered(self):
+        kernel = make_kernel(store_commit_window=0.05)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", b"\0" * 1_000)
+        kernel.run(until=1.0)
+        assert kernel.stats.wal_bytes_committed >= 1_000
+        assert kernel.store_summary()["wal_bytes_committed"] >= 1_000
+        # The WAL itself can report its pending payload for compaction math.
+        assert kernel.store("a").wal.bytes_pending >= 1_000
+
+
+class TestStoreSummaryTelemetry:
+    def test_piggybacks_surface_in_the_store_summary(self):
+        kernel = make_kernel(store_commit_window=0.5)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", 1)
+        kernel.store("a").barrier()
+        summary = kernel.store_summary()
+        assert summary["wal_barrier_piggybacks"] == 1
+        assert kernel.stats.snapshot()["wal_barrier_piggybacks"] == 1
+
+    def test_zero_window_with_piggyback_off_counts_no_piggybacks(self):
+        # Regression: the piggyback guard must test the governor's flag,
+        # not the returned delay — a zero commit window with piggybacking
+        # disabled used to run the piggyback path and count it.
+        kernel = make_kernel(store_commit_window=0.0,
+                             store_barrier_piggyback=False)
+        kernel.make_durable("m", sites=["a"])
+        kernel.site("a").cabinet("m").put("f", 1)
+        kernel.store("a").barrier()
+        assert kernel.stats.wal_barrier_piggybacks == 0
+        kernel.run(until=1.0)
+        assert "f" in kernel.store("a").durable_state()["m"]
 
 
 class TestSnapshotCompaction:
