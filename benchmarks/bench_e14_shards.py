@@ -1,0 +1,129 @@
+"""E14 — Sharded multi-kernel simulation (repro.shard).
+
+The paper's TACOMA ran its agent system across many independent Unix
+hosts; ``KernelConfig(shards=N)`` reproduces that structure inside the
+simulator: sites partition across N shard engines, each with its own
+event loop and transport, advanced in conservative clock-sync rounds with
+cross-shard folders handed over by the mail router.  Two claims:
+
+* **Scaling** — on a 200-site churn workload with cross-shard courier
+  traffic, aggregate event throughput under the parallel-host model
+  (total events over the *slowest shard's* busy wall-time, coordination
+  overhead excluded and reported separately) grows near-linearly, and is
+  at least 3x at 8 shards vs 1.
+* **Equivalence** — sharding is a performance structure, not a semantic
+  one: ``shards=1`` matches the unsharded kernel's counters exactly, and
+  every shard count completes the same agents with identical counters
+  and zero late arrivals (the sync is purely conservative by default).
+
+Run with ``--smoke`` for the CI sanity pass (tiny population, the 3x
+scaling floor is not asserted — wall-clock ratios are noise at that size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.bench import Report
+from repro.bench.workloads import ShardedChurnParams, run_sharded_churn
+
+#: sharded arms of the sweep (the unsharded baseline runs separately)
+SHARD_COUNTS = (1, 2, 4, 8)
+#: full-mode scaling floor: 8 shards must deliver at least this speedup
+SCALING_FLOOR = 3.0
+
+FULL = dict(n_sites=200, n_agents=2_000, wave_size=500)
+SMOKE = dict(n_sites=40, n_agents=200, wave_size=50)
+
+
+def _population(smoke: bool) -> Dict[str, int]:
+    return dict(SMOKE if smoke else FULL)
+
+
+def _shard_counts(smoke: bool):
+    return (1, 4) if smoke else SHARD_COUNTS
+
+
+@pytest.fixture(scope="module")
+def shard_sweep(smoke):
+    """Unsharded baseline plus one run per shard count, same seed/workload."""
+    base = _population(smoke)
+    arms: Dict[Optional[int], object] = {
+        None: run_sharded_churn(ShardedChurnParams(**base))}
+    for shards in _shard_counts(smoke):
+        arms[shards] = run_sharded_churn(
+            ShardedChurnParams(shards=shards, **base))
+    return arms
+
+
+def test_e14_sharded_scaling_and_equivalence(shard_sweep, smoke, emit_report):
+    population = _population(smoke)
+    baseline = shard_sweep[1]
+    report = Report("E14", "sharded multi-kernel scaling "
+                           f"({population['n_sites']} sites, "
+                           f"{population['n_agents']} couriers in waves of "
+                           f"{population['wave_size']}, conservative clock "
+                           "sync, throughput = events / slowest shard's busy "
+                           "wall-time)")
+    table = report.table(
+        "churn with cross-shard couriers: throughput vs shard count",
+        ["shards", "completed", "events", "handoffs", "late", "rounds",
+         "max busy s", "total busy s", "sync s", "events/busy s", "speedup"])
+    for shards, outcome in sorted(shard_sweep.items(),
+                                  key=lambda item: (item[0] is not None,
+                                                    item[0] or 0)):
+        table.add_row("unsharded" if shards is None else shards,
+                      f"{outcome.agents_completed}/{outcome.agents_launched}",
+                      outcome.events, outcome.handoffs, outcome.late_arrivals,
+                      outcome.rounds, round(outcome.busy_seconds, 4),
+                      round(outcome.total_busy_seconds, 4),
+                      round(outcome.sync_seconds, 4),
+                      round(outcome.throughput),
+                      round(outcome.throughput / baseline.throughput, 2))
+    table.add_note("shards model parallel hosts: the busy denominator is the "
+                   "slowest shard's event-execution wall-time; clock-sync "
+                   "coordination is the separate 'sync s' column")
+    table.add_note("identical counters in every row: sharding changes where "
+                   "events run, never what happens")
+    emit_report(report)
+
+    speedup = shard_sweep[max(_shard_counts(smoke))].throughput \
+        / baseline.throughput
+    print(f"E14-SUMMARY | sites={population['n_sites']} "
+          f"agents={population['n_agents']} | "
+          f"speedup@{max(_shard_counts(smoke))}shards={speedup:.2f}x | "
+          f"late_arrivals={sum(o.late_arrivals for o in shard_sweep.values())} "
+          f"| counters_equal="
+          f"{all(o.counters == baseline.counters for o in shard_sweep.values())}")
+
+    unsharded = shard_sweep[None]
+    # shards=1 IS the classic kernel: counters match the unsharded baseline
+    # exactly, bit for bit.
+    assert baseline.counters == unsharded.counters
+    assert baseline.events == unsharded.events
+    assert baseline.sim_seconds == unsharded.sim_seconds
+    for shards, outcome in shard_sweep.items():
+        # Every arm finishes everything it launched, drops nothing, and —
+        # with the default purely-conservative sync — never clamps an
+        # arrival into a shard's past.
+        assert outcome.agents_completed == outcome.agents_launched, shards
+        assert outcome.late_arrivals == 0, shards
+        # Semantics are shard-invariant: same ledger and traffic counters.
+        assert outcome.counters == baseline.counters, shards
+    for shards in _shard_counts(smoke):
+        if shards > 1:
+            # The workload genuinely crosses shard boundaries.
+            assert shard_sweep[shards].handoffs > 0, shards
+    if not smoke:
+        assert speedup >= SCALING_FLOOR, (
+            f"8-shard speedup {speedup:.2f}x under the {SCALING_FLOOR}x floor")
+
+
+def test_e14_timed_sharded_churn(benchmark, smoke):
+    """pytest-benchmark guard on the sharded pipeline's simulation cost."""
+    base = _population(True)  # always the small population: this is a timer
+    outcome = benchmark(lambda: run_sharded_churn(
+        ShardedChurnParams(shards=4, **base)))
+    assert outcome.agents_completed == outcome.agents_launched

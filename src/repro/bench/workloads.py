@@ -23,8 +23,9 @@ Two more back the delivery-fabric / lifecycle-ledger benchmark (E10):
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.briefcase import Briefcase
 from repro.core.context import AgentContext
@@ -42,9 +43,12 @@ __all__ = [
     "AgentChurnParams", "AgentChurnResult", "execute_agent_churn", "run_agent_churn",
     "CourierFanInParams", "CourierFanInResult", "run_courier_fan_in",
     "MixedTrafficParams", "MixedTrafficResult", "run_mixed_traffic",
+    "ShardedChurnParams", "ShardedChurnResult", "execute_sharded_churn",
+    "run_sharded_churn",
     "DATA_CABINET", "RECORDS_FOLDER", "GATHER_AGENT_NAME", "POPULATION_WORKER_NAME",
     "CHURN_WORKER_NAME", "FANIN_COLLECTOR_NAME", "FANIN_SENDER_NAME",
     "MIXED_COLLECTOR_NAME", "MIXED_SENDER_NAME",
+    "SHARD_COURIER_NAME", "SHARD_SINK_NAME", "SHARD_MAIL_CABINET",
 ]
 
 #: cabinet each data site stores its records in
@@ -838,3 +842,155 @@ def run_mixed_traffic(params: MixedTrafficParams) -> MixedTrafficResult:
         sim_seconds=kernel.now,
         flow_windows=kernel.stats.flow_snapshot(),
     )
+
+
+# ---------------------------------------------------------------------------
+# sharded churn workload — E14 (multi-kernel scaling)
+# ---------------------------------------------------------------------------
+
+#: registered name of the churn-plus-courier worker
+SHARD_COURIER_NAME = "shard_courier"
+#: name the report sink contact runs under at every site
+SHARD_SINK_NAME = "shard_sink"
+#: cabinet the sink files received reports into
+SHARD_MAIL_CABINET = "shardmail"
+
+
+@dataclass
+class ShardedChurnParams:
+    """The E14 scaling scenario: site-spanning churn on a large LAN.
+
+    Waves of short-lived workers each do local work and then courier one
+    report folder to a peer site half-way around the site list — under
+    CRC-32 placement that peer usually lives on another shard, so the
+    workload exercises the cross-shard handoff path, not just independent
+    per-shard progress.  ``shards=None`` leaves :class:`KernelConfig` at
+    its defaults (the honest unsharded baseline); any integer sets
+    ``KernelConfig(shards=N)``.
+    """
+
+    n_sites: int = 200
+    n_agents: int = 2_000
+    wave_size: int = 500
+    work_seconds: float = 0.01
+    payload_bytes: int = 128
+    shards: Optional[int] = None
+    transport: str = "tcp"
+    seed: int = 41
+
+    def site_names(self) -> List[str]:
+        return [f"s{i:03d}" for i in range(max(1, self.n_sites))]
+
+
+@dataclass
+class ShardedChurnResult:
+    """Outcome plus the parallel-host throughput accounting of one run."""
+
+    shards: Optional[int]
+    agents_launched: int
+    agents_completed: int
+    events: int
+    sim_seconds: float
+    #: the scaling denominator: slowest shard's busy wall-time (classic
+    #: kernels: the whole run's wall-time — one host does everything)
+    busy_seconds: float
+    total_busy_seconds: float
+    sync_seconds: float
+    rounds: int
+    handoffs: int
+    late_arrivals: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate events per busy second under the parallel-host model."""
+        return self.events / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+
+def _shard_sink(ctx: AgentContext, briefcase: Briefcase):
+    """Per-site contact: file the couriered report into the mail cabinet."""
+    payload_name = briefcase.get("PAYLOAD_NAME")
+    elements = (briefcase.folder(payload_name).elements()
+                if payload_name and briefcase.has(payload_name) else [])
+    ctx.cabinet(SHARD_MAIL_CABINET).put("received", {
+        "from": briefcase.get("SENDER_SITE"),
+        "reports": len(elements),
+        "at": ctx.now,
+    })
+    yield ctx.sleep(0)
+    return len(elements)
+
+
+def _shard_courier(ctx: AgentContext, briefcase: Briefcase):
+    """One unit of churn: work locally, then courier a report to the peer."""
+    yield ctx.sleep(float(briefcase.get("WORK", 0.01)))
+    folder = Folder("REPORT", [{
+        "from": ctx.site_name,
+        "payload": b"\0" * int(briefcase.get("BYTES", 0)),
+    }])
+    yield ctx.send_folder(folder, briefcase.get("PEER"), SHARD_SINK_NAME)
+    return ctx.site_name
+
+
+register_behaviour(SHARD_COURIER_NAME, _shard_courier, replace=True)
+
+
+def execute_sharded_churn(params: ShardedChurnParams):
+    """Run the sharded churn scenario; returns ``(kernel, result)``."""
+    sites = params.site_names()
+    overrides = {} if params.shards is None else {"shards": params.shards}
+    kernel = Kernel(lan(sites), transport=params.transport,
+                    config=KernelConfig(rng_seed=params.seed, **overrides))
+    kernel.install_agent(None, SHARD_SINK_NAME, _shard_sink)
+    offset = max(1, len(sites) // 2 + 1)
+    launched = 0
+    events = 0
+    wall = 0.0
+    while launched < params.n_agents:
+        wave = min(params.wave_size, params.n_agents - launched)
+        requests = []
+        for index in range(wave):
+            slot = launched + index
+            briefcase = Briefcase()
+            briefcase.set("WORK", params.work_seconds)
+            briefcase.set("PEER", sites[(slot + offset) % len(sites)])
+            briefcase.set("BYTES", params.payload_bytes)
+            requests.append((sites[slot % len(sites)], SHARD_COURIER_NAME,
+                             briefcase))
+        kernel.launch_many(requests)
+        launched += wave
+        start = time.perf_counter()
+        events += kernel.run()  # drain the wave
+        wall += time.perf_counter() - start
+    shard_set = kernel.shard_set
+    if shard_set is not None:
+        summary = shard_set.busy_summary()
+        busy = summary["max_busy"]
+        total_busy = summary["total_busy"]
+        sync_seconds = summary["sync_seconds"]
+        rounds = shard_set.rounds
+    else:
+        busy = total_busy = wall
+        sync_seconds = 0.0
+        rounds = 0
+    snapshot = kernel.stats.snapshot()
+    result = ShardedChurnResult(
+        shards=params.shards,
+        agents_launched=kernel.launched,
+        agents_completed=kernel.completed,
+        events=events,
+        sim_seconds=kernel.now,
+        busy_seconds=busy,
+        total_busy_seconds=total_busy,
+        sync_seconds=sync_seconds,
+        rounds=rounds,
+        handoffs=snapshot["shard_handoffs"],
+        late_arrivals=snapshot["shard_late_arrivals"],
+        counters=kernel.counters(),
+    )
+    return kernel, result
+
+
+def run_sharded_churn(params: ShardedChurnParams) -> ShardedChurnResult:
+    """Run the sharded churn scenario for *params*."""
+    return execute_sharded_churn(params)[1]

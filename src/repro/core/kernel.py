@@ -21,6 +21,7 @@ The kernel ties everything together:
 from __future__ import annotations
 
 import random
+from collections import ChainMap
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
@@ -33,7 +34,7 @@ from repro.core.codec import (code_element_copy, code_element_of, pack_briefcase
 from repro.core.context import AgentContext
 from repro.core.errors import (KernelError, MeetError, SyscallError, UnknownAgentError,
                                UnknownSiteError)
-from repro.core.lifecycle import AgentTable, RetentionPolicy
+from repro.core.lifecycle import AgentTable, MergedAgentTable, RetentionPolicy
 from repro.core.registry import BehaviourRegistry, default_registry
 from repro.core.site import Site
 from repro.core.syscalls import EndMeet, Meet, MeetResult, Sleep, Spawn, Syscall, Terminate, Transmit
@@ -42,7 +43,7 @@ from repro.net.horus import HorusTransport
 from repro.net.message import Message, MessageKind
 from repro.net.rsh import RshTransport
 from repro.net.simclock import EventLoop
-from repro.net.stats import NetworkStats
+from repro.net.stats import NetworkStats, StatsView
 from repro.net.tcp import TcpTransport
 from repro.net.topology import Topology, lan
 from repro.net.transport import Transport
@@ -133,6 +134,14 @@ class KernelConfig:
     #: committed redo records tolerated before compaction folds them into
     #: the base snapshot images
     store_snapshot_threshold: int = 256
+    #: number of shards the simulation is partitioned into.  1 (default)
+    #: runs the classic single event loop; with N > 1 the kernel becomes a
+    #: facade over N shard engines advanced under conservative clock sync
+    #: (see :mod:`repro.shard`)
+    shards: int = 1
+    #: explicit site -> shard id placement overrides; sites not listed are
+    #: placed by a stable CRC-32 hash of their name
+    shard_placement: Optional[Dict[str, int]] = None
 
 
 class Kernel:
@@ -164,14 +173,33 @@ class Kernel:
                  config: Optional[KernelConfig] = None,
                  install_system_agents: bool = True,
                  registry: Optional[BehaviourRegistry] = None,
-                 retention: Union[str, RetentionPolicy, None] = None):
+                 retention: Union[str, RetentionPolicy, None] = None,
+                 _shard_ctx=None):
         self.config = config or KernelConfig()
+        if self.config.shards < 1:
+            raise KernelError(f"shards must be >= 1, got {self.config.shards}")
+        #: the ShardSet when this kernel is a sharded facade; None for the
+        #: classic single-loop kernel and for the per-shard engines
+        self._shards = None
+        #: this engine's ShardContext when it is one shard of a facade
+        self._shard_ctx = _shard_ctx
+        if self.config.shards > 1 and _shard_ctx is None:
+            self._init_facade(topology, transport, install_system_agents,
+                              registry, retention)
+            return
         self.topology = topology if topology is not None else lan(["alpha", "beta", "gamma"])
         self.loop = EventLoop()
         self.stats = NetworkStats()
         self.registry = registry or default_registry()
-        self.rng = random.Random(self.config.rng_seed)
+        # Engines offset the seed by their shard id so shards do not mirror
+        # each other's random streams; shard 0 (and the classic kernel)
+        # keeps the configured seed exactly.
+        self.rng = random.Random(self.config.rng_seed
+                                 + (_shard_ctx.shard_id if _shard_ctx else 0))
         self.transport = self._make_transport(transport)
+        if _shard_ctx is not None:
+            self.transport.boundary = _shard_ctx.router.boundary_for(
+                _shard_ctx.shard_id)
         if self.config.delivery_batch_window == 0 and (
                 self.config.delivery_batch_max_messages > 0
                 or self.config.delivery_batch_max_bytes > 0
@@ -241,6 +269,8 @@ class Kernel:
         #: per-site durable stores (empty when the policy is "none")
         self.stores: Dict[str, SiteStore] = {}
         for name in self.topology.sites():
+            if _shard_ctx is not None and name not in _shard_ctx.owned:
+                continue  # another shard hosts this site
             site = Site(name)
             self.sites[name] = site
             self.transport.register_endpoint(name, self._make_site_handler(name))
@@ -278,6 +308,93 @@ class Kernel:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+
+    def _init_facade(self, topology, transport, install_system_agents,
+                     registry, retention) -> None:
+        """Build a sharded kernel: N engine kernels behind this facade.
+
+        Sites are partitioned by the placement map, each shard gets its own
+        event loop / transport / ledgers, and the facade re-exposes the
+        classic surface through merged views (``stats``, ``table``,
+        ``sites``) plus method delegation — callers never see shards unless
+        they ask (``kernel.shard_set``).
+        """
+        from repro.shard import (ClockSync, MailRouter, Shard, ShardContext,
+                                 ShardSet, resolve_placement)
+        if isinstance(transport, Transport):
+            raise KernelError(
+                "a sharded kernel builds one transport per shard; pass a "
+                "transport name or class, not a constructed instance")
+        self.topology = topology if topology is not None else lan(["alpha", "beta", "gamma"])
+        self.registry = registry or default_registry()
+        placement = resolve_placement(self.topology.sites(), self.config.shards,
+                                      self.config.shard_placement)
+        router = MailRouter(placement)
+        engines: List[Kernel] = []
+        for shard_id in range(self.config.shards):
+            owned = frozenset(name for name, owner in placement.items()
+                              if owner == shard_id)
+            engines.append(Kernel(
+                topology=self.topology, transport=transport, config=self.config,
+                install_system_agents=install_system_agents,
+                registry=self.registry, retention=retention,
+                _shard_ctx=ShardContext(shard_id, owned, router)))
+        router.attach_engines(engines)
+        clock_sync = ClockSync(self.topology, router.placement,
+                               shards=self.config.shards,
+                               flow_bonus=self.config.flow_window_min)
+        router.clock_sync = clock_sync
+        self._engines = engines
+        self._router = router
+        self._clock_sync = clock_sync
+        self._shards = ShardSet([Shard(shard_id, engine)
+                                 for shard_id, engine in enumerate(engines)],
+                                clock_sync)
+
+        # The merged facade surface: one API over N shards.
+        self.stats = StatsView([engine.stats for engine in engines])
+        self.table = MergedAgentTable([engine.table for engine in engines])
+        self.sites = ChainMap(*[engine.sites for engine in engines])
+        self.stores = ChainMap(*[engine.stores for engine in engines])
+        self.durability = engines[0].durability
+        #: shard 0 anchors the pieces that need a single identity: failure
+        #: schedules ride its clock, log_event stamps it, and code that
+        #: introspects ``kernel.transport`` sees its transport
+        self.loop = engines[0].loop
+        self.transport = engines[0].transport
+        self.rng = engines[0].rng
+        self._install_system_agents = install_system_agents
+
+    def __getattr__(self, name: str):
+        # Only ever reached for attributes missing from __dict__ — i.e. on
+        # the sharded facade, which does not carry the engine-level ledger
+        # attributes.  Classic kernels and shard engines always have the
+        # real attributes, so this costs them nothing.
+        shards = self.__dict__.get("_shards")
+        if shards is not None:
+            engines = self.__dict__["_engines"]
+            if name in ("meets", "transmits", "arrivals", "undeliverable"):
+                return sum(getattr(engine, name) for engine in engines)
+            if name == "event_log":
+                merged = []
+                for engine in engines:
+                    merged.extend(engine.event_log)
+                merged.sort(key=lambda entry: entry[0])
+                return merged
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    @property
+    def shard_set(self):
+        """The ShardSet coordinator, or None on a classic kernel."""
+        return self._shards
+
+    def _engine_for(self, site_name: str) -> "Kernel":
+        """The shard engine owning *site_name* (facade only)."""
+        owner = self._router.placement.get(site_name)
+        if owner is None:
+            raise UnknownSiteError(f"unknown site {site_name!r}")
+        return self._engines[owner]
 
     def _make_transport(self, transport: Union[str, Transport, type]) -> Transport:
         if isinstance(transport, Transport):
@@ -326,8 +443,8 @@ class Kernel:
             raise UnknownSiteError(f"unknown site {name!r}") from None
 
     def site_names(self) -> List[str]:
-        """All site names."""
-        return list(self.sites)
+        """All site names (cluster-wide: shard engines see every site too)."""
+        return list(self.topology.sites())
 
     def add_site(self, name: str, links: Sequence = (),
                  install_system_agents: Optional[bool] = None) -> Site:
@@ -342,14 +459,18 @@ class Kernel:
         enumerated the sites at install time (e.g. the Horus guard group)
         can wire the newcomer in.
         """
+        if self._shards is not None:
+            return self._add_site_sharded(name, links, install_system_agents)
         if name in self.sites:
             raise KernelError(f"site {name!r} already exists")
         resolved_links = [link if isinstance(link, tuple) else (link, None)
                           for link in links]
         for peer, _ in resolved_links:
             # Validate before touching the topology: a bad entry must not
-            # leave a half-registered node behind.
-            if peer not in self.sites:
+            # leave a half-registered node behind.  Checked against the
+            # topology (not the local site dict) because a shard engine
+            # hosts only its own sites but may link to any site.
+            if not self.topology.has_site(peer):
                 raise UnknownSiteError(f"cannot link new site {name!r} to "
                                        f"unknown site {peer!r}")
         if not self.topology.has_site(name):
@@ -365,12 +486,47 @@ class Kernel:
             from repro.sysagents import install_standard_agents
             install_standard_agents(site)
         self.log_event("kernel", name, "site added")
+        if self._shard_ctx is not None:
+            # New sites (and their links) can shorten cross-shard paths, so
+            # the lookahead matrix must be rebuilt before the next horizon.
+            self._shard_ctx.router.clock_sync_invalidate()
         for hook in list(self._site_added_hooks):
             hook(name)
         return site
 
+    def _add_site_sharded(self, name: str, links: Sequence,
+                          install_system_agents: Optional[bool]) -> Site:
+        """Facade add_site: place the newcomer, delegate to its owner."""
+        if self._router.placement.get(name) is not None:
+            raise KernelError(f"site {name!r} already exists")
+        overrides = self.config.shard_placement or {}
+        owner = overrides.get(name)
+        if owner is None:
+            from repro.shard import default_shard_of
+            owner = default_shard_of(name, self.config.shards)
+        owner = int(owner)
+        if not 0 <= owner < self.config.shards:
+            raise KernelError(f"shard_placement[{name!r}] = {owner} is "
+                              f"outside [0, {self.config.shards})")
+        self._router.assign(name, owner)
+        try:
+            site = self._engines[owner].add_site(
+                name, links=links, install_system_agents=install_system_agents)
+        except Exception:
+            self._router.unassign(name)
+            raise
+        self._clock_sync.invalidate()
+        return site
+
     def on_site_added(self, callback: Callable[[str], None]) -> None:
         """Subscribe *callback* to late site registrations (see :meth:`add_site`)."""
+        if self._shards is not None:
+            # Each engine fires for the sites it hosts; subscribing the
+            # callback everywhere keeps the facade's contract: one call per
+            # added site, whichever shard it landed on.
+            for engine in self._engines:
+                engine.on_site_added(callback)
+            return
         self._site_added_hooks.append(callback)
 
     def on_site_recovered(self, callback: Callable[[str], None]) -> None:
@@ -381,6 +537,10 @@ class Kernel:
         instant-recovery path otherwise.  Checkpoint revival
         (:mod:`repro.fault.recovery`) is the canonical subscriber.
         """
+        if self._shards is not None:
+            for engine in self._engines:
+                engine.on_site_recovered(callback)
+            return
         self._site_recovered_hooks.append(callback)
 
     # ------------------------------------------------------------------
@@ -469,6 +629,10 @@ class Kernel:
         if delay < 0:
             raise KernelError(f"cannot schedule agent starts {delay} seconds "
                               f"in the past")
+        if self._shards is not None:
+            return self._engine_for(site_name).launch(
+                site_name, behaviour, briefcase, name=name, system=system,
+                delay=delay)
         site = self.site(site_name)
         resolved, resolved_system = self._resolve_behaviour(site, behaviour)
         spec = AgentSpec(
@@ -499,6 +663,8 @@ class Kernel:
         if delay < 0:
             raise KernelError(f"cannot schedule agent starts {delay} seconds "
                               f"in the past")
+        if self._shards is not None:
+            return self._launch_many_sharded(requests, delay)
         specs: List[tuple] = []
         for request in requests:
             site_name, behaviour = request[0], request[1]
@@ -522,6 +688,31 @@ class Kernel:
             [(delay, (lambda inst=instance: self._start(inst)),
               f"start-{instance.agent_id}") for instance in instances])
         return [instance.agent_id for instance in instances]
+
+    def _launch_many_sharded(self, requests: Sequence[tuple],
+                             delay: float) -> List[str]:
+        """Facade launch_many: one batched scheduler pass per owning shard.
+
+        Site names are validated up front; ids come back in request order.
+        Atomicity is per shard — a behaviour that fails to resolve aborts
+        its own shard's batch, but batches already handed to other shards
+        stay launched (cross-shard launches are independent by design).
+        """
+        requests = list(requests)
+        owners = [self._engine_for(request[0]) for request in requests]
+        grouped: Dict[int, List[int]] = {}
+        for index, engine in enumerate(owners):
+            grouped.setdefault(id(engine), []).append(index)
+        ids: List[Optional[str]] = [None] * len(requests)
+        for engine in self._engines:
+            indexes = grouped.get(id(engine))
+            if not indexes:
+                continue
+            batch_ids = engine.launch_many([requests[i] for i in indexes],
+                                           delay=delay)
+            for position, index in enumerate(indexes):
+                ids[index] = batch_ids[position]
+        return ids
 
     def _resolve_behaviour(self, site: Site, behaviour: Union[str, Callable]):
         """Resolve a behaviour reference to (callable, is_system)."""
@@ -589,14 +780,24 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Run the event loop (to quiescence, or up to simulated time *until*)."""
+        """Run the event loop (to quiescence, or up to simulated time *until*).
+
+        On a sharded kernel this advances every shard in conservative
+        synchronisation rounds: *until* is honoured globally (no shard's
+        clock passes it) and *max_events* is one global budget shared
+        across shards, not a per-shard allowance.
+        """
+        if self._shards is not None:
+            return self._shards.run(until=until, max_events=max_events)
         if until is None:
             return self.loop.run(max_events=max_events)
         return self.loop.run_until(until, max_events=max_events)
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
+        """Current simulated time (sharded: the slowest shard's clock)."""
+        if self._shards is not None:
+            return self._shards.now
         return self.loop.now
 
     # ------------------------------------------------------------------
@@ -680,7 +881,14 @@ class Kernel:
         }
 
     def log_event(self, agent_id: str, site_name: str, message: str) -> None:
-        """Append a line to the kernel event log (agents call this via ctx.log)."""
+        """Append a line to the kernel event log (agents call this via ctx.log).
+
+        Sharded: facade-level events land in shard 0's log; the facade's
+        ``event_log`` property merges every shard's log in time order.
+        """
+        if self._shards is not None:
+            self._engines[0].log_event(agent_id, site_name, message)
+            return
         self.event_log.append((self.loop.now, agent_id, site_name, message))
 
     # ------------------------------------------------------------------
@@ -697,6 +905,16 @@ class Kernel:
         site that is mid-recovery aborts the replay — the durable image is
         unharmed and a later :meth:`recover_site` starts over.
         """
+        if self._shards is not None:
+            owner = self._engine_for(name)
+            owner.crash_site(name)
+            for engine in self._engines:
+                if engine is not owner:
+                    # Non-owning shards drop their pending outboxes to the
+                    # crashed site and forget its flow telemetry, exactly
+                    # as the owning transport does for local traffic.
+                    engine.transport.on_site_down(name)
+            return
         site = self.site(name)
         if not site.alive:
             store = self.stores.get(name)
@@ -733,6 +951,13 @@ class Kernel:
           traffic until the replay completes; only then is the site marked
           up and ``on_site_recovered`` fired.
         """
+        if self._shards is not None:
+            owner = self._engine_for(name)
+            owner.recover_site(name)
+            for engine in self._engines:
+                if engine is not owner:
+                    engine.transport.on_site_up(name)
+            return
         site = self.site(name)
         if site.alive:
             return
@@ -782,7 +1007,12 @@ class Kernel:
         coalescing undisturbed.
         """
         self.topology.set_partition(groups)
-        self.transport.flush_outboxes(only_unroutable=True, cause="partition")
+        if self._shards is not None:
+            for engine in self._engines:
+                engine.transport.flush_outboxes(only_unroutable=True,
+                                                cause="partition")
+        else:
+            self.transport.flush_outboxes(only_unroutable=True, cause="partition")
         self.log_event("kernel", "*", f"partition installed: {[list(g) for g in groups]}")
 
     def heal_partition(self) -> None:

@@ -30,7 +30,7 @@ The kernel's public API (``agents``, ``agent``, ``agents_named``,
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence, Union
 
 from repro.core.agent import AgentInstance, AgentState
 
@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from repro.core.site import Site
 
 __all__ = [
-    "AgentRecord", "AgentTable",
+    "AgentRecord", "AgentTable", "MergedAgentTable",
     "RetentionPolicy", "KeepAll", "KeepResults", "KeepCounts",
     "make_retention", "RETENTION_POLICIES",
 ]
@@ -340,4 +340,81 @@ class AgentTable:
     def __repr__(self) -> str:
         return (f"AgentTable(retention={self.retention.name!r}, "
                 f"retained={len(self.entries)}, launched={self.launched}, "
+                f"terminal={self.terminal})")
+
+
+class MergedAgentTable:
+    """A read-only merged view over several shards' :class:`AgentTable` ledgers.
+
+    The sharded kernel facade exposes one of these as ``kernel.table`` so
+    ``agents_named`` / ``result_of`` / ``counters`` stay one API: lookups
+    fan out to the shard tables (agent ids are unique cluster-wide, so at
+    most one table answers), counters sum, and ``named()`` concatenates in
+    shard order then launch order.  Registration and retirement always
+    happen on the owning shard's own table — this view never mutates.
+    """
+
+    def __init__(self, parts: Sequence[AgentTable]):
+        self._parts = list(parts)
+        # All shards share one retention spec (built from the same config).
+        self.retention = self._parts[0].retention if self._parts else make_retention(None)
+
+    @property
+    def entries(self) -> Dict[str, LedgerEntry]:
+        """A fresh merged id -> entry mapping (shard order, then launch order)."""
+        merged: Dict[str, LedgerEntry] = {}
+        for part in self._parts:
+            merged.update(part.entries)
+        return merged
+
+    def get(self, agent_id: str) -> Optional[LedgerEntry]:
+        for part in self._parts:
+            entry = part.entries.get(agent_id)
+            if entry is not None:
+                return entry
+        return None
+
+    def named(self, name: str) -> List[LedgerEntry]:
+        found: List[LedgerEntry] = []
+        for part in self._parts:
+            found.extend(part.named(name))
+        return found
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+    def __contains__(self, agent_id: str) -> bool:
+        return any(agent_id in part for part in self._parts)
+
+    def __getattr__(self, name: str) -> int:
+        if name in ("launched", "completed", "failed", "killed",
+                    "archived", "evicted"):
+            return sum(getattr(part, name) for part in self._parts)
+        raise AttributeError(f"{type(self).__name__} has no attribute {name!r}")
+
+    @property
+    def terminal(self) -> int:
+        return sum(part.terminal for part in self._parts)
+
+    @property
+    def active(self) -> int:
+        return sum(part.active for part in self._parts)
+
+    def state_counts(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for part in self._parts:
+            for key, value in part.state_counts().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def ledger_entry_kinds(self) -> Dict[str, int]:
+        merged = {"instances": 0, "records": 0}
+        for part in self._parts:
+            for key, value in part.ledger_entry_kinds().items():
+                merged[key] += value
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"MergedAgentTable(shards={len(self._parts)}, "
+                f"retained={len(self)}, launched={self.launched}, "
                 f"terminal={self.terminal})")

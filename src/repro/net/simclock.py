@@ -247,11 +247,17 @@ class EventLoop:
     def run_until(self, timestamp: float, max_events: Optional[int] = None) -> int:
         """Run events with time <= *timestamp*; the clock ends at *timestamp*.
 
-        Events scheduled beyond the horizon stay queued.
+        Events scheduled beyond the horizon stay queued.  When *max_events*
+        stops the run with due events still queued, the clock stays where the
+        last event left it — advancing it to *timestamp* anyway would strand
+        those events in the past and poison the next ``step``.
         """
         executed = 0
         while self._heap:
             if max_events is not None and executed >= max_events:
+                upcoming = self._peek()
+                if upcoming is not None and upcoming.time <= timestamp + 1e-12:
+                    return executed
                 break
             upcoming = self._peek()
             if upcoming is None or upcoming.time > timestamp + 1e-12:
@@ -260,6 +266,15 @@ class EventLoop:
             executed += 1
         self.clock._advance_to(max(self.clock.now, timestamp))
         return executed
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or None when the queue is empty.
+
+        The shard coordinator polls this each synchronisation round to
+        compute every shard's lower bound before granting horizons.
+        """
+        upcoming = self._peek()
+        return upcoming.time if upcoming is not None else None
 
     def _peek(self) -> Optional[Event]:
         while self._heap and self._heap[0].cancelled:

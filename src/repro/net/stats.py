@@ -7,11 +7,12 @@ ledger, so the counters live in one small, well-tested module.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["NetworkStats", "LinkStats"]
+__all__ = ["NetworkStats", "LinkStats", "StatsView"]
 
 
 @dataclass
@@ -84,6 +85,18 @@ class NetworkStats:
     state_lost_folders: int = 0
     #: un-committed WAL records discarded by crashes
     state_lost_records: int = 0
+
+    # Shard-boundary counters (repro.shard): cross-shard traffic handed from
+    # one shard's transport to another shard's event loop.
+    #: messages handed across a shard boundary
+    shard_handoffs: int = 0
+    #: wire bytes those handoffs carried
+    shard_handoff_bytes: int = 0
+    #: handoffs whose computed arrival fell behind the destination shard's
+    #: clock and were clamped to "now" (only possible when the optimistic
+    #: flow-window bonus widens lookahead past the pure latency bound; stays
+    #: 0 under the default ``flow_window_min = 0``)
+    shard_late_arrivals: int = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -170,6 +183,13 @@ class NetworkStats:
         self.state_lost_folders += folders
         self.state_lost_records += records
 
+    def record_shard_handoff(self, size: int, late: bool = False) -> None:
+        """Count one message handed across a shard boundary."""
+        self.shard_handoffs += 1
+        self.shard_handoff_bytes += size
+        if late:
+            self.shard_late_arrivals += 1
+
     @property
     def early_flushes(self) -> int:
         """Flushes that fired before the window timer (threshold or deadline)."""
@@ -205,7 +225,11 @@ class NetworkStats:
                 for (source, destination), info in self.flow_windows.items()}
 
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict summary used by the benchmark reports."""
+        """A plain-dict summary used by the benchmark reports.
+
+        Every nested mapping is a fresh copy — mutating the snapshot must
+        never reach back into the live counters.
+        """
         return {
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
@@ -219,6 +243,8 @@ class NetworkStats:
             "header_bytes_saved": self.header_bytes_saved,
             "early_flushes": self.early_flushes,
             "flush_causes": dict(self.flush_causes),
+            "per_kind": dict(self.per_kind),
+            "per_kind_bytes": dict(self.per_kind_bytes),
             "flow_pairs": len(self.flow_windows),
             "flow_windows": self.flow_snapshot(),
             "wal_appends": self.wal_appends,
@@ -234,6 +260,9 @@ class NetworkStats:
             "durable_folders_lost": self.durable_folders_lost,
             "state_lost_folders": self.state_lost_folders,
             "state_lost_records": self.state_lost_records,
+            "shard_handoffs": self.shard_handoffs,
+            "shard_handoff_bytes": self.shard_handoff_bytes,
+            "shard_late_arrivals": self.shard_late_arrivals,
             "mean_latency": self.mean_latency() or 0.0,
             "delivery_ratio": self.delivery_ratio(),
         }
@@ -241,3 +270,99 @@ class NetworkStats:
     def reset(self) -> None:
         """Zero every counter (used between benchmark repetitions)."""
         self.__init__()  # noqa: PLC2801 - simple and explicit for a dataclass
+
+
+#: NetworkStats fields that merge by summation across shards (everything that
+#: is not one of the container fields merged structurally by StatsView).
+_MERGED_CONTAINER_FIELDS = ("flush_causes", "flow_windows", "per_kind",
+                            "per_kind_bytes", "per_link", "latencies")
+_SCALAR_STAT_FIELDS = frozenset(
+    spec.name for spec in dataclasses.fields(NetworkStats)
+    if spec.name not in _MERGED_CONTAINER_FIELDS)
+
+
+class StatsView:
+    """A live merged view over several shards' :class:`NetworkStats`.
+
+    The sharded kernel facade exposes one of these as ``kernel.stats`` so
+    code written against a single kernel — benchmarks summing
+    ``stats.messages_sent``, reports walking ``stats.snapshot()`` — reads
+    cluster-wide totals without knowing about shards.  Scalar counters sum
+    across shards; container fields (per-kind, per-link, flow telemetry,
+    latencies) merge structurally.  The view is read-only in spirit: it
+    never records, and ``reset()`` fans out to every underlying shard.
+    """
+
+    def __init__(self, parts: Sequence[NetworkStats]):
+        self._parts = list(parts)
+
+    def __getattr__(self, name: str):
+        if name in _SCALAR_STAT_FIELDS:
+            return sum(getattr(part, name) for part in self._parts)
+        raise AttributeError(f"{type(self).__name__} has no attribute {name!r}")
+
+    # -- merged container fields ------------------------------------------------
+
+    @property
+    def flush_causes(self) -> Dict[str, int]:
+        merged: Dict[str, int] = defaultdict(int)
+        for part in self._parts:
+            for cause, count in part.flush_causes.items():
+                merged[cause] += count
+        return dict(merged)
+
+    @property
+    def per_kind(self) -> Dict[str, int]:
+        merged: Dict[str, int] = defaultdict(int)
+        for part in self._parts:
+            for kind, count in part.per_kind.items():
+                merged[kind] += count
+        return dict(merged)
+
+    @property
+    def per_kind_bytes(self) -> Dict[str, int]:
+        merged: Dict[str, int] = defaultdict(int)
+        for part in self._parts:
+            for kind, size in part.per_kind_bytes.items():
+                merged[kind] += size
+        return dict(merged)
+
+    @property
+    def per_link(self) -> Dict[Tuple[str, str], LinkStats]:
+        merged: Dict[Tuple[str, str], LinkStats] = {}
+        for part in self._parts:
+            for pair, link in part.per_link.items():
+                into = merged.setdefault(pair, LinkStats())
+                into.messages += link.messages
+                into.bytes += link.bytes
+                into.drops += link.drops
+        return merged
+
+    @property
+    def flow_windows(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        # Each pair's flow window is tracked by exactly one shard (the
+        # source site's owner), so a plain union never collides.
+        merged: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for part in self._parts:
+            for pair, info in part.flow_windows.items():
+                merged[pair] = dict(info)
+        return merged
+
+    @property
+    def latencies(self) -> List[float]:
+        return [latency for part in self._parts for latency in part.latencies]
+
+    # -- derived readers: reuse the NetworkStats implementations, which only
+    # touch the attributes merged above (plain duck typing).
+
+    early_flushes = NetworkStats.early_flushes
+    mean_latency = NetworkStats.mean_latency
+    delivery_ratio = NetworkStats.delivery_ratio
+    bytes_for_kind = NetworkStats.bytes_for_kind
+    flow_snapshot = NetworkStats.flow_snapshot
+    snapshot = NetworkStats.snapshot
+
+    def reset(self) -> None:
+        """Zero every underlying shard's counters."""
+        for part in self._parts:
+            part.reset()

@@ -163,6 +163,22 @@ class Topology:
             loss = max(loss, spec.loss_rate)
         return total, len(route) - 1, loss
 
+    def all_pairs_latency(self) -> Dict[str, Dict[str, float]]:
+        """Shortest-path pure latency (no bandwidth term) between all site pairs.
+
+        Computed on the **full** graph, ignoring down sites and partitions:
+        failures only remove routes, so the healthy-network latency is a
+        valid lower bound on when any message sent now could arrive — which
+        is exactly what conservative shard clock synchronisation needs.
+        Unreachable pairs are simply absent from the inner mappings.
+        """
+        latency: Dict[str, Dict[str, float]] = {}
+        iterator = nx.all_pairs_dijkstra_path_length(
+            self._graph, weight=lambda u, v, data: data["spec"].latency)
+        for source, reachable in iterator:
+            latency[source] = dict(reachable)
+        return latency
+
     # -- internals -----------------------------------------------------------------
 
     def _check(self, name: str) -> None:

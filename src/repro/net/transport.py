@@ -143,6 +143,10 @@ class Transport(abc.ABC):
         #: infinitely-parallel-source model
         self.serialize_setup: bool = False
         self._source_busy_until: Dict[str, float] = {}
+        #: shard-boundary adapter (repro.shard); when set, messages whose
+        #: destination lives on another shard are handed to that shard's
+        #: event loop instead of being scheduled locally
+        self.boundary = None
 
     # -- endpoint registration -------------------------------------------------
 
@@ -529,6 +533,13 @@ class Transport(abc.ABC):
             delay = (start - now) + setup + transfer
         else:
             delay = setup + transfer
+        if self.boundary is not None and self.boundary.is_remote(destination):
+            # Cross-shard: hand over at send time so the arrival lands on
+            # the owning shard's loop.  Doing this here (rather than at the
+            # local delivery event) is what makes the conservative clock
+            # sync safe: the arrival timestamp is fixed the moment the
+            # message leaves, before any horizon beyond it can be granted.
+            return self.boundary.dispatch(message, delay)
         return self.loop.schedule(delay, lambda: self._deliver(message),
                                   label=f"{self.name}-deliver-{message.message_id}")
 

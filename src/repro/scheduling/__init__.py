@@ -14,7 +14,8 @@ experiments need around it:
 """
 
 from repro.scheduling.broker import (BROKER_AGENT_NAME, BROKER_CABINET, BrokerState,
-                                     broker_state, make_broker_behaviour)
+                                     broker_state, make_broker_behaviour,
+                                     merged_load_table)
 from repro.scheduling.monitor import (LOAD_REPORT_FOLDER, MONITOR_AGENT_NAME,
                                       make_monitor_behaviour)
 from repro.scheduling.policies import (POLICY_NAMES, LeastLoadedPolicy, LoadEstimate, Policy,
@@ -33,7 +34,7 @@ from repro.scheduling.ticket import (TICKET_AGENT_NAME, Ticket, TicketIssuer,
 
 __all__ = [
     "BROKER_AGENT_NAME", "BROKER_CABINET", "BrokerState", "broker_state",
-    "make_broker_behaviour",
+    "make_broker_behaviour", "merged_load_table",
     "MONITOR_AGENT_NAME", "LOAD_REPORT_FOLDER", "make_monitor_behaviour",
     "Policy", "LeastLoadedPolicy", "RandomPolicy", "RoundRobinPolicy",
     "WeightedCapacityPolicy", "ProviderInfo", "LoadEstimate", "make_policy", "POLICY_NAMES",

@@ -34,7 +34,7 @@ The meet protocol (all through the briefcase):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.briefcase import Briefcase
 from repro.core.cabinet import FileCabinet
@@ -45,6 +45,7 @@ from repro.scheduling.policies import LoadEstimate, Policy, ProviderInfo, make_p
 __all__ = [
     "BROKER_AGENT_NAME", "BROKER_CABINET",
     "make_broker_behaviour", "broker_state", "BrokerState",
+    "merged_load_table",
 ]
 
 #: the well-known name broker agents are installed under
@@ -180,6 +181,25 @@ class BrokerState:
 def broker_state(cabinet: FileCabinet) -> BrokerState:
     """Convenience constructor used by tests and benchmark reports."""
     return BrokerState(cabinet)
+
+
+def merged_load_table(kernel, broker_sites: Sequence[str]) -> Dict[str, LoadEstimate]:
+    """The cluster-wide load picture: the named brokers' tables merged.
+
+    Each broker's table lives in its site-local cabinet — on a sharded
+    kernel, on whichever shard owns that site — so merging across brokers
+    is also how a sharded deployment assembles one load view without any
+    broker knowing about shards.  The newest report per subject site wins;
+    a tie keeps the earlier broker's row (in the given order).
+    """
+    merged: Dict[str, LoadEstimate] = {}
+    for broker_site in broker_sites:
+        state = BrokerState(kernel.site(broker_site).cabinet(BROKER_CABINET))
+        for site, estimate in state.loads().items():
+            kept = merged.get(site)
+            if kept is None or estimate.reported_at > kept.reported_at:
+                merged[site] = estimate
+    return merged
 
 
 def make_broker_behaviour(policy: str = "least-loaded",

@@ -1,0 +1,33 @@
+"""Sharded multi-kernel simulation: conservative parallel discrete events.
+
+The paper's TACOMA system ran agents across many independent Unix hosts;
+this package lets the reproduction do the same with its simulation.  With
+``KernelConfig(shards=N)`` the :class:`~repro.core.kernel.Kernel` becomes
+a facade over a :class:`ShardSet`: sites are partitioned across N shard
+engines (deterministic CRC-32 hash or an explicit placement map), each
+with its own :class:`~repro.net.simclock.EventLoop`, transport and
+ledgers, advanced in conservative synchronisation rounds
+(:class:`ClockSync`) with cross-shard traffic handed over by the
+:class:`MailRouter` through a shard-boundary transport adapter.
+
+>>> from repro.core import Kernel, KernelConfig
+>>> from repro.net import lan
+>>> kernel = Kernel(lan([f"site{i}" for i in range(8)]),
+...                 config=KernelConfig(shards=4))
+>>> kernel.run()  # doctest: +SKIP
+
+``shards=1`` (the default) never builds any of this: the kernel runs the
+classic single event loop, behaviourally identical to every prior release.
+"""
+
+from repro.shard.clocksync import MIN_LOOKAHEAD, ClockSync
+from repro.shard.placement import default_shard_of, resolve_placement
+from repro.shard.router import MailRouter, ShardBoundary, ShardContext
+from repro.shard.shardset import Shard, ShardSet
+
+__all__ = [
+    "ClockSync", "MIN_LOOKAHEAD",
+    "MailRouter", "ShardBoundary", "ShardContext",
+    "Shard", "ShardSet",
+    "default_shard_of", "resolve_placement",
+]

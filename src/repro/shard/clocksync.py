@@ -1,0 +1,160 @@
+"""Conservative clock synchronisation between shards.
+
+Null-message-style (bounded-lag) synchronisation in synchronous rounds:
+each round the coordinator reads every shard's next-event time ``T_k`` and
+grants each shard a **horizon** it may freely run to.  A shard never runs
+past the earliest instant an event on another shard could affect it.
+
+Lookahead between shards is derived from the topology: the minimum
+shortest-path *latency* between any site of shard ``i`` and any site of
+shard ``j`` (computed on the full graph, ignoring crashes and partitions —
+failures only remove routes, so the healthy-network latency is a valid
+lower bound on any future arrival).  Because a message can also be relayed
+through an intermediate shard's event, the effective influence bound is
+the shortest path over the shard-level lookahead matrix itself
+(Floyd-Warshall), not just the direct entry:
+
+    horizon(i) = min(  min_{k != i, T_k finite}  T_k + dist(k, i),
+                       T_i + roundtrip(i)                          ) + bonus
+
+The ``T_i + roundtrip(i)`` term bounds a shard against reflections of its
+*own* messages within the round (send to ``j`` and back costs at least
+``dist(i, j) + dist(j, i)``).  The ``bonus`` is the ``repro.flow`` window
+floor (``KernelConfig.flow_window_min``): a batchable message parks in an
+outbox for at least the minimum flow window before it can leave, so the
+windows widen the horizon.  The bonus is optimistic for traffic that
+bypasses the fabric (``AGENT_TRANSFER`` is never batched), which is why
+the :class:`~repro.shard.router.MailRouter` clamps and counts late
+arrivals; with the default ``flow_window_min = 0`` the sync is purely
+conservative and the clamp never fires.
+
+Progress: the shard with the globally minimal ``T`` always receives a
+horizon strictly beyond it (every lookahead is at least ``min_lookahead``),
+so every round executes at least one event.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional
+
+from repro.net.topology import Topology
+
+__all__ = ["ClockSync"]
+
+#: lookahead floor: even co-located shards get a sliver of parallel slack,
+#: and it is what guarantees per-round progress
+MIN_LOOKAHEAD = 1e-6
+
+
+class ClockSync:
+    """The lookahead matrix + horizon calculator of a sharded kernel."""
+
+    def __init__(self, topology: Topology, placement: Mapping[str, int],
+                 shards: int, flow_bonus: float = 0.0,
+                 min_lookahead: float = MIN_LOOKAHEAD):
+        self._topology = topology
+        self._placement = placement  # shared with the MailRouter (live view)
+        self._shards = shards
+        self.flow_bonus = max(0.0, float(flow_bonus))
+        self.min_lookahead = float(min_lookahead)
+        self._dirty = True
+        self._dist: List[List[float]] = []
+        self._roundtrip: List[float] = []
+
+    # -- lookahead matrix -------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Mark the matrix stale (a site or link was added).
+
+        Crashes and partitions never invalidate: they only *remove* routes,
+        so the existing lookahead stays a valid lower bound.  New sites and
+        links can create shorter paths, which must shrink the lookahead
+        before the next horizon is granted.
+        """
+        self._dirty = True
+
+    def rebuild(self) -> None:
+        """Recompute the shard-level lookahead distances from the topology."""
+        latency = self._topology.all_pairs_latency()
+        shard_sites: List[List[str]] = [[] for _ in range(self._shards)]
+        for site, owner in self._placement.items():
+            shard_sites[owner].append(site)
+
+        size = self._shards
+        dist = [[math.inf] * size for _ in range(size)]
+        for i in range(size):
+            dist[i][i] = 0.0
+        for i in range(size):
+            for j in range(i + 1, size):
+                best = math.inf
+                for a in shard_sites[i]:
+                    reach = latency.get(a, {})
+                    for b in shard_sites[j]:
+                        cost = reach.get(b, math.inf)
+                        if cost < best:
+                            best = cost
+                if best < math.inf:
+                    best = max(self.min_lookahead, best)
+                dist[i][j] = best
+                dist[j][i] = best  # links are undirected
+
+        # Relayed influence: i can reach j through an event on k, so the
+        # effective bound is the all-pairs shortest path over the matrix.
+        for k in range(size):
+            row_k = dist[k]
+            for i in range(size):
+                via = dist[i][k]
+                if via == math.inf:
+                    continue
+                row_i = dist[i]
+                for j in range(size):
+                    through = via + row_k[j]
+                    if through < row_i[j]:
+                        row_i[j] = through
+
+        self._dist = dist
+        self._roundtrip = [
+            min((dist[i][j] + dist[j][i]
+                 for j in range(size) if j != i), default=math.inf)
+            for i in range(size)]
+        self._dirty = False
+
+    def lookahead(self, origin: int, target: int) -> float:
+        """The influence bound from shard *origin* to shard *target*."""
+        if self._dirty:
+            self.rebuild()
+        return self._dist[origin][target]
+
+    # -- horizons ---------------------------------------------------------------
+
+    def horizons(self, next_times: Mapping[int, Optional[float]]
+                 ) -> Dict[int, Optional[float]]:
+        """Grant each shard a safe run-to horizon for this round.
+
+        *next_times* maps shard id to its next-event timestamp (None when
+        the shard's queue is empty).  A returned horizon of None means
+        "unconstrained" — no other shard can ever influence this one.
+        """
+        if self._dirty:
+            self.rebuild()
+        horizons: Dict[int, Optional[float]] = {}
+        for i in range(self._shards):
+            bound = math.inf
+            for k, at in next_times.items():
+                if k == i or at is None:
+                    continue
+                influence = at + self._dist[k][i]
+                if influence < bound:
+                    bound = influence
+            own = next_times.get(i)
+            if own is not None and self._roundtrip[i] < math.inf:
+                reflection = own + self._roundtrip[i]
+                if reflection < bound:
+                    bound = reflection
+            horizons[i] = None if bound == math.inf else bound + self.flow_bonus
+        return horizons
+
+    def __repr__(self) -> str:
+        return (f"ClockSync(shards={self._shards}, "
+                f"flow_bonus={self.flow_bonus}, dirty={self._dirty})")

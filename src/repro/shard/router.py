@@ -1,0 +1,130 @@
+"""Cross-shard mail routing: the shard-boundary transport adapter.
+
+Each shard runs its own :class:`~repro.net.simclock.EventLoop` and its own
+transport, with endpoints registered only for the sites it owns.  When a
+transport is about to schedule a delivery whose destination lives on
+another shard, the :class:`ShardBoundary` intercepts it (see
+``Transport.send``) and the :class:`MailRouter` schedules the delivery
+directly on the owning shard's loop instead.
+
+The handover happens at **send time**, not at the local delivery event:
+the arrival timestamp is fixed the moment the message leaves the source,
+which is what makes the conservative clock sync of
+:mod:`repro.shard.clocksync` safe — any message sent by an event at time
+``t`` arrives at ``t + delay >= t + lookahead``, and no horizon beyond
+that has been granted yet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.simclock import PAST_EPSILON
+
+__all__ = ["MailRouter", "ShardBoundary", "ShardContext"]
+
+
+class ShardContext:
+    """What a shard engine needs to know about its place in the cluster."""
+
+    __slots__ = ("shard_id", "owned", "router")
+
+    def __init__(self, shard_id: int, owned: frozenset, router: "MailRouter"):
+        self.shard_id = shard_id
+        #: the site names this shard hosts (creates Site objects + endpoints for)
+        self.owned = owned
+        self.router = router
+
+    def __repr__(self) -> str:
+        return f"ShardContext(shard={self.shard_id}, sites={len(self.owned)})"
+
+
+class ShardBoundary:
+    """The per-shard adapter a transport consults on every send."""
+
+    __slots__ = ("_router", "shard_id")
+
+    def __init__(self, router: "MailRouter", shard_id: int):
+        self._router = router
+        self.shard_id = shard_id
+
+    def is_remote(self, site_name: str) -> bool:
+        """True if *site_name* is owned by a different shard."""
+        return self._router.placement.get(site_name, self.shard_id) != self.shard_id
+
+    def dispatch(self, message, delay: float):
+        """Hand *message* to its owning shard, arriving *delay* from now."""
+        return self._router.dispatch(self.shard_id, message, delay)
+
+
+class MailRouter:
+    """Owns the placement map and performs cross-shard handoffs.
+
+    One per sharded kernel; every shard's :class:`ShardBoundary` routes
+    through it.  A handoff schedules ``dest.transport._deliver`` on the
+    destination shard's loop at the same arrival timestamp the source
+    transport computed, so the delivery-side checks (site down at arrival,
+    partition formed in flight, batch unbatching) run unchanged on the
+    owning shard.
+    """
+
+    def __init__(self, placement: Dict[str, int]):
+        self.placement = dict(placement)
+        self._engines: List = []
+        #: back-reference set by the facade so engines can invalidate the
+        #: lookahead matrix when they grow the topology
+        self.clock_sync = None
+
+    def clock_sync_invalidate(self) -> None:
+        """Mark the clock sync's lookahead matrix stale (topology grew)."""
+        if self.clock_sync is not None:
+            self.clock_sync.invalidate()
+
+    def attach_engines(self, engines: Sequence) -> None:
+        """Late-bind the shard engines (they need the router to construct)."""
+        self._engines = list(engines)
+
+    def owner_of(self, site_name: str) -> Optional[int]:
+        """The owning shard id of *site_name*, or None if unplaced."""
+        return self.placement.get(site_name)
+
+    def assign(self, site_name: str, shard_id: int) -> None:
+        """Place a late-joining site (see the facade's ``add_site``)."""
+        self.placement[site_name] = shard_id
+
+    def unassign(self, site_name: str) -> None:
+        """Roll back a placement that failed to materialise."""
+        self.placement.pop(site_name, None)
+
+    def boundary_for(self, shard_id: int) -> ShardBoundary:
+        """The boundary adapter shard *shard_id*'s transport consults."""
+        return ShardBoundary(self, shard_id)
+
+    def engine_for(self, site_name: str):
+        """The engine kernel owning *site_name* (KeyError if unplaced)."""
+        return self._engines[self.placement[site_name]]
+
+    def dispatch(self, origin_shard: int, message, delay: float):
+        """Schedule a cross-shard delivery on the destination's loop.
+
+        The arrival is ``origin now + delay``.  If the destination shard's
+        clock has already passed that point — only possible when the
+        optimistic flow-window bonus widened the granted horizons past the
+        pure latency bound — the arrival is clamped to the destination's
+        "now" and counted (``shard_late_arrivals``); under the default
+        configuration the sync is purely conservative and this never fires.
+        """
+        origin = self._engines[origin_shard]
+        dest = self._engines[self.placement[message.destination]]
+        arrival = origin.loop.now + delay
+        dest_now = dest.loop.now
+        late = arrival < dest_now - PAST_EPSILON
+        origin.stats.record_shard_handoff(message.size_bytes(), late=late)
+        return dest.loop.schedule_at(
+            max(arrival, dest_now),
+            lambda: dest.transport._deliver(message),
+            label=f"shard-handoff-{message.message_id}")
+
+    def __repr__(self) -> str:
+        shards = len(set(self.placement.values()))
+        return f"MailRouter({len(self.placement)} sites over {shards} shards)"

@@ -1,0 +1,144 @@
+"""The shard coordinator: N engine kernels advanced in conservative rounds.
+
+The :class:`ShardSet` is what the sharded :class:`~repro.core.kernel.Kernel`
+facade delegates ``run()`` to.  Each round it:
+
+1. reads every shard's next-event time,
+2. asks the :class:`~repro.shard.clocksync.ClockSync` for safe horizons,
+3. runs each shard's event loop up to ``min(horizon, until)`` under the
+   remaining global event budget, accumulating per-shard busy wall-time
+   (the E14 throughput model: shards stand in for parallel hosts, so
+   aggregate throughput is total events over the *maximum* per-shard busy
+   time, with coordination overhead reported separately).
+
+Rounds repeat until every queue drains, every next event lies beyond
+``until``, or the global ``max_events`` budget is exhausted.  The budget
+is global — shards share it in shard order — and exhausting it leaves
+every clock exactly where its last event fired, mirroring the single-loop
+``run_until`` semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.shard.clocksync import ClockSync
+
+__all__ = ["Shard", "ShardSet"]
+
+
+class Shard:
+    """One shard: an engine kernel plus its coordination bookkeeping."""
+
+    __slots__ = ("shard_id", "engine", "busy_seconds")
+
+    def __init__(self, shard_id: int, engine):
+        self.shard_id = shard_id
+        self.engine = engine
+        #: wall-clock seconds this shard's loop spent executing events
+        #: (accumulated around every run burst; the E14 scaling metric)
+        self.busy_seconds = 0.0
+
+    @property
+    def sites(self) -> int:
+        return len(self.engine.sites)
+
+    @property
+    def events_processed(self) -> int:
+        return self.engine.loop.processed
+
+    def __repr__(self) -> str:
+        return (f"Shard({self.shard_id}, sites={self.sites}, "
+                f"t={self.engine.loop.now:.4f})")
+
+
+class ShardSet:
+    """The coordinator advancing every shard under conservative clock sync."""
+
+    def __init__(self, shards: List[Shard], clock_sync: ClockSync):
+        self.shards = list(shards)
+        self.clock_sync = clock_sync
+        #: synchronisation rounds executed (telemetry for E14)
+        self.rounds = 0
+        #: wall-clock seconds spent computing horizons between bursts
+        self.sync_seconds = 0.0
+
+    # -- clocks -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The conservative global time: the slowest shard's clock."""
+        return min(shard.engine.loop.now for shard in self.shards)
+
+    def next_event_times(self) -> Dict[int, Optional[float]]:
+        return {shard.shard_id: shard.engine.loop.next_event_time()
+                for shard in self.shards}
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Advance every shard; returns the total events executed.
+
+        ``until`` is honoured globally: no shard's clock passes it, and on
+        a clean finish every clock lands exactly on it.  ``max_events`` is
+        a single global budget consumed across shards in shard order.
+        """
+        total = 0
+        perf = time.perf_counter
+        while True:
+            if max_events is not None and total >= max_events:
+                # Budget exhausted mid-stream: clocks stay where their last
+                # event left them (matching single-loop run_until).
+                return total
+            sync_start = perf()
+            next_times = self.next_event_times()
+            live = [at for at in next_times.values() if at is not None]
+            if not live:
+                break
+            if until is not None and min(live) > until + 1e-12:
+                break
+            horizons = self.clock_sync.horizons(next_times)
+            self.rounds += 1
+            self.sync_seconds += perf() - sync_start
+            for shard in self.shards:
+                if next_times[shard.shard_id] is None:
+                    continue
+                remaining = None if max_events is None else max_events - total
+                if remaining is not None and remaining <= 0:
+                    break
+                horizon = horizons[shard.shard_id]
+                if until is not None:
+                    horizon = until if horizon is None else min(horizon, until)
+                loop = shard.engine.loop
+                burst_start = perf()
+                if horizon is None:
+                    executed = loop.run(max_events=remaining)
+                else:
+                    executed = loop.run_until(horizon, max_events=remaining)
+                shard.busy_seconds += perf() - burst_start
+                total += executed
+        if until is not None:
+            # Clean finish: every shard's clock lands on the target, exactly
+            # like the single-loop run_until (events beyond it stay queued).
+            for shard in self.shards:
+                clock = shard.engine.loop.clock
+                clock._advance_to(max(clock.now, until))
+        return total
+
+    # -- telemetry --------------------------------------------------------------
+
+    def busy_summary(self) -> Dict[str, float]:
+        """Per-shard busy wall-time plus the parallel-model aggregate."""
+        per_shard = {f"shard{shard.shard_id}": shard.busy_seconds
+                     for shard in self.shards}
+        per_shard["max_busy"] = max(
+            (shard.busy_seconds for shard in self.shards), default=0.0)
+        per_shard["total_busy"] = sum(shard.busy_seconds for shard in self.shards)
+        per_shard["sync_seconds"] = self.sync_seconds
+        return per_shard
+
+    def __repr__(self) -> str:
+        return (f"ShardSet({len(self.shards)} shards, rounds={self.rounds}, "
+                f"now={self.now:.4f})")

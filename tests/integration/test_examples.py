@@ -24,6 +24,7 @@ EXAMPLES = [
     "agent_mail.py",
     "runaway_containment.py",
     "adaptive_traffic.py",
+    "sharded_churn.py",
 ]
 
 

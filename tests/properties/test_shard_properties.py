@@ -1,0 +1,82 @@
+"""Property-based tests: sharding never changes simulation semantics.
+
+The sharded kernel is a performance structure — the same seed and
+workload must produce identical counters and the same completed agents
+whether the sites run on one event loop or are partitioned across many.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.core.agent import AgentState
+from repro.core.folder import Folder
+from repro.net import lan
+
+
+def sink(ctx, bc):
+    payload_name = bc.get("PAYLOAD_NAME")
+    elements = (bc.folder(payload_name).elements()
+                if payload_name and bc.has(payload_name) else [])
+    ctx.cabinet("mail").put("received", len(elements))
+    yield ctx.sleep(0)
+    return len(elements)
+
+
+def hopper(ctx, bc):
+    """Visit the itinerary, couriering a report from each stop."""
+    itinerary = bc.folder("ITINERARY", create=True)
+    report = Folder("REPORT", [{"from": ctx.site_name}])
+    yield ctx.send_folder(report, bc.get("SINK"), "sink")
+    if itinerary:
+        yield ctx.jump(bc, itinerary.dequeue())
+        return "moved"
+    return ctx.site_name
+
+
+def run_workload(seed: int, n_sites: int, n_agents: int, hops: int,
+                 shards: int):
+    names = [f"p{i}" for i in range(n_sites)]
+    kernel = Kernel(lan(names), transport="tcp",
+                    config=KernelConfig(rng_seed=seed, shards=shards))
+    kernel.install_agent(None, "sink", sink)
+    for index in range(n_agents):
+        briefcase = Briefcase()
+        itinerary = briefcase.folder("ITINERARY", create=True)
+        for hop in range(hops):
+            itinerary.push(names[(index + hop + 1) % n_sites])
+        briefcase.set("SINK", names[(index + n_sites // 2) % n_sites])
+        kernel.launch(names[index % n_sites], hopper, briefcase)
+    kernel.run()
+    completed = sorted(
+        (instance.spec.name or "", instance.site_name, repr(instance.result))
+        for instance in kernel.table.entries.values()
+        if instance.state == AgentState.DONE)
+    return kernel.counters(), completed
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_sites=st.integers(min_value=4, max_value=10),
+       n_agents=st.integers(min_value=1, max_value=8),
+       hops=st.integers(min_value=0, max_value=3),
+       shards=st.integers(min_value=2, max_value=5))
+def test_sharded_run_is_semantically_identical(seed, n_sites, n_agents,
+                                               hops, shards):
+    classic_counters, classic_done = run_workload(seed, n_sites, n_agents,
+                                                  hops, shards=1)
+    sharded_counters, sharded_done = run_workload(seed, n_sites, n_agents,
+                                                  hops, shards=shards)
+    assert sharded_counters == classic_counters
+    assert sharded_done == classic_done
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       shards=st.integers(min_value=2, max_value=4))
+def test_sharding_is_deterministic_across_repeats(seed, shards):
+    first = run_workload(seed, 6, 4, 2, shards)
+    second = run_workload(seed, 6, 4, 2, shards)
+    assert first == second

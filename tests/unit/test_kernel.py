@@ -592,3 +592,71 @@ class TestLateSiteRegistration:
         with pytest.raises(TransportError):
             Kernel(lan(["a", "b"]), config=KernelConfig(
                 delivery_batch_window=0.1, flow_window_max=-1.0))
+
+
+class TestShardedRunSemantics:
+    """run(until=...) / run(max_events=...) keep their meaning under shards."""
+
+    def _build(self, shards=4, n_agents=12):
+        names = [f"s{i}" for i in range(8)]
+        kernel = Kernel(lan(names), transport="tcp",
+                        config=KernelConfig(rng_seed=3, shards=shards))
+
+        def ticker(ctx, bc):
+            for _ in range(int(bc.get("TICKS", 5))):
+                yield ctx.sleep(0.1)
+            return ctx.site_name
+
+        for index in range(n_agents):
+            kernel.launch(names[index % len(names)], ticker, Briefcase())
+        return kernel
+
+    def test_until_is_global_every_shard_clock_lands_on_it(self):
+        kernel = self._build()
+        kernel.run(until=0.25)
+        assert kernel.now == pytest.approx(0.25)
+        for engine in kernel._engines:
+            # No shard's clock passes the target, and on a clean finish
+            # every one of them lands exactly on it.
+            assert engine.loop.now == pytest.approx(0.25)
+        assert kernel.completed == 0  # the tickers need 0.5s
+        kernel.run()
+        assert kernel.completed == kernel.launched
+
+    def test_until_never_overshoots_even_mid_burst(self):
+        kernel = self._build()
+        kernel.run(until=0.123)
+        for engine in kernel._engines:
+            assert engine.loop.now <= 0.123 + 1e-9
+
+    def test_max_events_is_one_global_budget(self):
+        budgeted = self._build()
+        executed = budgeted.run(max_events=10)
+        assert executed == 10
+        free = self._build()
+        total = free.run()
+        # The same system without a budget runs far more than 10 events:
+        # the cap genuinely limited the cluster, not one shard.
+        assert total > 10
+        # Resuming after the budget finishes the run with the remainder.
+        assert budgeted.run() == total - 10
+        assert budgeted.completed == budgeted.launched
+
+    def test_budget_exhaustion_leaves_clocks_on_their_last_event(self):
+        kernel = self._build()
+        kernel.run(max_events=7)
+        # At least one shard is mid-stream; nobody was advanced past the
+        # events it still has queued (resuming would otherwise raise).
+        assert kernel.run() > 0
+        assert kernel.completed == kernel.launched
+
+    def test_sharded_run_matches_classic_run_exactly(self):
+        sharded = self._build(shards=4)
+        classic = self._build(shards=1)
+        assert sharded.run(until=0.35) == classic.run(until=0.35)
+        assert sharded.counters() == classic.counters()
+        assert sharded.run() == classic.run()
+        assert sharded.counters() == classic.counters()
+        # After quiescence each clock rests on its own shard's last event,
+        # so `now` agrees only to within one inter-event gap.
+        assert sharded.now == pytest.approx(classic.now, abs=0.05)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.net.message import Message, MessageKind
-from repro.net.stats import LinkStats, NetworkStats
+from repro.net.stats import LinkStats, NetworkStats, StatsView
 
 
 class TestMessage:
@@ -149,3 +149,85 @@ class TestNetworkStats:
         assert stats.per_link == {}
         assert stats.flow_windows == {}
         assert stats.wal_barrier_piggybacks == 0
+
+    def test_shard_handoff_counters(self):
+        stats = NetworkStats()
+        stats.record_shard_handoff(200)
+        stats.record_shard_handoff(300, late=True)
+        assert stats.shard_handoffs == 2
+        assert stats.shard_handoff_bytes == 500
+        assert stats.shard_late_arrivals == 1
+        snapshot = stats.snapshot()
+        assert snapshot["shard_handoffs"] == 2
+        assert snapshot["shard_handoff_bytes"] == 500
+        assert snapshot["shard_late_arrivals"] == 1
+
+    def test_snapshot_nested_mappings_are_copies(self):
+        # Regression: snapshot() used to hand out live references to the
+        # per-kind defaultdicts, so a caller mutating the snapshot (or
+        # iterating while traffic arrived) corrupted the counters.
+        stats = NetworkStats()
+        stats.record_send("a", "b", MessageKind.DATA, 10)
+        stats.record_delivery(10, 0.02)
+        stats.record_flush("window")
+        stats.record_flow("a", "b", window=0.05, message_rate=1.0,
+                          bytes_rate=10.0)
+        snapshot = stats.snapshot()
+        snapshot["per_kind"][MessageKind.DATA] = 999
+        snapshot["per_kind"]["FORGED"] = 1
+        snapshot["per_kind_bytes"].clear()
+        snapshot["flush_causes"]["window"] = 999
+        snapshot["flow_windows"]["a->b"]["window"] = 999.0
+        assert stats.per_kind[MessageKind.DATA] == 1
+        assert "FORGED" not in stats.per_kind
+        assert stats.per_kind_bytes[MessageKind.DATA] > 0
+        assert stats.flush_causes["window"] == 1
+        assert stats.flow_windows[("a", "b")]["window"] == 0.05
+        fresh = stats.snapshot()
+        assert fresh["per_kind"] == {MessageKind.DATA: 1}
+        assert fresh["flush_causes"] == {"window": 1}
+
+
+class TestStatsView:
+    """The sharded facade's merged read view over per-shard stats."""
+
+    def _parts(self):
+        left, right = NetworkStats(), NetworkStats()
+        left.record_send("a", "b", MessageKind.DATA, 100)
+        left.record_delivery(100, 0.010)
+        left.record_flush("window")
+        right.record_send("c", "d", MessageKind.STATUS, 50)
+        right.record_send("c", "b", MessageKind.DATA, 70)
+        right.record_delivery(50, 0.030)
+        right.record_flush("size")
+        right.record_shard_handoff(70)
+        return left, right
+
+    def test_scalars_sum_and_containers_merge(self):
+        left, right = self._parts()
+        view = StatsView([left, right])
+        assert view.messages_sent == 3
+        assert view.bytes_sent == left.bytes_sent + right.bytes_sent
+        assert view.shard_handoffs == 1
+        assert view.per_kind == {MessageKind.DATA: 2, MessageKind.STATUS: 1}
+        assert view.flush_causes == {"window": 1, "size": 1}
+        assert view.mean_latency() == pytest.approx(0.020)
+
+    def test_snapshot_matches_network_stats_shape(self):
+        view = StatsView(list(self._parts()))
+        snapshot = view.snapshot()
+        reference = NetworkStats().snapshot()
+        assert set(snapshot) == set(reference)
+        assert snapshot["messages_sent"] == 3
+        assert snapshot["per_kind"] == {MessageKind.DATA: 2, MessageKind.STATUS: 1}
+
+    def test_reset_fans_out(self):
+        left, right = self._parts()
+        view = StatsView([left, right])
+        view.reset()
+        assert left.messages_sent == 0 and right.messages_sent == 0
+        assert view.messages_sent == 0
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            StatsView([NetworkStats()]).no_such_counter

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.cash",
     "repro.scheduling",
     "repro.fault",
+    "repro.shard",
     "repro.apps.stormcast",
     "repro.apps.mail",
     "repro.bench",

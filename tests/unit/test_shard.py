@@ -1,0 +1,336 @@
+"""Unit tests for repro.shard: placement, clock sync, routing, the facade.
+
+The sharded kernel's correctness argument has three legs, each covered
+here: placement is deterministic and validated, the conservative clock
+sync's lookahead matrix bounds every influence path (direct, relayed,
+and reflected), and the facade delegates without changing semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.core.errors import KernelError, UnknownSiteError
+from repro.core.folder import Folder
+from repro.net import lan
+from repro.net.topology import LinkSpec, Topology
+from repro.net.tcp import TcpTransport
+from repro.shard import (MIN_LOOKAHEAD, ClockSync, default_shard_of,
+                         resolve_placement)
+
+
+def sink(ctx, briefcase):
+    """Contact that files whatever folder it was couriered."""
+    payload_name = briefcase.get("PAYLOAD_NAME")
+    elements = (briefcase.folder(payload_name).elements()
+                if payload_name and briefcase.has(payload_name) else [])
+    ctx.cabinet("mail").put("received", len(elements))
+    yield ctx.sleep(0)
+    return len(elements)
+
+
+def courier(ctx, briefcase):
+    """Send one report folder to PEER's sink contact, then finish."""
+    yield ctx.sleep(float(briefcase.get("WORK", 0.01)))
+    folder = Folder("REPORT", [{"from": ctx.site_name}])
+    yield ctx.send_folder(folder, briefcase.get("PEER"), "sink")
+    return ctx.site_name
+
+
+def sharded_kernel(site_count=8, shards=4, placement=None, seed=7,
+                   latency=0.002):
+    names = [f"s{i}" for i in range(site_count)]
+    kernel = Kernel(lan(names, latency=latency), transport="tcp",
+                    config=KernelConfig(rng_seed=seed, shards=shards,
+                                        shard_placement=placement))
+    kernel.install_agent(None, "sink", sink)
+    return kernel, names
+
+
+class TestPlacement:
+    def test_default_shard_is_deterministic_and_in_range(self):
+        for name in ("alpha", "beta", "s000", "s199"):
+            first = default_shard_of(name, 8)
+            assert first == default_shard_of(name, 8)
+            assert 0 <= first < 8
+
+    def test_resolve_placement_covers_every_site(self):
+        names = [f"s{i}" for i in range(20)]
+        placement = resolve_placement(names, 4)
+        assert set(placement) == set(names)
+        assert set(placement.values()) <= set(range(4))
+
+    def test_explicit_overrides_win(self):
+        names = ["a", "b", "c"]
+        placement = resolve_placement(names, 2, explicit={"a": 1, "b": 1})
+        assert placement["a"] == 1 and placement["b"] == 1
+        assert placement["c"] == default_shard_of("c", 2)
+
+    def test_unknown_site_in_overrides_raises(self):
+        with pytest.raises(KernelError):
+            resolve_placement(["a"], 2, explicit={"ghost": 0})
+
+    def test_out_of_range_shard_raises(self):
+        with pytest.raises(KernelError):
+            resolve_placement(["a"], 2, explicit={"a": 5})
+
+
+class TestClockSync:
+    def _line_topology(self):
+        # a --0.01-- b --0.02-- c   (no direct a--c link)
+        topo = Topology()
+        for name in ("a", "b", "c"):
+            topo.add_site(name)
+        topo.add_link("a", "b", LinkSpec(latency=0.01, bandwidth=0.0))
+        topo.add_link("b", "c", LinkSpec(latency=0.02, bandwidth=0.0))
+        return topo
+
+    def test_lookahead_is_shortest_path_latency(self):
+        sync = ClockSync(self._line_topology(), {"a": 0, "b": 1, "c": 2}, 3)
+        assert sync.lookahead(0, 1) == pytest.approx(0.01)
+        assert sync.lookahead(1, 2) == pytest.approx(0.02)
+        # No direct link: the bound is the relayed path through b.
+        assert sync.lookahead(0, 2) == pytest.approx(0.03)
+
+    def test_relay_through_intermediate_shard_tightens_the_bound(self):
+        # Direct a--c latency (1.0) is looser than the a--b--c relay
+        # (0.03): a message can influence c through an event on b, so the
+        # matrix must take the Floyd-Warshall minimum.
+        topo = self._line_topology()
+        topo.add_link("a", "c", LinkSpec(latency=1.0, bandwidth=0.0))
+        sync = ClockSync(topo, {"a": 0, "b": 1, "c": 2}, 3)
+        assert sync.lookahead(0, 2) == pytest.approx(0.03)
+
+    def test_horizons_grant_min_neighbour_influence(self):
+        sync = ClockSync(self._line_topology(), {"a": 0, "b": 1, "c": 2}, 3)
+        horizons = sync.horizons({0: 1.0, 1: 5.0, 2: 9.0})
+        # Shard 0's earliest outside influence: shard 1 at 5.0 + 0.01.
+        # Its own reflection bound (1.0 + 2*0.01) is tighter.
+        assert horizons[0] == pytest.approx(1.0 + 2 * 0.01)
+        # The globally-min shard always gets a horizon beyond its T.
+        assert horizons[0] > 1.0
+
+    def test_empty_shard_is_bounded_by_others_not_itself(self):
+        sync = ClockSync(self._line_topology(), {"a": 0, "b": 1, "c": 2}, 3)
+        horizons = sync.horizons({0: None, 1: 2.0, 2: None})
+        assert horizons[0] == pytest.approx(2.0 + 0.01)
+        # A lone live shard with no one to hear from runs unconstrained
+        # except for its own reflections.
+        lone = sync.horizons({0: None, 1: 3.0, 2: None})
+        assert lone[1] == pytest.approx(3.0 + min(2 * 0.01, 2 * 0.02))
+
+    def test_all_queues_empty_means_unconstrained(self):
+        sync = ClockSync(self._line_topology(), {"a": 0, "b": 1, "c": 2}, 3)
+        assert sync.horizons({0: None, 1: None, 2: None}) == {
+            0: None, 1: None, 2: None}
+
+    def test_lookahead_floor_for_colocated_shards(self):
+        topo = Topology()
+        for name in ("a", "b"):
+            topo.add_site(name)
+        topo.add_link("a", "b", LinkSpec(latency=0.0, bandwidth=0.0))
+        sync = ClockSync(topo, {"a": 0, "b": 1}, 2)
+        assert sync.lookahead(0, 1) == pytest.approx(MIN_LOOKAHEAD)
+
+    def test_unreachable_shards_never_constrain(self):
+        topo = Topology()
+        for name in ("a", "b"):
+            topo.add_site(name)  # no links at all
+        sync = ClockSync(topo, {"a": 0, "b": 1}, 2)
+        assert sync.lookahead(0, 1) == math.inf
+        horizons = sync.horizons({0: 1.0, 1: 50.0})
+        assert horizons[0] is None and horizons[1] is None
+
+    def test_flow_bonus_widens_horizons(self):
+        placement = {"a": 0, "b": 1, "c": 2}
+        plain = ClockSync(self._line_topology(), placement, 3)
+        boosted = ClockSync(self._line_topology(), placement, 3,
+                            flow_bonus=0.5)
+        base = plain.horizons({0: 1.0, 1: 1.0, 2: 1.0})
+        wide = boosted.horizons({0: 1.0, 1: 1.0, 2: 1.0})
+        for shard_id in placement.values():
+            assert wide[shard_id] == pytest.approx(base[shard_id] + 0.5)
+
+    def test_invalidate_rebuilds_after_topology_growth(self):
+        topo = self._line_topology()
+        sync = ClockSync(topo, {"a": 0, "b": 1, "c": 2}, 3)
+        assert sync.lookahead(0, 2) == pytest.approx(0.03)
+        topo.add_link("a", "c", LinkSpec(latency=0.005, bandwidth=0.0))
+        sync.invalidate()
+        assert sync.lookahead(0, 2) == pytest.approx(0.005)
+
+
+class TestFacadeConstruction:
+    def test_sites_partition_exactly(self):
+        kernel, names = sharded_kernel()
+        owned = [set(engine.sites) for engine in kernel._engines]
+        assert set().union(*owned) == set(names)
+        for i, left in enumerate(owned):
+            for right in owned[i + 1:]:
+                assert not (left & right)
+        assert set(kernel.sites) == set(names)
+        assert kernel.site_names() == names
+
+    def test_explicit_placement_is_honoured(self):
+        names = [f"s{i}" for i in range(4)]
+        placement = {name: index % 2 for index, name in enumerate(names)}
+        kernel, _ = sharded_kernel(site_count=4, shards=2,
+                                   placement=placement)
+        for name, shard_id in placement.items():
+            assert name in kernel._engines[shard_id].sites
+
+    def test_shard_set_exposed_and_none_on_classic(self):
+        kernel, _ = sharded_kernel(shards=2)
+        assert kernel.shard_set is not None
+        assert len(kernel.shard_set.shards) == 2
+        classic = Kernel(lan(["a", "b"]), transport="tcp")
+        assert classic.shard_set is None
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), transport="tcp",
+                   config=KernelConfig(shards=0))
+
+    def test_constructed_transport_instance_rejected(self):
+        donor = Kernel(lan(["a", "b"]), transport="tcp")
+        assert isinstance(donor.transport, TcpTransport)
+        with pytest.raises(KernelError):
+            Kernel(lan(["a", "b"]), transport=donor.transport,
+                   config=KernelConfig(shards=2))
+
+    def test_launch_on_unknown_site_raises(self):
+        kernel, _ = sharded_kernel()
+        with pytest.raises(UnknownSiteError):
+            kernel.launch("nowhere", courier, Briefcase())
+
+
+class TestCrossShardTraffic:
+    def _run_couriers(self, kernel, names, pairs):
+        for home, peer in pairs:
+            briefcase = Briefcase()
+            briefcase.set("PEER", peer)
+            kernel.launch(home, courier, briefcase)
+        kernel.run()
+
+    def _cross_pairs(self, kernel, names, count=6):
+        pairs = []
+        for home in names:
+            for peer in names:
+                if (kernel._router.placement[home]
+                        != kernel._router.placement[peer]):
+                    pairs.append((home, peer))
+        assert len(pairs) >= count
+        return pairs[:count]
+
+    def test_folders_cross_shards_and_arrive(self):
+        kernel, names = sharded_kernel()
+        pairs = self._cross_pairs(kernel, names)
+        self._run_couriers(kernel, names, pairs)
+        assert kernel.completed == kernel.launched
+        assert kernel.meets == len(pairs)
+        assert kernel.stats.shard_handoffs == len(pairs)
+        assert kernel.stats.shard_handoff_bytes > 0
+        for _home, peer in pairs:
+            assert kernel.site(peer).cabinet("mail").elements("received")
+
+    def test_conservative_sync_never_clamps_arrivals(self):
+        kernel, names = sharded_kernel()
+        pairs = self._cross_pairs(kernel, names)
+        self._run_couriers(kernel, names, pairs)
+        assert kernel.stats.shard_late_arrivals == 0
+
+    def test_facade_counters_sum_engines(self):
+        kernel, names = sharded_kernel()
+        pairs = self._cross_pairs(kernel, names)
+        self._run_couriers(kernel, names, pairs)
+        assert kernel.launched == sum(engine.launched
+                                      for engine in kernel._engines)
+        assert kernel.meets == sum(engine.meets
+                                   for engine in kernel._engines)
+        counters = kernel.counters()
+        assert counters["launched"] == kernel.launched
+        assert counters["completed"] == kernel.completed
+
+    def test_event_log_merges_in_time_order(self):
+        kernel, names = sharded_kernel()
+        pairs = self._cross_pairs(kernel, names)
+        self._run_couriers(kernel, names, pairs)
+        for engine in kernel._engines:
+            engine.log_event("probe", "-", f"shard {engine._shard_ctx.shard_id}")
+        log = kernel.event_log
+        times = [entry[0] for entry in log]
+        assert times == sorted(times)
+        assert len(log) == sum(len(engine.event_log)
+                               for engine in kernel._engines)
+        assert len(log) >= len(kernel._engines)
+
+
+class TestFacadeLifecycle:
+    def test_crash_and_recover_cross_shard_site(self):
+        kernel, names = sharded_kernel()
+        victim = names[0]
+        kernel.crash_site(victim)
+        owner = kernel._engine_for(victim)
+        assert not kernel.site(victim).alive
+        # A courier from another shard finds the site down, then recovered.
+        peer = next(name for name in names
+                    if kernel._router.placement[name]
+                    != kernel._router.placement[victim])
+        briefcase = Briefcase()
+        briefcase.set("PEER", victim)
+        briefcase.set("WORK", 0.2)
+        kernel.launch(peer, courier, briefcase)
+        kernel.run(until=0.1)
+        kernel.recover_site(victim)
+        kernel.run()
+        assert kernel.site(victim).alive
+        assert owner.site(victim).cabinet("mail").elements("received")
+
+    def test_partition_blocks_cross_shard_traffic(self):
+        kernel, names = sharded_kernel()
+        victim = names[0]
+        peer = next(name for name in names
+                    if kernel._router.placement[name]
+                    != kernel._router.placement[victim])
+        kernel.partition([[victim], [name for name in names
+                                     if name != victim]])
+        briefcase = Briefcase()
+        briefcase.set("PEER", victim)
+        kernel.launch(peer, courier, briefcase)
+        kernel.run(until=5.0)
+        assert not kernel.site(victim).cabinet("mail").elements("received")
+        kernel.heal_partition()
+        briefcase = Briefcase()
+        briefcase.set("PEER", victim)
+        kernel.launch(peer, courier, briefcase)
+        kernel.run()
+        assert kernel.site(victim).cabinet("mail").elements("received")
+
+    def test_add_site_lands_on_its_shard_and_is_reachable(self):
+        kernel, names = sharded_kernel()
+        kernel.add_site("late", links=names)
+        owner = kernel._router.placement["late"]
+        assert "late" in kernel._engines[owner].sites
+        assert "late" in kernel.sites
+        kernel.install_agent("late", "sink", sink, replace=True)
+        source = next(name for name in names
+                      if kernel._router.placement[name] != owner)
+        briefcase = Briefcase()
+        briefcase.set("PEER", "late")
+        kernel.launch(source, courier, briefcase)
+        kernel.run()
+        assert kernel.site("late").cabinet("mail").elements("received")
+
+    def test_add_site_with_explicit_placement_override(self):
+        kernel, names = sharded_kernel()
+        kernel.config.shard_placement = {"pinned": 3}
+        kernel.add_site("pinned", links=[names[0]])
+        assert "pinned" in kernel._engines[3].sites
+
+    def test_duplicate_add_site_raises(self):
+        kernel, names = sharded_kernel()
+        with pytest.raises(KernelError):
+            kernel.add_site(names[0])
