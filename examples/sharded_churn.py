@@ -8,6 +8,10 @@ map used here), each with its own event loop and transport.  A
 conservative clock sync — lookahead derived from the topology's link
 latencies — advances every shard only as far as its neighbours cannot
 affect, and the mail router hands cross-shard folders over at send time.
+``KernelConfig(shard_backend=...)`` chooses how the per-round shard
+bursts execute: serially (``"inproc"``), on a thread pool
+(``"thread"``, used below), or on spawned worker processes
+(``"process"``).
 
 The example runs a churn of courier agents whose report destinations sit
 on *other* shards, then shows the two properties that matter:
@@ -56,9 +60,10 @@ def courier(ctx: AgentContext, briefcase: Briefcase):
     return ctx.site_name
 
 
-def build_and_run(shards: int) -> Kernel:
+def build_and_run(shards: int, backend: str = "inproc") -> Kernel:
     config = KernelConfig(rng_seed=11, shards=shards,
-                          shard_placement=PLACEMENT if shards > 1 else None)
+                          shard_placement=PLACEMENT if shards > 1 else None,
+                          shard_backend=backend)
     kernel = Kernel(lan(SITES), transport="tcp", config=config)
     kernel.install_agent(None, "report_sink", report_sink)
     for index in range(N_COURIERS):
@@ -73,8 +78,12 @@ def build_and_run(shards: int) -> Kernel:
 
 
 def main() -> None:
-    sharded = build_and_run(shards=SHARDS)
-    print(f"{len(SITES)} sites on {SHARDS} shards, {N_COURIERS} couriers, "
+    # shard_backend picks how the per-round shard bursts execute:
+    # "inproc" (serial, bit-identical reference), "thread" (persistent
+    # pool + locked handoff inboxes), or "process" (spawned workers).
+    sharded = build_and_run(shards=SHARDS, backend="thread")
+    print(f"{len(SITES)} sites on {SHARDS} shards (thread backend), "
+          f"{N_COURIERS} couriers, "
           f"every report crossing a rack (= shard) boundary\n")
 
     print("Per-shard telemetry (kernel.shard_set):")
@@ -86,7 +95,12 @@ def main() -> None:
           f"{snapshot['shard_handoffs']} "
           f"({snapshot['shard_handoff_bytes']} bytes), "
           f"late arrivals: {snapshot['shard_late_arrivals']} "
-          "(always 0: the sync is conservative)\n")
+          "(always 0: the sync is conservative)")
+    summary = sharded.shard_summary()
+    print(f"  shard_summary: backend={summary['backend']}, "
+          f"rounds={summary['rounds']}, "
+          f"handoffs_drained={summary['handoffs_drained']}\n")
+    sharded.close()
 
     classic = build_and_run(shards=1)
     print(f"{'counter':<14} {'shards=4':>9} {'shards=1':>9}")
@@ -95,6 +109,7 @@ def main() -> None:
     match = sharded.counters() == classic.counters()
     print(f"\ncounters identical under sharding: {match}")
     assert match, "sharding must not change simulation semantics"
+    classic.close()
 
 
 if __name__ == "__main__":

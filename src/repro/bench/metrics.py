@@ -76,6 +76,12 @@ def jains_fairness(values: Sequence[float]) -> float:
     data = [float(value) for value in values]
     if not data:
         return 1.0
+    scale = max(abs(value) for value in data)
+    if scale == 0:
+        return 1.0
+    # The index is scale-invariant; normalising keeps the squares out of
+    # the subnormal range, where underflow can push the ratio above 1.
+    data = [value / scale for value in data]
     total = sum(data)
     squares = sum(value * value for value in data)
     if squares == 0:

@@ -32,7 +32,8 @@ from repro.core.context import AgentContext
 from repro.core.folder import Folder
 from repro.core.kernel import Kernel, KernelConfig
 from repro.core.registry import register_behaviour
-from repro.net.topology import Topology, lan, ring, star, two_clusters
+from repro.net.topology import (Topology, lan, ring, star, switched_fabric,
+                                two_clusters)
 
 __all__ = [
     "DataGatherParams", "GatherResult", "build_gather_kernel", "populate_data_sites",
@@ -877,9 +878,26 @@ class ShardedChurnParams:
     shards: Optional[int] = None
     transport: str = "tcp"
     seed: int = 41
+    #: shard execution backend ("inproc", "thread", "process"); inert when
+    #: ``shards`` is None (E15 sweeps this, E14 keeps the inproc default)
+    backend: str = "inproc"
+    #: "lan" (full mesh — quadratic edges, fine to ~200 sites) or "fabric"
+    #: (:func:`~repro.net.topology.switched_fabric` — the scaled E15 arm)
+    topology: str = "lan"
+    hosts_per_switch: int = 50
 
     def site_names(self) -> List[str]:
         return [f"s{i:03d}" for i in range(max(1, self.n_sites))]
+
+    def build_topology(self) -> Topology:
+        sites = self.site_names()
+        if self.topology == "fabric":
+            return switched_fabric(sites,
+                                   hosts_per_switch=self.hosts_per_switch)
+        if self.topology == "lan":
+            return lan(sites)
+        raise ValueError(f"unknown topology {self.topology!r}; "
+                         f"expected 'lan' or 'fabric'")
 
 
 @dataclass
@@ -900,11 +918,23 @@ class ShardedChurnResult:
     handoffs: int
     late_arrivals: int
     counters: Dict[str, int] = field(default_factory=dict)
+    #: which execution backend ran the shard bursts ("inproc" when unsharded)
+    backend: str = "inproc"
+    #: real end-to-end wall-clock of the run() calls — the E15 metric the
+    #: parallel-host *model* (busy_seconds) is finally measured against
+    wall_seconds: float = 0.0
+    #: per-round coordination overhead (round wall-time minus slowest burst)
+    overhead_seconds: float = 0.0
 
     @property
     def throughput(self) -> float:
         """Aggregate events per busy second under the parallel-host model."""
         return self.events / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+    @property
+    def wall_throughput(self) -> float:
+        """Events per real wall-clock second — what E15 actually races."""
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
 def _shard_sink(ctx: AgentContext, briefcase: Briefcase):
@@ -938,8 +968,9 @@ register_behaviour(SHARD_COURIER_NAME, _shard_courier, replace=True)
 def execute_sharded_churn(params: ShardedChurnParams):
     """Run the sharded churn scenario; returns ``(kernel, result)``."""
     sites = params.site_names()
-    overrides = {} if params.shards is None else {"shards": params.shards}
-    kernel = Kernel(lan(sites), transport=params.transport,
+    overrides = {} if params.shards is None else {
+        "shards": params.shards, "shard_backend": params.backend}
+    kernel = Kernel(params.build_topology(), transport=params.transport,
                     config=KernelConfig(rng_seed=params.seed, **overrides))
     kernel.install_agent(None, SHARD_SINK_NAME, _shard_sink)
     offset = max(1, len(sites) // 2 + 1)
@@ -968,10 +999,12 @@ def execute_sharded_churn(params: ShardedChurnParams):
         busy = summary["max_busy"]
         total_busy = summary["total_busy"]
         sync_seconds = summary["sync_seconds"]
+        overhead_seconds = summary["overhead_seconds"]
         rounds = shard_set.rounds
     else:
         busy = total_busy = wall
         sync_seconds = 0.0
+        overhead_seconds = 0.0
         rounds = 0
     snapshot = kernel.stats.snapshot()
     result = ShardedChurnResult(
@@ -987,10 +1020,15 @@ def execute_sharded_churn(params: ShardedChurnParams):
         handoffs=snapshot["shard_handoffs"],
         late_arrivals=snapshot["shard_late_arrivals"],
         counters=kernel.counters(),
+        backend=params.backend if params.shards is not None else "inproc",
+        wall_seconds=wall,
+        overhead_seconds=overhead_seconds,
     )
     return kernel, result
 
 
 def run_sharded_churn(params: ShardedChurnParams) -> ShardedChurnResult:
-    """Run the sharded churn scenario for *params*."""
-    return execute_sharded_churn(params)[1]
+    """Run the sharded churn scenario for *params* (releasing the kernel)."""
+    kernel, result = execute_sharded_churn(params)
+    kernel.close()
+    return result

@@ -142,6 +142,11 @@ class KernelConfig:
     #: explicit site -> shard id placement overrides; sites not listed are
     #: placed by a stable CRC-32 hash of their name
     shard_placement: Optional[Dict[str, int]] = None
+    #: where each synchronisation round's shard bursts execute: "inproc"
+    #: (serial, the default), "thread" (a persistent pool, one worker per
+    #: shard), or "process" (long-lived spawn workers — real multi-core
+    #: parallelism; see :mod:`repro.shard.backend`).  Inert at shards=1.
+    shard_backend: str = "inproc"
 
 
 class Kernel:
@@ -178,6 +183,11 @@ class Kernel:
         self.config = config or KernelConfig()
         if self.config.shards < 1:
             raise KernelError(f"shards must be >= 1, got {self.config.shards}")
+        from repro.shard.backend import BACKENDS
+        if self.config.shard_backend not in BACKENDS:
+            raise KernelError(
+                f"unknown shard_backend {self.config.shard_backend!r}; "
+                f"expected one of {BACKENDS}")
         #: the ShardSet when this kernel is a sharded facade; None for the
         #: classic single-loop kernel and for the per-shard engines
         self._shards = None
@@ -320,36 +330,47 @@ class Kernel:
         they ask (``kernel.shard_set``).
         """
         from repro.shard import (ClockSync, MailRouter, Shard, ShardContext,
-                                 ShardSet, resolve_placement)
+                                 ShardSet, make_backend, resolve_placement)
         if isinstance(transport, Transport):
             raise KernelError(
                 "a sharded kernel builds one transport per shard; pass a "
                 "transport name or class, not a constructed instance")
         self.topology = topology if topology is not None else lan(["alpha", "beta", "gamma"])
         self.registry = registry or default_registry()
+        backend_name = self.config.shard_backend
         placement = resolve_placement(self.topology.sites(), self.config.shards,
                                       self.config.shard_placement)
-        router = MailRouter(placement)
-        engines: List[Kernel] = []
-        for shard_id in range(self.config.shards):
-            owned = frozenset(name for name, owner in placement.items()
-                              if owner == shard_id)
-            engines.append(Kernel(
-                topology=self.topology, transport=transport, config=self.config,
-                install_system_agents=install_system_agents,
-                registry=self.registry, retention=retention,
-                _shard_ctx=ShardContext(shard_id, owned, router)))
+        router = MailRouter(placement,
+                            inbox_handoffs=(backend_name == "thread"))
+        if backend_name == "process":
+            engines, backend = self._spawn_process_engines(
+                transport, install_system_agents, retention, placement, router)
+        else:
+            engines = []
+            for shard_id in range(self.config.shards):
+                owned = frozenset(name for name, owner in placement.items()
+                                  if owner == shard_id)
+                engines.append(Kernel(
+                    topology=self.topology, transport=transport,
+                    config=self.config,
+                    install_system_agents=install_system_agents,
+                    registry=self.registry, retention=retention,
+                    _shard_ctx=ShardContext(shard_id, owned, router)))
+            backend = make_backend(backend_name, router, self.config.shards)
         router.attach_engines(engines)
         clock_sync = ClockSync(self.topology, router.placement,
                                shards=self.config.shards,
                                flow_bonus=self.config.flow_window_min)
         router.clock_sync = clock_sync
+        if backend.distributed:
+            backend.clock_sync = clock_sync
         self._engines = engines
         self._router = router
         self._clock_sync = clock_sync
+        self._backend = backend
         self._shards = ShardSet([Shard(shard_id, engine)
                                  for shard_id, engine in enumerate(engines)],
-                                clock_sync)
+                                clock_sync, backend=backend)
 
         # The merged facade surface: one API over N shards.
         self.stats = StatsView([engine.stats for engine in engines])
@@ -364,6 +385,54 @@ class Kernel:
         self.transport = engines[0].transport
         self.rng = engines[0].rng
         self._install_system_agents = install_system_agents
+
+    def _spawn_process_engines(self, transport, install_system_agents,
+                               retention, placement, router):
+        """Build the process backend: one spawn worker per shard.
+
+        The facade keeps :class:`ProcessEngineProxy` objects where the
+        in-process backends keep engine kernels; the merged views and the
+        delegation methods work over either because the proxies present
+        the same surface (served from worker state digests).
+        """
+        import pickle
+
+        from repro.core.registry import default_registry as _default_registry
+        from repro.shard.procworker import (ProcessBackend, WorkerSpec,
+                                            preload_module_names)
+        if self.registry is not _default_registry():
+            raise KernelError(
+                "shard_backend='process' rebuilds behaviours from the "
+                "process-wide default registry in each worker; a custom "
+                "registry instance cannot cross the process boundary (use "
+                "shard_backend='thread' or register behaviours in the "
+                "default registry)")
+        try:
+            pickle.dumps((self.config, retention, transport, self.topology))
+        except Exception as error:
+            raise KernelError(
+                "shard_backend='process' ships the topology, config and "
+                f"transport to spawn workers, but pickling failed: {error} "
+                "(pass the transport by name, keep LinkSpec-based "
+                "topologies, and avoid closures in the config)") from None
+        transport_name = (transport if isinstance(transport, str)
+                          else getattr(transport, "name", transport.__name__))
+        preload = preload_module_names(self.registry)
+        specs = []
+        for shard_id in range(self.config.shards):
+            owned = frozenset(name for name, owner in placement.items()
+                              if owner == shard_id)
+            specs.append(WorkerSpec(
+                shard_id=shard_id, topology=self.topology,
+                transport=transport, config=self.config,
+                install_system_agents=install_system_agents,
+                retention=retention, owned=owned, placement=placement,
+                preload_modules=preload))
+        backend = ProcessBackend(specs, transport_name)
+        # Share the live placement map so late-joining sites (add_site)
+        # route correctly without re-plumbing the backend.
+        backend.placement = router.placement
+        return backend.proxies, backend
 
     def __getattr__(self, name: str):
         # Only ever reached for attributes missing from __dict__ — i.e. on
@@ -388,6 +457,40 @@ class Kernel:
     def shard_set(self):
         """The ShardSet coordinator, or None on a classic kernel."""
         return self._shards
+
+    def shard_summary(self) -> Dict[str, Any]:
+        """Cross-shard coordination ledger (what the E15 report prints).
+
+        Works on any kernel: a classic single-loop kernel reports
+        ``shards=1, backend=None`` with all-zero handoff counters, so
+        benchmark code can print it unconditionally.
+        """
+        stats = self.stats
+        summary: Dict[str, Any] = {
+            "shards": self.config.shards if self._shards is not None else 1,
+            "backend": self._backend.name if self._shards is not None else None,
+            "shard_handoffs": stats.shard_handoffs,
+            "shard_handoff_bytes": stats.shard_handoff_bytes,
+            "shard_late_arrivals": stats.shard_late_arrivals,
+        }
+        if self._shards is not None:
+            summary["rounds"] = self._shards.rounds
+            summary["sync_seconds"] = self._shards.sync_seconds
+            summary["overhead_seconds"] = self._shards.overhead_seconds
+            summary["handoffs_drained"] = self._shards.handoffs_drained
+            summary["clock_rebuilds"] = self._clock_sync.rebuilds
+        return summary
+
+    def close(self) -> None:
+        """Release shard-backend resources (worker threads / processes).
+
+        Idempotent, and a no-op on the classic single-loop kernel — call
+        it unconditionally when done with a kernel.  A process-backend
+        facade whose workers are gone cannot run further; in-process
+        backends rebuild their pool lazily if run again.
+        """
+        if self._shards is not None:
+            self._shards.close()
 
     def _engine_for(self, site_name: str) -> "Kernel":
         """The shard engine owning *site_name* (facade only)."""
@@ -508,6 +611,9 @@ class Kernel:
         if not 0 <= owner < self.config.shards:
             raise KernelError(f"shard_placement[{name!r}] = {owner} is "
                               f"outside [0, {self.config.shards})")
+        if self._backend.distributed:
+            return self._add_site_distributed(name, links,
+                                              install_system_agents, owner)
         self._router.assign(name, owner)
         try:
             site = self._engines[owner].add_site(
@@ -516,6 +622,43 @@ class Kernel:
             self._router.unassign(name)
             raise
         self._clock_sync.invalidate()
+        return site
+
+    def _add_site_distributed(self, name: str, links: Sequence,
+                              install_system_agents: Optional[bool],
+                              owner: int):
+        """Process-backend add_site: every worker's topology must learn it.
+
+        The owning worker runs the full engine ``add_site`` (site object,
+        endpoint, stores, system agents); the others only mirror the
+        placement and the new topology edges so their routing and any
+        relayed traffic see the newcomer.  The facade keeps its own
+        topology copy current for ClockSync and queries.
+        """
+        resolved = [link if isinstance(link, tuple) else (link, None)
+                    for link in links]
+        for peer, _ in resolved:
+            if not self.topology.has_site(peer):
+                raise UnknownSiteError(f"cannot link new site {name!r} to "
+                                       f"unknown site {peer!r}")
+        self._router.assign(name, owner)
+        try:
+            site = self._engines[owner].add_site(
+                name, links=list(links),
+                install_system_agents=install_system_agents, owner=owner)
+        except Exception:
+            self._router.unassign(name)
+            raise
+        if not self.topology.has_site(name):
+            self.topology.add_site(name)
+        for peer, spec in resolved:
+            self.topology.add_link(name, peer, spec)
+        for shard_id, engine in enumerate(self._engines):
+            if shard_id != owner:
+                engine.site_assigned(name, resolved, owner)
+        self._clock_sync.invalidate()
+        # No facade-side log_event: the owning worker's add_site already
+        # logged "site added" and the digest merges it in.
         return site
 
     def on_site_added(self, callback: Callable[[str], None]) -> None:
@@ -561,6 +704,18 @@ class Kernel:
         durability is off.
         """
         targets = list(sites) if sites is not None else self.site_names()
+        if self._shards is not None and self._backend.distributed:
+            # The stores live in worker processes: group the targets by
+            # owning shard and opt in with one RPC per worker.
+            by_owner: Dict[int, List[str]] = {}
+            for site_name in targets:
+                owner = self._router.placement.get(site_name)
+                if owner is None:
+                    raise UnknownSiteError(f"unknown site {site_name!r}")
+                by_owner.setdefault(owner, []).append(site_name)
+            return sum(
+                self._engines[owner].make_durable(cabinet_name, sites=names)
+                for owner, names in by_owner.items())
         opted = 0
         for site_name in targets:
             store = self.store(site_name)
@@ -586,6 +741,18 @@ class Kernel:
     def install_agent(self, site_name: Optional[str], name: str, behaviour: Callable,
                       system: bool = False, replace: bool = False) -> None:
         """Install a named agent at one site (or every site when *site_name* is None)."""
+        if self._shards is not None:
+            # Delegate to the owning engine(s) instead of poking Site
+            # objects from here: on the process backend sites live in
+            # worker processes and installation must cross as an RPC.
+            if site_name is not None:
+                self._engine_for(site_name).install_agent(
+                    site_name, name, behaviour, system=system, replace=replace)
+            else:
+                for engine in self._engines:
+                    engine.install_agent(None, name, behaviour,
+                                         system=system, replace=replace)
+            return
         targets = [self.site(site_name)] if site_name is not None else list(self.sites.values())
         for site in targets:
             site.install(name, behaviour, system=system, replace=replace)
@@ -914,6 +1081,10 @@ class Kernel:
                     # crashed site and forget its flow telemetry, exactly
                     # as the owning transport does for local traffic.
                     engine.transport.on_site_down(name)
+            if self._backend.distributed:
+                # Workers mark their own topology copies; keep the
+                # facade's copy (ClockSync, route queries) in step.
+                self.topology.mark_down(name)
             return
         site = self.site(name)
         if not site.alive:
@@ -957,6 +1128,8 @@ class Kernel:
             for engine in self._engines:
                 if engine is not owner:
                     engine.transport.on_site_up(name)
+            if self._backend.distributed:
+                self.topology.mark_up(name)
             return
         site = self.site(name)
         if site.alive:
@@ -1008,9 +1181,15 @@ class Kernel:
         """
         self.topology.set_partition(groups)
         if self._shards is not None:
-            for engine in self._engines:
-                engine.transport.flush_outboxes(only_unroutable=True,
-                                                cause="partition")
+            if self._backend.distributed:
+                # Each worker partitions its own topology copy and flushes
+                # its severed outboxes in one RPC.
+                for engine in self._engines:
+                    engine.partition(groups)
+            else:
+                for engine in self._engines:
+                    engine.transport.flush_outboxes(only_unroutable=True,
+                                                    cause="partition")
         else:
             self.transport.flush_outboxes(only_unroutable=True, cause="partition")
         self.log_event("kernel", "*", f"partition installed: {[list(g) for g in groups]}")
@@ -1018,6 +1197,9 @@ class Kernel:
     def heal_partition(self) -> None:
         """Heal any active partition."""
         self.topology.heal_partition()
+        if self._shards is not None and self._backend.distributed:
+            for engine in self._engines:
+                engine.heal_partition()
         self.log_event("kernel", "*", "partition healed")
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from repro.net.simclock import Event, EventLoop, SimClock
 from repro.net.stats import LinkStats, NetworkStats
 from repro.net.tcp import TcpTransport
 from repro.net.topology import (LinkSpec, Topology, lan, random_topology, ring, star,
-                                two_clusters)
+                                switched_fabric, two_clusters)
 from repro.net.transport import Transport
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "Message", "MessageKind",
     "LinkStats", "NetworkStats",
     "LinkSpec", "Topology", "lan", "two_clusters", "ring", "star", "random_topology",
+    "switched_fabric",
     "Transport", "RshTransport", "TcpTransport",
     "HorusTransport", "ProcessGroup", "GroupView",
     "FailureSchedule", "RandomCrasher",

@@ -190,6 +190,17 @@ class NetworkStats:
         if late:
             self.shard_late_arrivals += 1
 
+    def record_shard_late_arrival(self) -> None:
+        """Count a handoff clamped into the destination shard's past.
+
+        The direct (in-process) handoff path counts lateness on the origin
+        shard at dispatch time; the queued paths (thread inboxes, process
+        workers) only learn it destination-side at enqueue time and record
+        it there.  Either way each late arrival is counted exactly once, so
+        merged totals agree across backends.
+        """
+        self.shard_late_arrivals += 1
+
     @property
     def early_flushes(self) -> int:
         """Flushes that fired before the window timer (threshold or deadline)."""
@@ -266,6 +277,45 @@ class NetworkStats:
             "mean_latency": self.mean_latency() or 0.0,
             "delivery_ratio": self.delivery_ratio(),
         }
+
+    # -- state transfer (process shard backend) -------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Every counter as one picklable plain-dict.
+
+        The process shard backend's workers ship their stats to the
+        coordinator in state digests; ``defaultdict`` fields (whose lambda
+        factories do not pickle) are flattened to plain dicts, containers
+        are copied so the exported state never aliases the live counters.
+        """
+        state: Dict[str, object] = {}
+        for spec in dataclasses.fields(NetworkStats):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            state[spec.name] = value
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Replace every counter from an :meth:`export_state` dict.
+
+        Each shard's stats are owned entirely by one worker, so a mirror is
+        refreshed by whole-state replacement — no merge arithmetic, no
+        drift.  Unknown keys are ignored so digests stay forward-compatible.
+        """
+        for spec in dataclasses.fields(NetworkStats):
+            if spec.name not in state:
+                continue
+            value = state[spec.name]
+            if spec.name in ("flush_causes", "per_kind", "per_kind_bytes"):
+                value = defaultdict(int, value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            setattr(self, spec.name, value)
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark repetitions)."""

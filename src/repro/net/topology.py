@@ -12,13 +12,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from repro.core.errors import NoRouteError, UnknownSiteError
 
-__all__ = ["LinkSpec", "Topology", "lan", "two_clusters", "random_topology", "ring", "star"]
+__all__ = ["LinkSpec", "Topology", "lan", "two_clusters", "random_topology", "ring",
+           "star", "switched_fabric"]
 
 
 @dataclass
@@ -38,23 +39,35 @@ class Topology:
     typo.
     """
 
+    #: route-cost cache bound: when a workload routes between more unique
+    #: pairs than this, the cache is simply cleared and rebuilt on demand
+    _ROUTE_CACHE_MAX = 65_536
+
     def __init__(self) -> None:
         self._graph = nx.Graph()
         #: sites currently considered crashed (no traffic in or out)
         self._down: Set[str] = set()
         #: active partition: mapping site -> partition group id
         self._partition: Dict[str, int] = {}
+        #: memoised per-(source, destination) routes — ``path_cost`` is
+        #: called once per message, and at thousands of sites the per-call
+        #: Dijkstra dominates the whole simulation.  Any mutation that can
+        #: change routing (new sites/links, crashes, recoveries, partitions)
+        #: clears it.  Values are the route's link specs in path order.
+        self._route_cache: Dict[Tuple[str, str], Tuple[LinkSpec, ...]] = {}
 
     # -- construction -----------------------------------------------------------
 
     def add_site(self, name: str) -> None:
         """Add a site with no links."""
         self._graph.add_node(name)
+        self._route_cache.clear()
 
     def add_link(self, a: str, b: str, spec: Optional[LinkSpec] = None) -> None:
         """Add (or replace) an undirected link between *a* and *b*."""
         spec = spec or LinkSpec()
         self._graph.add_edge(a, b, spec=spec)
+        self._route_cache.clear()
 
     def sites(self) -> List[str]:
         """All site names."""
@@ -77,17 +90,28 @@ class Topology:
             raise NoRouteError(f"no direct link between {a!r} and {b!r}")
         return self._graph.edges[a, b]["spec"]
 
+    def links(self) -> Iterator[Tuple[str, str, LinkSpec]]:
+        """Every direct link as ``(a, b, spec)`` (each undirected link once).
+
+        The shard clock sync seeds its lookahead matrix from this — an O(E)
+        scan instead of an all-pairs shortest-path pass.
+        """
+        for a, b, data in self._graph.edges(data=True):
+            yield a, b, data["spec"]
+
     # -- failure / partition state ------------------------------------------------
 
     def mark_down(self, name: str) -> None:
         """Mark a site as crashed (kernel calls this; traffic is refused)."""
         self._check(name)
         self._down.add(name)
+        self._route_cache.clear()
 
     def mark_up(self, name: str) -> None:
         """Mark a site as recovered."""
         self._check(name)
         self._down.discard(name)
+        self._route_cache.clear()
 
     def is_down(self, name: str) -> bool:
         """True if the site is currently crashed."""
@@ -105,10 +129,12 @@ class Topology:
             for name in group:
                 self._check(name)
                 self._partition[name] = group_id
+        self._route_cache.clear()
 
     def heal_partition(self) -> None:
         """Remove any active partition."""
         self._partition = {}
+        self._route_cache.clear()
 
     def partitioned(self, a: str, b: str) -> bool:
         """True if an active partition separates *a* and *b*."""
@@ -149,19 +175,41 @@ class Topology:
             raise NoRouteError(f"no path from {a!r} to {b!r}") from exc
 
     def path_cost(self, a: str, b: str, size_bytes: int) -> Tuple[float, int, float]:
-        """(transfer seconds, hop count, worst loss rate) for a message of *size_bytes*."""
-        route = self.path(a, b)
-        if len(route) == 1:
-            return 0.0, 0, 0.0
+        """(transfer seconds, hop count, worst loss rate) for a message of *size_bytes*.
+
+        The route itself is memoised per (source, destination): transports
+        call this once per message, and above a few hundred sites the
+        per-message shortest-path search is the simulation's real hot path.
+        Only the route (its link specs) is cached; the per-link cost sum is
+        re-evaluated per call in exactly the pre-cache order, so cached and
+        uncached calls produce bit-identical transfer times.
+        """
+        cached = self._route_cache.get((a, b))
+        if cached is None:
+            # Fast-path guards still apply on a cache miss: path() performs
+            # the down/partition checks and raises before anything is cached.
+            route = self.path(a, b)
+            specs = tuple(self._graph.edges[u, v]["spec"]
+                          for u, v in zip(route, route[1:]))
+            if len(self._route_cache) >= self._ROUTE_CACHE_MAX:
+                self._route_cache.clear()
+            self._route_cache[(a, b)] = specs
+        else:
+            # Cached routes are only valid while routing state is unchanged
+            # (mutations clear the cache); the per-pair checks stay per-call.
+            if self.is_down(a) or self.is_down(b):
+                raise NoRouteError(f"site down on path {a!r} -> {b!r}")
+            if self.partitioned(a, b):
+                raise NoRouteError(f"{a!r} and {b!r} are in different partitions")
+            specs = cached
         total = 0.0
         loss = 0.0
-        for u, v in zip(route, route[1:]):
-            spec: LinkSpec = self._graph.edges[u, v]["spec"]
+        for spec in specs:
             total += spec.latency
             if spec.bandwidth > 0:
                 total += size_bytes / spec.bandwidth
             loss = max(loss, spec.loss_rate)
-        return total, len(route) - 1, loss
+        return total, len(specs), loss
 
     def all_pairs_latency(self) -> Dict[str, Dict[str, float]]:
         """Shortest-path pure latency (no bandwidth term) between all site pairs.
@@ -255,6 +303,46 @@ def star(hub: str, leaves: Sequence[str], latency: float = 0.003,
     for leaf in leaves:
         topo.add_site(leaf)
         topo.add_link(hub, leaf, spec)
+    return topo
+
+
+def switched_fabric(host_names: Sequence[str], hosts_per_switch: int = 50,
+                    host_latency: float = 0.001, trunk_latency: float = 0.001,
+                    bandwidth: float = 1_250_000.0,
+                    switch_prefix: str = "sw") -> Topology:
+    """A switched LAN: hosts behind rack switches, switches fully meshed.
+
+    ``lan()`` models the paper's LAN as a full mesh, which is O(V^2) links —
+    at 2,000 sites that is two million edges and routing becomes the
+    bottleneck before any agent runs.  A switched fabric is the same
+    physical reality (every host can reach every host in one or two switch
+    hops) with O(V) edges: consecutive *host_names* are grouped
+    ``hosts_per_switch`` to a rack, each host links to its rack switch, and
+    the switches form a small full mesh.  Same-rack traffic costs
+    ``2 * host_latency``; cross-rack traffic adds one ``trunk_latency``.
+
+    The switch nodes (``sw00``, ``sw01``, ...) are ordinary topology sites —
+    a kernel will create (agent-less) sites for them — so callers that
+    launch agents should launch on *host_names*, not on ``topology.sites()``.
+    """
+    if hosts_per_switch < 1:
+        raise ValueError(f"hosts_per_switch must be >= 1, got {hosts_per_switch}")
+    topo = Topology()
+    hosts = list(host_names)
+    switches = []
+    host_spec = LinkSpec(latency=host_latency, bandwidth=bandwidth)
+    for index, host in enumerate(hosts):
+        rack = index // hosts_per_switch
+        if rack == len(switches):
+            switch = f"{switch_prefix}{rack:02d}"
+            topo.add_site(switch)
+            switches.append(switch)
+        topo.add_site(host)
+        topo.add_link(host, switches[rack], host_spec)
+    trunk_spec = LinkSpec(latency=trunk_latency, bandwidth=bandwidth)
+    for i, a in enumerate(switches):
+        for b in switches[i + 1:]:
+            topo.add_link(a, b, trunk_spec)
     return topo
 
 

@@ -16,18 +16,31 @@ ledgers, advanced in conservative synchronisation rounds
 ...                 config=KernelConfig(shards=4))
 >>> kernel.run()  # doctest: +SKIP
 
+``KernelConfig(shard_backend=...)`` selects where each round's bursts
+execute (:mod:`repro.shard.backend`): ``inproc`` (serial, the default),
+``thread`` (a persistent pool, one worker per shard), or ``process``
+(long-lived spawn workers, real multi-core parallelism).  All three are
+property-tested to produce identical simulation results.
+
 ``shards=1`` (the default) never builds any of this: the kernel runs the
 classic single event loop, behaviourally identical to every prior release.
 """
 
+from repro.shard.backend import (BACKENDS, InprocBackend, ShardBackend,
+                                 ThreadBackend, make_backend,
+                                 process_backend_available)
 from repro.shard.clocksync import MIN_LOOKAHEAD, ClockSync
 from repro.shard.placement import default_shard_of, resolve_placement
+from repro.shard.procworker import ProcessBackend, WorkerSpec
 from repro.shard.router import MailRouter, ShardBoundary, ShardContext
 from repro.shard.shardset import Shard, ShardSet
 
 __all__ = [
+    "BACKENDS", "InprocBackend", "ShardBackend", "ThreadBackend",
+    "make_backend", "process_backend_available",
     "ClockSync", "MIN_LOOKAHEAD",
     "MailRouter", "ShardBoundary", "ShardContext",
+    "ProcessBackend", "WorkerSpec",
     "Shard", "ShardSet",
     "default_shard_of", "resolve_placement",
 ]

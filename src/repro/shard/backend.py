@@ -1,0 +1,249 @@
+"""Shard execution backends: where each round's bursts actually run.
+
+PR 6's sharded kernel *modelled* parallel hosts — E14's aggregate
+throughput divided total events by the slowest shard's busy time while
+everything still executed serially on one thread.  The backend seam makes
+the model real: the :class:`~repro.shard.shardset.ShardSet` computes
+horizons and builds a per-round **burst plan** (which shards run, to which
+horizon), and the backend decides where those bursts execute:
+
+``inproc``
+    Today's serial round loop, bit-identical to PR 6.  The baseline every
+    other backend is property-tested against.
+
+``thread``
+    One persistent worker thread per shard (a ``ThreadPoolExecutor``).
+    Shards share no mutable state during a round: each burst touches only
+    its own engine, and cross-shard handoffs go through the
+    :class:`~repro.shard.router.MailRouter`'s per-owning-shard locked
+    inboxes, drained by the coordinator at the next round start
+    (:meth:`begin_round`).  Conservative horizons — not locks — remain the
+    correctness mechanism; the locks only make the *enqueue* safe.  Under
+    CPython's GIL this parallelises the loop's C-level work (heap ops,
+    pickling) but not pure-Python event callbacks — it is the stepping
+    stone that proves the seam, while ``process`` delivers real cores.
+
+``process``
+    One long-lived spawn worker per shard
+    (:class:`~repro.shard.procworker.ProcessBackend`): the coordinator
+    sends ``run_to(horizon, budget)`` commands over pipes and receives
+    ``(events, busy, now, next_event_time, handoffs)`` replies; facade
+    views are served from per-run state digests.
+
+Budget semantics are part of the contract: ``run(max_events)`` consumes
+one *global* budget in shard order, so any backend given a finite budget
+executes that round serially — identical stop points on every backend is
+what the budget-stop tests pin.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.errors import KernelError
+
+__all__ = ["BACKENDS", "InprocBackend", "ShardBackend", "ThreadBackend",
+           "make_backend", "process_backend_available"]
+
+#: the valid ``KernelConfig.shard_backend`` values
+BACKENDS = ("inproc", "thread", "process")
+
+
+class ShardBackend:
+    """Executes one round's per-shard bursts; subclasses pick the substrate.
+
+    The coordinator calls, per :meth:`ShardSet.run <repro.shard.shardset.
+    ShardSet.run>` round: :meth:`begin_round` (make queued cross-shard
+    traffic visible to its owners), then :meth:`run_bursts` with the burst
+    plan, plus :meth:`advance_clock` for shards idle this round; once per
+    ``run()`` call it calls :meth:`finish_run` (distributed backends pull
+    state digests here) and, at kernel shutdown, :meth:`close`.
+    """
+
+    name = "abstract"
+    #: True when shard engines live out-of-process: the facade must serve
+    #: stats/table/site views from digests instead of direct engine access
+    distributed = False
+
+    def __init__(self, timer: Callable[[], float] = time.perf_counter):
+        self.timer = timer
+
+    # -- per-round hooks --------------------------------------------------------
+
+    def begin_round(self) -> int:
+        """Deliver queued cross-shard handoffs; returns how many moved."""
+        return 0
+
+    def run_bursts(self, plans: List[Tuple[object, Optional[float]]],
+                   budget: Optional[int]) -> Tuple[int, float]:
+        """Run every ``(shard, horizon)`` burst; horizon ``None`` = drain.
+
+        Returns ``(events_executed, max_single_burst_seconds)``; the
+        coordinator derives per-round overhead as round wall-time minus the
+        slowest burst.  A finite *budget* forces serial shard-order
+        execution so the global stop point matches ``inproc`` exactly.
+        """
+        raise NotImplementedError
+
+    def advance_clock(self, shard, target: float) -> None:
+        """Move an idle shard's clock to *target* (never backwards).
+
+        Replicates the clock advance ``run_until`` would have performed,
+        without charging the shard busy time for a zero-event burst.
+        """
+        clock = shard.engine.loop.clock
+        clock._advance_to(max(clock.now, target))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def finish_run(self) -> None:
+        """Called once when ``ShardSet.run`` returns control to the caller."""
+
+    def close(self) -> None:
+        """Release worker threads / processes (idempotent)."""
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _burst(self, shard, horizon: Optional[float],
+               budget: Optional[int]) -> Tuple[int, float]:
+        loop = shard.engine.loop
+        start = self.timer()
+        if horizon is None:
+            executed = loop.run(max_events=budget)
+        else:
+            executed = loop.run_until(horizon, max_events=budget)
+        elapsed = self.timer() - start
+        shard.busy_seconds += elapsed
+        return executed, elapsed
+
+    def _serial(self, plans, budget: Optional[int]) -> Tuple[int, float]:
+        total = 0
+        busy_max = 0.0
+        for shard, horizon in plans:
+            remaining = None if budget is None else budget - total
+            if remaining is not None and remaining <= 0:
+                break
+            executed, elapsed = self._burst(shard, horizon, remaining)
+            total += executed
+            if elapsed > busy_max:
+                busy_max = elapsed
+        return total, busy_max
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class InprocBackend(ShardBackend):
+    """The serial PR 6 round loop: every burst on the coordinator thread."""
+
+    name = "inproc"
+
+    def run_bursts(self, plans, budget):
+        return self._serial(plans, budget)
+
+
+class ThreadBackend(ShardBackend):
+    """One persistent worker thread per shard.
+
+    The pool is created lazily on the first parallel round and reused for
+    the kernel's lifetime (persistent workers, no per-round thread spawn
+    cost).  Single-shard plans and budgeted runs fall back to the serial
+    path — a budget must be consumed in shard order, and one burst gains
+    nothing from a pool hop.
+    """
+
+    name = "thread"
+
+    def __init__(self, router, n_shards: int,
+                 timer: Callable[[], float] = time.perf_counter):
+        super().__init__(timer)
+        self.router = router
+        self.n_shards = int(n_shards)
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def begin_round(self) -> int:
+        return self.router.drain_inboxes()
+
+    def run_bursts(self, plans, budget):
+        if not plans:
+            return 0, 0.0
+        if budget is not None or len(plans) == 1:
+            return self._serial(plans, budget)
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.n_shards,
+                thread_name_prefix="repro-shard")
+        futures = [self._executor.submit(self._burst, shard, horizon, None)
+                   for shard, horizon in plans]
+        total = 0
+        busy_max = 0.0
+        for future in futures:
+            executed, elapsed = future.result()
+            total += executed
+            if elapsed > busy_max:
+                busy_max = elapsed
+        return total, busy_max
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def make_backend(name: str, router=None, n_shards: int = 0,
+                 timer: Callable[[], float] = time.perf_counter) -> ShardBackend:
+    """Resolve a ``KernelConfig.shard_backend`` name to a backend instance.
+
+    ``process`` is constructed directly by the kernel facade (it needs the
+    full worker build spec, not just the router); asking for it here names
+    the entry point so the error is actionable.
+    """
+    if name == "inproc":
+        return InprocBackend(timer)
+    if name == "thread":
+        if router is None or n_shards <= 0:
+            raise KernelError("thread backend needs a router and shard count")
+        return ThreadBackend(router, n_shards, timer)
+    if name == "process":
+        raise KernelError(
+            "the process backend is built by the Kernel facade "
+            "(repro.shard.procworker.ProcessBackend), not make_backend()")
+    raise KernelError(
+        f"unknown shard_backend {name!r}; expected one of {BACKENDS}")
+
+
+# -- process-backend availability probe ----------------------------------------
+
+_PROCESS_PROBE: Optional[bool] = None
+
+
+def _probe_child(conn) -> None:  # pragma: no cover - runs in the child
+    conn.send("ok")
+    conn.close()
+
+
+def process_backend_available() -> bool:
+    """True when spawn-context multiprocessing round-trips on this host.
+
+    Sandboxes and exotic platforms sometimes lack working process spawn or
+    pipe semantics; tests and benchmarks gate their process arms on this
+    (cached) one-shot probe rather than failing mid-run.
+    """
+    global _PROCESS_PROBE
+    if _PROCESS_PROBE is None:
+        try:
+            import multiprocessing
+            ctx = multiprocessing.get_context("spawn")
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_probe_child, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            ok = parent.poll(30) and parent.recv() == "ok"
+            proc.join(10)
+            parent.close()
+            _PROCESS_PROBE = bool(ok)
+        except Exception:
+            _PROCESS_PROBE = False
+    return _PROCESS_PROBE

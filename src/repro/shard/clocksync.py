@@ -61,6 +61,10 @@ class ClockSync:
         self._dirty = True
         self._dist: List[List[float]] = []
         self._roundtrip: List[float] = []
+        #: how many times the matrix has actually been recomputed; the
+        #: dirty-flag contract is that N topology edits between rounds cost
+        #: exactly one rebuild, and tests pin that via this counter
+        self.rebuilds = 0
 
     # -- lookahead matrix -------------------------------------------------------
 
@@ -71,33 +75,42 @@ class ClockSync:
         so the existing lookahead stays a valid lower bound.  New sites and
         links can create shorter paths, which must shrink the lookahead
         before the next horizon is granted.
+
+        Any number of invalidations between rounds coalesce into a single
+        :meth:`rebuild` at the next horizon grant.  Safe to call from shard
+        worker threads mid-round (a single bool store); the rebuild itself
+        only ever runs on the coordinator between rounds, which is what
+        keeps horizon computation read-only while bursts execute.
         """
         self._dirty = True
 
     def rebuild(self) -> None:
-        """Recompute the shard-level lookahead distances from the topology."""
-        latency = self._topology.all_pairs_latency()
-        shard_sites: List[List[str]] = [[] for _ in range(self._shards)]
-        for site, owner in self._placement.items():
-            shard_sites[owner].append(site)
+        """Recompute the shard-level lookahead distances from the topology.
 
+        Seeds the shard matrix with one scan over the topology's *edges*
+        (the cheapest direct cross-shard link between each shard pair),
+        then closes it with Floyd-Warshall over shards.  Dropping the
+        intra-shard segments of a multi-hop path can only shorten it, so
+        every entry remains a valid lower bound on any cross-shard arrival;
+        for single-site shards it equals the old all-pairs-over-sites
+        computation exactly.  Cost: O(E + S^3) instead of all-pairs
+        shortest paths over the whole site graph — the difference between
+        a per-edit blip and a multi-second stall on the 2k-site fabric.
+        """
+        placement = self._placement
         size = self._shards
         dist = [[math.inf] * size for _ in range(size)]
         for i in range(size):
             dist[i][i] = 0.0
-        for i in range(size):
-            for j in range(i + 1, size):
-                best = math.inf
-                for a in shard_sites[i]:
-                    reach = latency.get(a, {})
-                    for b in shard_sites[j]:
-                        cost = reach.get(b, math.inf)
-                        if cost < best:
-                            best = cost
-                if best < math.inf:
-                    best = max(self.min_lookahead, best)
-                dist[i][j] = best
-                dist[j][i] = best  # links are undirected
+        for a, b, spec in self._topology.links():
+            i = placement.get(a)
+            j = placement.get(b)
+            if i is None or j is None or i == j:
+                continue
+            cost = max(self.min_lookahead, spec.latency)
+            if cost < dist[i][j]:
+                dist[i][j] = cost
+                dist[j][i] = cost  # links are undirected
 
         # Relayed influence: i can reach j through an event on k, so the
         # effective bound is the all-pairs shortest path over the matrix.
@@ -119,6 +132,7 @@ class ClockSync:
                  for j in range(size) if j != i), default=math.inf)
             for i in range(size)]
         self._dirty = False
+        self.rebuilds += 1
 
     def lookahead(self, origin: int, target: int) -> float:
         """The influence bound from shard *origin* to shard *target*."""

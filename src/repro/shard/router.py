@@ -17,7 +17,8 @@ that has been granted yet.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.simclock import PAST_EPSILON
 
@@ -66,11 +67,30 @@ class MailRouter:
     transport computed, so the delivery-side checks (site down at arrival,
     partition formed in flight, batch unbatching) run unchanged on the
     owning shard.
+
+    With ``inbox_handoffs=True`` (the thread backend) a handoff is instead
+    appended to a per-owning-shard locked inbox and only scheduled when the
+    owner drains its inbox at the next round start.  That keeps every
+    ``EventLoop`` single-threaded: the loop heap is touched only by its own
+    shard's burst and by the coordinator between rounds.  Deferring the
+    schedule is safe because the arrival timestamp is at least the sending
+    shard's lookahead past its clock, which is at least every horizon
+    granted in the sending round — no shard can need the message before
+    the round ends.
     """
 
-    def __init__(self, placement: Dict[str, int]):
+    def __init__(self, placement: Dict[str, int], inbox_handoffs: bool = False):
         self.placement = dict(placement)
         self._engines: List = []
+        self.inbox_handoffs = bool(inbox_handoffs)
+        #: inbox entries are (arrival, origin shard, per-origin seq, message);
+        #: the drain sorts on that triple so the delivery order is a pure
+        #: function of the simulation, not of thread interleaving
+        self._inboxes: List[List[Tuple[float, int, int, object]]] = []
+        self._inbox_locks: List[threading.Lock] = []
+        #: per-origin dispatch counters; each slot is only ever touched by
+        #: its own shard's burst, so no lock is needed
+        self._origin_seq: List[int] = []
         #: back-reference set by the facade so engines can invalidate the
         #: lookahead matrix when they grow the topology
         self.clock_sync = None
@@ -83,6 +103,10 @@ class MailRouter:
     def attach_engines(self, engines: Sequence) -> None:
         """Late-bind the shard engines (they need the router to construct)."""
         self._engines = list(engines)
+        if self.inbox_handoffs:
+            self._inboxes = [[] for _ in self._engines]
+            self._inbox_locks = [threading.Lock() for _ in self._engines]
+            self._origin_seq = [0] * len(self._engines)
 
     def owner_of(self, site_name: str) -> Optional[int]:
         """The owning shard id of *site_name*, or None if unplaced."""
@@ -115,8 +139,20 @@ class MailRouter:
         configuration the sync is purely conservative and this never fires.
         """
         origin = self._engines[origin_shard]
-        dest = self._engines[self.placement[message.destination]]
+        dest_shard = self.placement[message.destination]
         arrival = origin.loop.now + delay
+        if self.inbox_handoffs:
+            # Park it in the owner's inbox; lateness (only possible with an
+            # optimistic flow bonus) is judged drain-side against the
+            # owner's clock, where that clock is stable.
+            origin.stats.record_shard_handoff(message.size_bytes())
+            seq = self._origin_seq[origin_shard]
+            self._origin_seq[origin_shard] = seq + 1
+            entry = (arrival, origin_shard, seq, message)
+            with self._inbox_locks[dest_shard]:
+                self._inboxes[dest_shard].append(entry)
+            return entry
+        dest = self._engines[dest_shard]
         dest_now = dest.loop.now
         late = arrival < dest_now - PAST_EPSILON
         origin.stats.record_shard_handoff(message.size_bytes(), late=late)
@@ -124,6 +160,40 @@ class MailRouter:
             max(arrival, dest_now),
             lambda: dest.transport._deliver(message),
             label=f"shard-handoff-{message.message_id}")
+
+    def drain_inboxes(self) -> int:
+        """Schedule every parked handoff on its owner's loop.
+
+        Called by the coordinator at round start, before next-event times
+        are read — the drained messages are part of the owner's future and
+        must count toward its ``next_event_time``.  Returns the number of
+        messages drained (coordination telemetry).
+        """
+        if not self.inbox_handoffs:
+            return 0
+        drained = 0
+        for shard_id, lock in enumerate(self._inbox_locks):
+            with lock:
+                batch = self._inboxes[shard_id]
+                if not batch:
+                    continue
+                self._inboxes[shard_id] = []
+            dest = self._engines[shard_id]
+            dest_now = dest.loop.now
+            # The append order above depends on thread interleaving; the
+            # (arrival, origin, seq) sort restores a deterministic total
+            # order so same-timestamp deliveries tie-break identically on
+            # every run and every backend.
+            batch.sort(key=lambda entry: entry[:3])
+            for arrival, _origin, _seq, message in batch:
+                if arrival < dest_now - PAST_EPSILON:
+                    dest.stats.record_shard_late_arrival()
+                dest.loop.schedule_at(
+                    max(arrival, dest_now),
+                    lambda m=message, d=dest: d.transport._deliver(m),
+                    label=f"shard-handoff-{message.message_id}")
+            drained += len(batch)
+        return drained
 
     def __repr__(self) -> str:
         shards = len(set(self.placement.values()))

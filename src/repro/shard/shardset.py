@@ -3,26 +3,35 @@
 The :class:`ShardSet` is what the sharded :class:`~repro.core.kernel.Kernel`
 facade delegates ``run()`` to.  Each round it:
 
-1. reads every shard's next-event time,
-2. asks the :class:`~repro.shard.clocksync.ClockSync` for safe horizons,
-3. runs each shard's event loop up to ``min(horizon, until)`` under the
-   remaining global event budget, accumulating per-shard busy wall-time
-   (the E14 throughput model: shards stand in for parallel hosts, so
-   aggregate throughput is total events over the *maximum* per-shard busy
-   time, with coordination overhead reported separately).
+1. lets the backend deliver queued cross-shard traffic
+   (:meth:`~repro.shard.backend.ShardBackend.begin_round`),
+2. reads every shard's next-event time and asks the
+   :class:`~repro.shard.clocksync.ClockSync` for safe horizons,
+3. builds the round's **burst plan** — shards with an event due before
+   their horizon — and hands it to the execution backend
+   (:mod:`repro.shard.backend`: serial ``inproc``, ``thread`` pool, or
+   ``process`` workers).  Shards whose next event lies beyond their
+   horizon only get their clock advanced; they are *not* charged busy
+   time for a zero-event burst (the PR 6 accounting bracketed every
+   ``run_until`` call, inflating the parallel-host model on small rounds).
 
 Rounds repeat until every queue drains, every next event lies beyond
 ``until``, or the global ``max_events`` budget is exhausted.  The budget
-is global — shards share it in shard order — and exhausting it leaves
-every clock exactly where its last event fired, mirroring the single-loop
-``run_until`` semantics.
+is global — shards share it in shard order, which forces serial execution
+on every backend — and exhausting it leaves every clock exactly where its
+last event fired, mirroring the single-loop ``run_until`` semantics.
+
+Timing uses an injectable ``timer`` (default ``time.perf_counter``) so
+tests can pin exactly what lands in ``busy_seconds`` vs ``sync_seconds``
+vs ``overhead_seconds`` with a fake clock.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.shard.backend import InprocBackend, ShardBackend
 from repro.shard.clocksync import ClockSync
 
 __all__ = ["Shard", "ShardSet"]
@@ -56,13 +65,25 @@ class Shard:
 class ShardSet:
     """The coordinator advancing every shard under conservative clock sync."""
 
-    def __init__(self, shards: List[Shard], clock_sync: ClockSync):
+    def __init__(self, shards: List[Shard], clock_sync: ClockSync,
+                 backend: Optional[ShardBackend] = None,
+                 timer: Callable[[], float] = time.perf_counter):
         self.shards = list(shards)
         self.clock_sync = clock_sync
-        #: synchronisation rounds executed (telemetry for E14)
+        self.backend = backend if backend is not None else InprocBackend(timer)
+        self.timer = timer
+        #: synchronisation rounds executed (telemetry for E14/E15)
         self.rounds = 0
-        #: wall-clock seconds spent computing horizons between bursts
+        #: wall-clock seconds spent reading next-event times, computing
+        #: horizons, and building burst plans between bursts
         self.sync_seconds = 0.0
+        #: wall-clock seconds of per-round dispatch overhead: round wall
+        #: time minus the slowest burst (pool hops, inbox drains, worker
+        #: round-trips).  inproc rounds pay total-minus-max serialisation
+        #: here too, so E15 can break coordination cost out of the speedup.
+        self.overhead_seconds = 0.0
+        #: cross-shard messages delivered via deferred inbox/worker paths
+        self.handoffs_drained = 0
 
     # -- clocks -----------------------------------------------------------------
 
@@ -86,13 +107,17 @@ class ShardSet:
         a single global budget consumed across shards in shard order.
         """
         total = 0
-        perf = time.perf_counter
+        timer = self.timer
+        backend = self.backend
+        budget_stopped = False
         while True:
             if max_events is not None and total >= max_events:
-                # Budget exhausted mid-stream: clocks stay where their last
-                # event left them (matching single-loop run_until).
-                return total
-            sync_start = perf()
+                # Budget exhausted mid-stream: clocks stay where their
+                # last event left them (matching single-loop run_until).
+                budget_stopped = True
+                break
+            sync_start = timer()
+            self.handoffs_drained += backend.begin_round()
             next_times = self.next_event_times()
             live = [at for at in next_times.values() if at is not None]
             if not live:
@@ -101,31 +126,38 @@ class ShardSet:
                 break
             horizons = self.clock_sync.horizons(next_times)
             self.rounds += 1
-            self.sync_seconds += perf() - sync_start
+            plans: List[Tuple[Shard, Optional[float]]] = []
             for shard in self.shards:
-                if next_times[shard.shard_id] is None:
+                at = next_times[shard.shard_id]
+                if at is None:
                     continue
-                remaining = None if max_events is None else max_events - total
-                if remaining is not None and remaining <= 0:
-                    break
                 horizon = horizons[shard.shard_id]
                 if until is not None:
                     horizon = until if horizon is None else min(horizon, until)
-                loop = shard.engine.loop
-                burst_start = perf()
-                if horizon is None:
-                    executed = loop.run(max_events=remaining)
-                else:
-                    executed = loop.run_until(horizon, max_events=remaining)
-                shard.busy_seconds += perf() - burst_start
-                total += executed
-        if until is not None:
+                if horizon is not None and at > horizon + 1e-12:
+                    # Nothing due this round: advance the clock exactly
+                    # as run_until would, but charge no busy time.
+                    backend.advance_clock(shard, horizon)
+                    continue
+                plans.append((shard, horizon))
+            self.sync_seconds += timer() - sync_start
+            remaining = None if max_events is None else max_events - total
+            round_start = timer()
+            executed, busy_max = backend.run_bursts(plans, remaining)
+            self.overhead_seconds += max(
+                0.0, (timer() - round_start) - busy_max)
+            total += executed
+        if until is not None and not budget_stopped:
             # Clean finish: every shard's clock lands on the target, exactly
             # like the single-loop run_until (events beyond it stay queued).
             for shard in self.shards:
-                clock = shard.engine.loop.clock
-                clock._advance_to(max(clock.now, until))
+                backend.advance_clock(shard, until)
+        backend.finish_run()
         return total
+
+    def close(self) -> None:
+        """Shut down the execution backend (worker threads / processes)."""
+        self.backend.close()
 
     # -- telemetry --------------------------------------------------------------
 
@@ -137,8 +169,10 @@ class ShardSet:
             (shard.busy_seconds for shard in self.shards), default=0.0)
         per_shard["total_busy"] = sum(shard.busy_seconds for shard in self.shards)
         per_shard["sync_seconds"] = self.sync_seconds
+        per_shard["overhead_seconds"] = self.overhead_seconds
         return per_shard
 
     def __repr__(self) -> str:
-        return (f"ShardSet({len(self.shards)} shards, rounds={self.rounds}, "
+        return (f"ShardSet({len(self.shards)} shards, "
+                f"backend={self.backend.name}, rounds={self.rounds}, "
                 f"now={self.now:.4f})")

@@ -37,10 +37,11 @@ def hopper(ctx, bc):
 
 
 def run_workload(seed: int, n_sites: int, n_agents: int, hops: int,
-                 shards: int):
+                 shards: int, backend: str = "inproc"):
     names = [f"p{i}" for i in range(n_sites)]
     kernel = Kernel(lan(names), transport="tcp",
-                    config=KernelConfig(rng_seed=seed, shards=shards))
+                    config=KernelConfig(rng_seed=seed, shards=shards,
+                                        shard_backend=backend))
     kernel.install_agent(None, "sink", sink)
     for index in range(n_agents):
         briefcase = Briefcase()
@@ -54,6 +55,7 @@ def run_workload(seed: int, n_sites: int, n_agents: int, hops: int,
         (instance.spec.name or "", instance.site_name, repr(instance.result))
         for instance in kernel.table.entries.values()
         if instance.state == AgentState.DONE)
+    kernel.close()
     return kernel.counters(), completed
 
 
@@ -80,3 +82,49 @@ def test_sharding_is_deterministic_across_repeats(seed, shards):
     first = run_workload(seed, 6, 4, 2, shards)
     second = run_workload(seed, 6, 4, 2, shards)
     assert first == second
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_sites=st.integers(min_value=4, max_value=10),
+       n_agents=st.integers(min_value=1, max_value=8),
+       hops=st.integers(min_value=0, max_value=3),
+       shards=st.integers(min_value=2, max_value=5))
+def test_thread_backend_matches_inproc(seed, n_sites, n_agents, hops, shards):
+    """The thread backend is a pure execution change: same counters, same
+    completed agents, same results, on any seeded churn."""
+    inproc = run_workload(seed, n_sites, n_agents, hops, shards,
+                          backend="inproc")
+    threaded = run_workload(seed, n_sites, n_agents, hops, shards,
+                            backend="thread")
+    assert threaded == inproc
+
+
+def test_process_backend_matches_inproc():
+    """Process workers produce the same simulation as the serial loop.
+
+    Not hypothesis-driven (each example spawns real processes) and built
+    on the registered workload behaviours — spawn children re-import the
+    registry's modules, so test-local closures cannot cross.
+    """
+    import pytest
+
+    from repro.bench.workloads import ShardedChurnParams, run_sharded_churn
+    from repro.shard import process_backend_available
+
+    if not process_backend_available():
+        pytest.skip("multiprocessing spawn does not work on this host")
+    for seed in (3, 41):
+        results = {
+            backend: run_sharded_churn(ShardedChurnParams(
+                n_sites=12, n_agents=48, wave_size=16, shards=3,
+                seed=seed, backend=backend))
+            for backend in ("inproc", "process")}
+        reference = results["inproc"]
+        outcome = results["process"]
+        assert outcome.events == reference.events
+        assert outcome.counters == reference.counters
+        assert outcome.handoffs == reference.handoffs
+        assert outcome.sim_seconds == reference.sim_seconds
+        assert outcome.late_arrivals == 0
+        assert outcome.agents_completed == outcome.agents_launched
