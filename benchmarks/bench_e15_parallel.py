@@ -42,7 +42,7 @@ from typing import Dict, List, Tuple
 
 import pytest
 
-from repro.bench import Report
+from repro.bench import Report, run_stamp
 from repro.bench.workloads import ShardedChurnParams, run_sharded_churn
 from repro.shard import process_backend_available
 
@@ -139,6 +139,8 @@ def test_e15_parallel_backends(parallel_sweep, smoke, emit_report,
     # --- persist the full matrix as JSON (the CI artifact) -------------------
     payload = {
         "experiment": "E15",
+        "stamp": run_stamp(seed=ShardedChurnParams().seed,
+                           backend=list(backends)),
         "smoke": smoke,
         "cpus": cpus,
         "backends": backends,

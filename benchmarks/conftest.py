@@ -25,6 +25,13 @@ def pytest_addoption(parser) -> None:
              "representative)")
 
 
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "realtime: runs the wall-clock backend (real sleeps; selected in "
+        "the CI realtime smoke step with -m realtime)")
+
+
 @pytest.fixture(scope="session")
 def smoke(request) -> bool:
     """True when the benchmark session runs in --smoke (tiny population) mode."""

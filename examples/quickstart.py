@@ -41,23 +41,26 @@ def main() -> None:
     register_behaviour("greeter", greeter, replace=True)
 
     sites = ["tromso", "oslo", "ithaca", "cornell"]
-    kernel = Kernel(lan(sites), transport="tcp", config=KernelConfig(rng_seed=1))
+    # The kernel is a context manager: close() runs on exit (releasing
+    # store/backend resources — a no-op here, but the habit scales to
+    # sharded and realtime kernels where it matters).
+    with Kernel(lan(sites), transport="tcp",
+                config=KernelConfig(rng_seed=1)) as kernel:
+        briefcase = Briefcase()
+        itinerary = briefcase.folder("ITINERARY", create=True)
+        for site in sites[1:]:
+            itinerary.enqueue(site)
 
-    briefcase = Briefcase()
-    itinerary = briefcase.folder("ITINERARY", create=True)
-    for site in sites[1:]:
-        itinerary.enqueue(site)
+        kernel.launch("tromso", "greeter", briefcase)
+        kernel.run()
 
-    kernel.launch("tromso", "greeter", briefcase)
-    kernel.run()
-
-    greetings = kernel.site(sites[-1]).cabinet("results").get("GREETINGS")
-    print("The greeter agent visited:")
-    for line in greetings:
-        print("  ", line)
-    print(f"\nmigrations: {kernel.stats.migrations}, "
-          f"bytes on the wire: {kernel.stats.bytes_sent}, "
-          f"simulated time: {kernel.now:.3f}s")
+        greetings = kernel.site(sites[-1]).cabinet("results").get("GREETINGS")
+        print("The greeter agent visited:")
+        for line in greetings:
+            print("  ", line)
+        print(f"\nmigrations: {kernel.stats.migrations}, "
+              f"bytes on the wire: {kernel.stats.bytes_sent}, "
+              f"simulated time: {kernel.now:.3f}s")
 
 
 if __name__ == "__main__":

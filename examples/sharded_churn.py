@@ -81,35 +81,37 @@ def main() -> None:
     # shard_backend picks how the per-round shard bursts execute:
     # "inproc" (serial, bit-identical reference), "thread" (persistent
     # pool + locked handoff inboxes), or "process" (spawned workers).
-    sharded = build_and_run(shards=SHARDS, backend="thread")
-    print(f"{len(SITES)} sites on {SHARDS} shards (thread backend), "
-          f"{N_COURIERS} couriers, "
-          f"every report crossing a rack (= shard) boundary\n")
+    # The kernel is a context manager; exiting the block tears down the
+    # shard engines (worker threads/processes) via Kernel.close().
+    with build_and_run(shards=SHARDS, backend="thread") as sharded:
+        print(f"{len(SITES)} sites on {SHARDS} shards (thread backend), "
+              f"{N_COURIERS} couriers, "
+              f"every report crossing a rack (= shard) boundary\n")
 
-    print("Per-shard telemetry (kernel.shard_set):")
-    for shard in sharded.shard_set.shards:
-        print(f"  shard {shard.shard_id}: {shard.sites} sites, "
-              f"{shard.events_processed} events, t={shard.engine.loop.now:.4f}s")
-    snapshot = sharded.stats.snapshot()
-    print(f"  sync rounds: {sharded.shard_set.rounds}, cross-shard handoffs: "
-          f"{snapshot['shard_handoffs']} "
-          f"({snapshot['shard_handoff_bytes']} bytes), "
-          f"late arrivals: {snapshot['shard_late_arrivals']} "
-          "(always 0: the sync is conservative)")
-    summary = sharded.shard_summary()
-    print(f"  shard_summary: backend={summary['backend']}, "
-          f"rounds={summary['rounds']}, "
-          f"handoffs_drained={summary['handoffs_drained']}\n")
-    sharded.close()
+        print("Per-shard telemetry (kernel.shard_set):")
+        for shard in sharded.shard_set.shards:
+            print(f"  shard {shard.shard_id}: {shard.sites} sites, "
+                  f"{shard.events_processed} events, "
+                  f"t={shard.engine.loop.now:.4f}s")
+        snapshot = sharded.stats.snapshot()
+        print(f"  sync rounds: {sharded.shard_set.rounds}, "
+              f"cross-shard handoffs: {snapshot['shard_handoffs']} "
+              f"({snapshot['shard_handoff_bytes']} bytes), "
+              f"late arrivals: {snapshot['shard_late_arrivals']} "
+              "(always 0: the sync is conservative)")
+        summary = sharded.shard_summary()
+        print(f"  shard_summary: backend={summary['backend']}, "
+              f"rounds={summary['rounds']}, "
+              f"handoffs_drained={summary['handoffs_drained']}\n")
+        sharded_counters = sharded.counters()
 
-    classic = build_and_run(shards=1)
-    print(f"{'counter':<14} {'shards=4':>9} {'shards=1':>9}")
-    for key, value in sorted(sharded.counters().items()):
-        print(f"{key:<14} {value:>9} {classic.counters()[key]:>9}")
-    match = sharded.counters() == classic.counters()
+    with build_and_run(shards=1) as classic:
+        print(f"{'counter':<14} {'shards=4':>9} {'shards=1':>9}")
+        for key, value in sorted(sharded_counters.items()):
+            print(f"{key:<14} {value:>9} {classic.counters()[key]:>9}")
+        match = sharded_counters == classic.counters()
     print(f"\ncounters identical under sharding: {match}")
     assert match, "sharding must not change simulation semantics"
-    classic.close()
 
 
 if __name__ == "__main__":

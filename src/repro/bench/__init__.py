@@ -8,7 +8,7 @@ from repro.bench.baselines import (DATA_SERVER_NAME, DATA_SINK_NAME, PULL_CABINE
                                    install_data_servers, launch_pull_client, pull_summary)
 from repro.bench.metrics import (bytes_human, coefficient_of_variation, jains_fairness,
                                  load_imbalance, percentile, ratio, speedup, summarize)
-from repro.bench.report import Report, Table
+from repro.bench.report import Report, Table, run_stamp
 from repro.bench.workloads import (CHURN_WORKER_NAME, DATA_CABINET,
                                    FANIN_COLLECTOR_NAME, FANIN_SENDER_NAME,
                                    GATHER_AGENT_NAME, POPULATION_WORKER_NAME,
@@ -28,7 +28,7 @@ from repro.bench.workloads import (CHURN_WORKER_NAME, DATA_CABINET,
 __all__ = [
     "summarize", "percentile", "ratio", "speedup", "jains_fairness",
     "coefficient_of_variation", "load_imbalance", "bytes_human",
-    "Report", "Table",
+    "Report", "Table", "run_stamp",
     "DataGatherParams", "GatherResult", "build_gather_kernel", "populate_data_sites",
     "run_agent_gather", "run_client_server_gather",
     "ItineraryParams", "ItineraryResult", "run_itinerary",

@@ -11,11 +11,40 @@ quotes.
 from __future__ import annotations
 
 import os
-from typing import List, Sequence, Union
+import subprocess
+from typing import Any, Dict, List, Optional, Sequence, Union
 
-__all__ = ["Table", "Report"]
+__all__ = ["Table", "Report", "run_stamp"]
 
 Cell = Union[str, int, float]
+
+
+def _git_sha() -> str:
+    """The current commit's SHA, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_stamp(seed: Optional[int] = None, backend: Optional[Any] = None,
+              **extra: Any) -> Dict[str, Any]:
+    """Provenance stamp for benchmark JSON results.
+
+    Every payload written to ``benchmarks/results/`` carries one of
+    these, so perf trajectories are comparable across PRs: which commit
+    produced the numbers, which seed drove the workload, and which
+    execution backend(s) ran it.  *extra* keys ride along verbatim.
+    """
+    stamp: Dict[str, Any] = {"git_sha": _git_sha(), "seed": seed,
+                             "backend": backend}
+    stamp.update(extra)
+    return stamp
 
 
 def _format_cell(value: Cell) -> str:

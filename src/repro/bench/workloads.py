@@ -23,7 +23,6 @@ Two more back the delivery-fabric / lifecycle-ledger benchmark (E10):
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -32,6 +31,7 @@ from repro.core.context import AgentContext
 from repro.core.folder import Folder
 from repro.core.kernel import Kernel, KernelConfig
 from repro.core.registry import register_behaviour
+from repro.core.timing import default_timer
 from repro.net.topology import (Topology, lan, ring, star, switched_fabric,
                                 two_clusters)
 
@@ -384,6 +384,9 @@ class AgentChurnParams:
     retention: str = "keep-all"
     transport: str = "tcp"
     seed: int = 19
+    #: execution backend: "sim" (deterministic, default) or "realtime"
+    #: (repro.rt wall clock — work_seconds really elapse)
+    backend: str = "sim"
     #: how many early agent ids to sample for post-run result_of checks
     sample_results: int = 50
 
@@ -425,7 +428,8 @@ def execute_agent_churn(params: AgentChurnParams):
     sites = params.site_names()
     kernel = Kernel(lan(sites), transport=params.transport,
                     config=KernelConfig(rng_seed=params.seed,
-                                        retention=params.retention))
+                                        retention=params.retention,
+                                        backend=params.backend))
     launched = 0
     checkpoints: List[Dict[str, int]] = []
     sample_ids: List[str] = []
@@ -467,8 +471,10 @@ def execute_agent_churn(params: AgentChurnParams):
 
 
 def run_agent_churn(params: AgentChurnParams) -> AgentChurnResult:
-    """Run the churn scenario for *params*."""
-    return execute_agent_churn(params)[1]
+    """Run the churn scenario for *params* (closing the kernel)."""
+    kernel, result = execute_agent_churn(params)
+    kernel.close()
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -508,6 +514,10 @@ class CourierFanInParams:
     transport: str = "rsh"
     hub_name: str = "hub"
     seed: int = 23
+    #: execution backend: "sim" (deterministic, default) or "realtime"
+    #: (repro.rt wall clock — link latencies and setup delays really
+    #: elapse; sim_seconds then reports elapsed wall time)
+    backend: str = "sim"
     link_latency: float = 0.01
     link_bandwidth: float = 250_000.0
 
@@ -530,6 +540,14 @@ class CourierFanInResult:
     sim_seconds: float
     #: flushes fired by a size/byte threshold or deadline, not the window
     early_flushes: int = 0
+    #: which execution backend produced this outcome
+    backend: str = "sim"
+    #: real seconds spent inside kernel.run()
+    wall_seconds: float = 0.0
+    #: events the loop executed during the run
+    events: int = 0
+    #: the kernel's ledger counters (logical-outcome parity checks)
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 def _fanin_collector(ctx: AgentContext, briefcase: Briefcase):
@@ -572,38 +590,48 @@ def run_courier_fan_in(params: CourierFanInParams) -> CourierFanInResult:
     senders = params.sender_names()
     topology = star(params.hub_name, senders, latency=params.link_latency,
                     bandwidth=params.link_bandwidth)
-    kernel = Kernel(topology, transport=params.transport,
-                    config=KernelConfig(
-                        rng_seed=params.seed,
-                        delivery_batch_window=params.batch_window,
-                        delivery_batch_max_messages=params.batch_max_messages,
-                        delivery_batch_max_bytes=params.batch_max_bytes,
-                        delivery_batch_deadline=params.batch_deadline,
-                        serialize_transport_setup=params.serialize_setup))
-    kernel.install_agent(params.hub_name, FANIN_COLLECTOR_NAME, _fanin_collector)
-    for site in senders:
-        briefcase = Briefcase()
-        briefcase.set("HUB", params.hub_name)
-        briefcase.set("COUNT", params.deliveries_per_sender)
-        briefcase.set("BYTES", params.payload_bytes)
-        kernel.launch(site, FANIN_SENDER_NAME, briefcase)
-    # To quiescence: the pending-outbox flush events keep the loop alive
-    # until the last batch has been shipped and unbatched.
-    kernel.run()
+    with Kernel(topology, transport=params.transport,
+                config=KernelConfig(
+                    rng_seed=params.seed,
+                    backend=params.backend,
+                    delivery_batch_window=params.batch_window,
+                    delivery_batch_max_messages=params.batch_max_messages,
+                    delivery_batch_max_bytes=params.batch_max_bytes,
+                    delivery_batch_deadline=params.batch_deadline,
+                    serialize_transport_setup=params.serialize_setup)) as kernel:
+        kernel.install_agent(params.hub_name, FANIN_COLLECTOR_NAME,
+                             _fanin_collector)
+        for site in senders:
+            briefcase = Briefcase()
+            briefcase.set("HUB", params.hub_name)
+            briefcase.set("COUNT", params.deliveries_per_sender)
+            briefcase.set("BYTES", params.payload_bytes)
+            kernel.launch(site, FANIN_SENDER_NAME, briefcase)
+        # To quiescence: the pending-outbox flush events keep the loop alive
+        # until the last batch has been shipped and unbatched.  Under
+        # backend="realtime" this blocks for real wall time.
+        start = default_timer()
+        events = kernel.run()
+        wall = default_timer() - start
 
-    received = kernel.site(params.hub_name).cabinet(FANIN_CABINET).elements("received")
-    return CourierFanInResult(
-        batch_window=params.batch_window,
-        deliveries_requested=params.n_senders * params.deliveries_per_sender,
-        folders_received=len(received),
-        wire_messages=kernel.stats.messages_sent,
-        batches=kernel.stats.batches,
-        batched_messages=kernel.stats.batched_messages,
-        bytes_on_wire=kernel.stats.bytes_sent,
-        header_bytes_saved=kernel.stats.header_bytes_saved,
-        sim_seconds=kernel.now,
-        early_flushes=kernel.stats.early_flushes,
-    )
+        received = kernel.site(params.hub_name).cabinet(
+            FANIN_CABINET).elements("received")
+        return CourierFanInResult(
+            batch_window=params.batch_window,
+            deliveries_requested=params.n_senders * params.deliveries_per_sender,
+            folders_received=len(received),
+            wire_messages=kernel.stats.messages_sent,
+            batches=kernel.stats.batches,
+            batched_messages=kernel.stats.batched_messages,
+            bytes_on_wire=kernel.stats.bytes_sent,
+            header_bytes_saved=kernel.stats.header_bytes_saved,
+            sim_seconds=kernel.now,
+            early_flushes=kernel.stats.early_flushes,
+            backend=params.backend,
+            wall_seconds=wall,
+            events=events,
+            counters=kernel.counters(),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -990,9 +1018,9 @@ def execute_sharded_churn(params: ShardedChurnParams):
                              briefcase))
         kernel.launch_many(requests)
         launched += wave
-        start = time.perf_counter()
+        start = default_timer()
         events += kernel.run()  # drain the wave
-        wall += time.perf_counter() - start
+        wall += default_timer() - start
     shard_set = kernel.shard_set
     if shard_set is not None:
         summary = shard_set.busy_summary()

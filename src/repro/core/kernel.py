@@ -2,7 +2,11 @@
 
 The kernel ties everything together:
 
-* it owns the discrete-event :class:`~repro.net.simclock.EventLoop` and a
+* it owns the event loop — the deterministic discrete-event
+  :class:`~repro.net.simclock.EventLoop` under the default
+  ``KernelConfig(backend="sim")``, or :class:`repro.rt.AsyncioScheduler`
+  on wall clock under ``backend="realtime"`` (both implement the
+  :class:`~repro.core.timing.Scheduler` protocol) — and a
   :class:`~repro.net.transport.Transport`;
 * it creates one :class:`~repro.core.site.Site` per topology node and
   installs the standard system agents (``rexec``, ``ag_py``, the courier,
@@ -147,6 +151,19 @@ class KernelConfig:
     #: shard), or "process" (long-lived spawn workers — real multi-core
     #: parallelism; see :mod:`repro.shard.backend`).  Inert at shards=1.
     shard_backend: str = "inproc"
+    #: execution backend of the event loop itself: "sim" (the default —
+    #: the deterministic discrete-event EventLoop/SimClock pair, time
+    #: advances only as events fire) or "realtime" (repro.rt's
+    #: AsyncioScheduler — the same heap of events, but every gap to the
+    #: next due event is a real asyncio sleep, so delivery latencies,
+    #: heartbeats and commit windows really elapse).  Realtime requires
+    #: shards=1 and rejects shard_backend="process".
+    backend: str = "sim"
+    #: directory for real on-disk WAL mirrors, one ``<site>.wal`` file
+    #: per site, fsynced per group commit (realtime + a durable policy
+    #: only; see :class:`repro.rt.FileWalSink`).  None keeps the WAL
+    #: purely logical.
+    store_realtime_dir: Optional[str] = None
 
 
 class Kernel:
@@ -188,6 +205,26 @@ class Kernel:
             raise KernelError(
                 f"unknown shard_backend {self.config.shard_backend!r}; "
                 f"expected one of {BACKENDS}")
+        if self.config.backend not in ("sim", "realtime"):
+            raise KernelError(
+                f"unknown backend {self.config.backend!r}; "
+                "expected 'sim' or 'realtime'")
+        if self.config.backend == "realtime":
+            if self.config.shards != 1:
+                raise KernelError(
+                    "backend='realtime' requires shards=1: the realtime "
+                    "scheduler drives a single wall-clock event loop "
+                    "(shard the sim backend instead, or run one realtime "
+                    "kernel per host)")
+            if self.config.shard_backend == "process":
+                raise KernelError(
+                    "backend='realtime' cannot use shard_backend='process': "
+                    "spawned shard workers and the wall-clock scheduler "
+                    "are mutually exclusive (keep the default 'inproc')")
+        elif self.config.store_realtime_dir is not None:
+            raise KernelError(
+                "store_realtime_dir requires backend='realtime': the sim "
+                "backend keeps the WAL purely logical (priced, not paid)")
         #: the ShardSet when this kernel is a sharded facade; None for the
         #: classic single-loop kernel and for the per-shard engines
         self._shards = None
@@ -198,7 +235,7 @@ class Kernel:
                               registry, retention)
             return
         self.topology = topology if topology is not None else lan(["alpha", "beta", "gamma"])
-        self.loop = EventLoop()
+        self.loop = self._make_loop()
         self.stats = NetworkStats()
         self.registry = registry or default_registry()
         # Engines offset the seed by their shard id so shards do not mirror
@@ -482,15 +519,31 @@ class Kernel:
         return summary
 
     def close(self) -> None:
-        """Release shard-backend resources (worker threads / processes).
+        """Release held resources: shard workers, WAL sinks, asyncio loops.
 
-        Idempotent, and a no-op on the classic single-loop kernel — call
-        it unconditionally when done with a kernel.  A process-backend
-        facade whose workers are gone cannot run further; in-process
-        backends rebuild their pool lazily if run again.
+        Idempotent — call it unconditionally when done with a kernel (or
+        use the kernel as a context manager, which calls it on exit).  On
+        a sharded facade it shuts the backend's worker threads/processes
+        down; on a classic kernel it closes every site store's WAL sink
+        and, under ``backend="realtime"``, the owned asyncio loop.  A
+        closed realtime kernel (and a process-backend facade whose
+        workers are gone) cannot run further; in-process shard backends
+        rebuild their pool lazily if run again.
         """
         if self._shards is not None:
             self._shards.close()
+            return
+        for store in self.stores.values():
+            store.close()
+        loop_close = getattr(self.loop, "close", None)
+        if loop_close is not None:
+            loop_close()
+
+    def __enter__(self) -> "Kernel":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def _engine_for(self, site_name: str) -> "Kernel":
         """The shard engine owning *site_name* (facade only)."""
@@ -498,6 +551,19 @@ class Kernel:
         if owner is None:
             raise UnknownSiteError(f"unknown site {site_name!r}")
         return self._engines[owner]
+
+    def _make_loop(self) -> EventLoop:
+        """Build the event loop the configured backend runs on.
+
+        ``"sim"`` is the deterministic discrete-event loop; ``"realtime"``
+        is :class:`repro.rt.AsyncioScheduler` — same heap and ordering,
+        real sleeps between events.  Imported lazily so the sim backend
+        never touches :mod:`asyncio`.
+        """
+        if self.config.backend == "realtime":
+            from repro.rt import AsyncioScheduler
+            return AsyncioScheduler()
+        return EventLoop()
 
     def _make_transport(self, transport: Union[str, Transport, type]) -> Transport:
         if isinstance(transport, Transport):
@@ -529,8 +595,17 @@ class Kernel:
             snapshot_threshold=self.config.store_snapshot_threshold,
         )
         governor = CommitGovernor(piggyback=self.config.store_barrier_piggyback)
+        sink = None
+        if self.config.store_realtime_dir is not None:
+            import os
+
+            from repro.rt import FileWalSink
+            os.makedirs(self.config.store_realtime_dir, exist_ok=True)
+            sink = FileWalSink(os.path.join(self.config.store_realtime_dir,
+                                            f"{site.name}.wal"))
         store = SiteStore(site, self.loop, self.durability, costs, self.stats,
-                          log_event=self.log_event, governor=governor)
+                          log_event=self.log_event, governor=governor,
+                          sink=sink)
         site.attach_store(store)
         self.stores[site.name] = store
 

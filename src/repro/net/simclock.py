@@ -11,6 +11,14 @@ more events per agent step, so :class:`Event` is a ``__slots__`` class
 compaction — ``pending`` is an O(1) counter and cancelled entries are
 purged in bulk once they outnumber half the heap instead of being paid
 for on every pop.
+
+:class:`SimClock` and :class:`EventLoop` are the *deterministic*
+implementations of the :class:`~repro.core.timing.Clock` and
+:class:`~repro.core.timing.Scheduler` protocols — the
+``KernelConfig(backend="sim")`` default.  The wall-clock pair lives in
+:mod:`repro.rt` (:class:`~repro.rt.AsyncioScheduler` subclasses
+:class:`EventLoop`, keeping the heap and cancellation bookkeeping and
+replacing only how the gaps between events pass).
 """
 
 from __future__ import annotations
@@ -19,12 +27,11 @@ import heapq
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import KernelError
+# Canonical home is repro.core.timing; re-exported here because the
+# epsilon has always been part of this module's public surface.
+from repro.core.timing import PAST_EPSILON
 
-__all__ = ["Event", "EventLoop", "SimClock"]
-
-#: timestamps this far in the past are forgiven (float jitter from callers
-#: computing ``now + dt - dt``); anything older is a scheduling bug.
-PAST_EPSILON = 1e-9
+__all__ = ["Event", "EventLoop", "SimClock", "PAST_EPSILON"]
 
 
 class SimClock:

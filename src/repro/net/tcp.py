@@ -6,6 +6,11 @@ set up TCP communication channels."  The important behaviour relative to
 by later messages, so the setup cost is paid once per (source, destination)
 pair rather than once per transfer.  Connections involving a site are torn
 down when that site crashes.
+
+Setup and delivery delays are scheduled on the kernel's
+:class:`~repro.core.timing.Scheduler`: under the sim backend they are
+priced simulated seconds; under ``backend="realtime"`` the same delays
+really elapse on the wall clock.
 """
 
 from __future__ import annotations

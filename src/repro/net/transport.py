@@ -48,9 +48,9 @@ import random
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import NoRouteError, SiteDownError, TransportError
+from repro.core.timing import ScheduledEvent, Scheduler
 from repro.flow import FlowController
 from repro.net.message import Message, MessageKind
-from repro.net.simclock import Event, EventLoop
 from repro.net.stats import NetworkStats
 from repro.net.topology import Topology
 
@@ -88,7 +88,7 @@ class Outbox:
         self.destination = destination
         self.messages: List[Message] = []
         #: the armed flush event (None once flushed or dropped)
-        self.flush_event: Optional[Event] = None
+        self.flush_event: Optional[ScheduledEvent] = None
         #: when the first pending message entered (None while empty)
         self.first_queued_at: Optional[float] = None
         #: payload bytes (excluding framing) currently queued
@@ -115,7 +115,7 @@ class Transport(abc.ABC):
     #: human-readable transport name, used in benchmark output
     name = "abstract"
 
-    def __init__(self, loop: EventLoop, topology: Topology,
+    def __init__(self, loop: Scheduler, topology: Topology,
                  stats: Optional[NetworkStats] = None,
                  rng: Optional[random.Random] = None):
         self.loop = loop
@@ -323,7 +323,7 @@ class Transport(abc.ABC):
             due, lambda: self._flush_outbox(key, cause=cause),
             label=f"{self.name}-flush-{outbox.source}-{outbox.destination}")
 
-    def post(self, message: Message) -> Optional[Event]:
+    def post(self, message: Message) -> Optional[ScheduledEvent]:
         """Hand *message* to the delivery fabric.
 
         Batchable kinds are coalesced into the per-destination outbox when
@@ -392,7 +392,7 @@ class Transport(abc.ABC):
         return outbox.flush_event
 
     def _flush_outbox(self, key: Tuple[str, str],
-                      cause: str = "window") -> Optional[Event]:
+                      cause: str = "window") -> Optional[ScheduledEvent]:
         """Ship an outbox's pending messages as one batched wire message."""
         outbox = self._outboxes.pop(key, None)
         if outbox is None or not outbox.messages:
@@ -486,7 +486,7 @@ class Transport(abc.ABC):
 
     # -- sending --------------------------------------------------------------------
 
-    def send(self, message: Message) -> Optional[Event]:
+    def send(self, message: Message) -> Optional[ScheduledEvent]:
         """Queue *message* for delivery.
 
         Returns the scheduled delivery event, or ``None`` when the message

@@ -1,0 +1,24 @@
+"""repro.rt — the wall-clock (realtime) execution backend.
+
+The other half of the :mod:`repro.core.timing` seam: the same kernel,
+transports, store and fault layer, running on real time instead of
+simulated time (``KernelConfig(backend="realtime")``).
+
+* :class:`AsyncioScheduler` — an :class:`~repro.net.simclock.EventLoop`
+  subclass whose inter-event gaps are real ``asyncio`` sleeps: transport
+  delivery latencies become real awaits, Horus heartbeat/detection
+  delays run off real timers, WAL commit windows really elapse.
+* :class:`WallClock` — monotonic elapsed-seconds clock behind it.
+* :class:`FileWalSink` / :func:`read_wal_file` — optional real on-disk
+  WAL with real ``fsync`` per group commit
+  (``KernelConfig(store_realtime_dir=...)``).
+
+Realtime initially requires ``shards=1`` (one wall-clock loop; shard the
+sim backend instead) and is single-process — real sockets between site
+processes are the next step on the roadmap.
+"""
+
+from repro.rt.scheduler import AsyncioScheduler, WallClock
+from repro.rt.wal import FileWalSink, read_wal_file
+
+__all__ = ["AsyncioScheduler", "WallClock", "FileWalSink", "read_wal_file"]

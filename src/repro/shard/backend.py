@@ -38,11 +38,11 @@ what the budget-stop tests pin.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.errors import KernelError
+from repro.core.timing import default_timer
 
 __all__ = ["BACKENDS", "InprocBackend", "ShardBackend", "ThreadBackend",
            "make_backend", "process_backend_available"]
@@ -67,7 +67,7 @@ class ShardBackend:
     #: stats/table/site views from digests instead of direct engine access
     distributed = False
 
-    def __init__(self, timer: Callable[[], float] = time.perf_counter):
+    def __init__(self, timer: Callable[[], float] = default_timer):
         self.timer = timer
 
     # -- per-round hooks --------------------------------------------------------
@@ -157,7 +157,7 @@ class ThreadBackend(ShardBackend):
     name = "thread"
 
     def __init__(self, router, n_shards: int,
-                 timer: Callable[[], float] = time.perf_counter):
+                 timer: Callable[[], float] = default_timer):
         super().__init__(timer)
         self.router = router
         self.n_shards = int(n_shards)
@@ -193,7 +193,7 @@ class ThreadBackend(ShardBackend):
 
 
 def make_backend(name: str, router=None, n_shards: int = 0,
-                 timer: Callable[[], float] = time.perf_counter) -> ShardBackend:
+                 timer: Callable[[], float] = default_timer) -> ShardBackend:
     """Resolve a ``KernelConfig.shard_backend`` name to a backend instance.
 
     ``process`` is constructed directly by the kernel facade (it needs the

@@ -53,14 +53,13 @@ import importlib.machinery
 import multiprocessing
 import random
 import sys
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.errors import KernelError, UnknownSiteError
 from repro.core.lifecycle import AgentRecord, make_retention
-from repro.net.simclock import PAST_EPSILON
+from repro.core.timing import PAST_EPSILON, default_timer
 from repro.net.stats import NetworkStats
 from repro.shard.backend import ShardBackend
 from repro.shard.router import ShardBoundary, ShardContext
@@ -214,12 +213,12 @@ class _Worker:
     def cmd_run_to(self, horizon, budget, handoffs):
         self._deliver_handoffs(handoffs)
         loop = self.kernel.loop
-        start = time.perf_counter()
+        start = default_timer()
         if horizon is None:
             executed = loop.run(max_events=budget)
         else:
             executed = loop.run_until(horizon, max_events=budget)
-        busy = time.perf_counter() - start
+        busy = default_timer() - start
         outbound, self.router.outbound = self.router.outbound, []
         dirty, self.router.topology_dirty = self.router.topology_dirty, False
         return (executed, busy, outbound, dirty)
@@ -739,7 +738,7 @@ class ProcessBackend(ShardBackend):
     distributed = True
 
     def __init__(self, specs: Sequence[WorkerSpec], transport_name: str,
-                 timer=time.perf_counter):
+                 timer=default_timer):
         super().__init__(timer)
         self._handles: List[_WorkerHandle] = []
         self.proxies: List[ProcessEngineProxy] = []

@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.net.simclock import PAST_EPSILON
+from repro.core.timing import PAST_EPSILON
 
 __all__ = ["MailRouter", "ShardBoundary", "ShardContext"]
 

@@ -21,16 +21,17 @@ is global — shards share it in shard order, which forces serial execution
 on every backend — and exhausting it leaves every clock exactly where its
 last event fired, mirroring the single-loop ``run_until`` semantics.
 
-Timing uses an injectable ``timer`` (default ``time.perf_counter``) so
+Timing uses an injectable ``timer`` (default
+:data:`repro.core.timing.default_timer`) so
 tests can pin exactly what lands in ``busy_seconds`` vs ``sync_seconds``
 vs ``overhead_seconds`` with a fake clock.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.timing import default_timer
 from repro.shard.backend import InprocBackend, ShardBackend
 from repro.shard.clocksync import ClockSync
 
@@ -67,7 +68,7 @@ class ShardSet:
 
     def __init__(self, shards: List[Shard], clock_sync: ClockSync,
                  backend: Optional[ShardBackend] = None,
-                 timer: Callable[[], float] = time.perf_counter):
+                 timer: Callable[[], float] = default_timer):
         self.shards = list(shards)
         self.clock_sync = clock_sync
         self.backend = backend if backend is not None else InprocBackend(timer)

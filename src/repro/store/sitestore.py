@@ -38,11 +38,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import StoreError
+from repro.core.timing import Scheduler
 from repro.flow import CommitGovernor
 from repro.store.policy import DurabilityPolicy, StoreCosts
 from repro.store.snapshot import (CabinetImage, capture_cabinet, capture_folder,
                                   image_folder_count, restore_cabinet)
-from repro.store.wal import WriteAheadLog, apply_states
+from repro.store.wal import WalSink, WriteAheadLog, apply_states
 
 __all__ = ["SiteStore"]
 
@@ -53,14 +54,20 @@ Capture = Tuple[str, str, Optional[Tuple[bytes, ...]]]
 class SiteStore:
     """Durable storage for one site's file cabinets."""
 
-    def __init__(self, site, loop, policy: DurabilityPolicy, costs: StoreCosts,
-                 stats, log_event: Optional[Callable[[str, str, str], None]] = None,
-                 governor: Optional[CommitGovernor] = None):
+    def __init__(self, site, loop: Scheduler, policy: DurabilityPolicy,
+                 costs: StoreCosts, stats,
+                 log_event: Optional[Callable[[str, str, str], None]] = None,
+                 governor: Optional[CommitGovernor] = None,
+                 sink: Optional[WalSink] = None):
         if not policy.durable:
             raise StoreError("a SiteStore needs a durable policy; "
                              "policy 'none' builds no stores")
         self.site = site
+        #: any Scheduler: the sim EventLoop or the realtime AsyncioScheduler
         self.loop = loop
+        #: where committed records additionally land (no-op under sim;
+        #: a real fsynced file under realtime with store_realtime_dir)
+        self.sink = sink if sink is not None else WalSink()
         self.policy = policy
         self.costs = costs
         #: whether a pending durability barrier commits the batch early;
@@ -252,6 +259,7 @@ class SiteStore:
         records = self.wal.commit(self._inflight, at=self.loop.now)
         self._inflight = None
         self._durable_through = self._inflight_through
+        self.sink.commit(records)
         self.stats.record_wal_commit(
             len(records), sum(record.size_bytes for record in records))
         self._maybe_compact()
@@ -458,6 +466,10 @@ class SiteStore:
         self.stats.record_recovery(self._recovery_delay, restored,
                                    folders_lost=max(0, expected - restored))
         return restored
+
+    def close(self) -> None:
+        """Release the WAL sink's resources (idempotent; kernel-driven)."""
+        self.sink.close()
 
     # ------------------------------------------------------------------
     # introspection

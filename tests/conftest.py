@@ -15,6 +15,13 @@ settings.register_profile("repro", deadline=None)
 settings.load_profile("repro")
 
 
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "realtime: runs the wall-clock backend (real sleeps; selected in "
+        "the CI realtime smoke step with -m realtime)")
+
+
 @pytest.fixture
 def lan_kernel() -> Kernel:
     """A 4-site fully connected LAN kernel with the standard system agents."""

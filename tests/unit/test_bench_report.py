@@ -95,3 +95,26 @@ class TestReport:
         captured = capsys.readouterr()
         assert "[E2]" in captured.out
         assert "42" in captured.out
+
+
+class TestRunStamp:
+    def test_stamp_carries_seed_backend_and_sha(self):
+        from repro.bench.report import run_stamp
+        stamp = run_stamp(seed=23, backend="realtime")
+        assert stamp["seed"] == 23
+        assert stamp["backend"] == "realtime"
+        # In this checkout the SHA resolves; anywhere it cannot, the
+        # helper degrades to "unknown" rather than raising.
+        assert isinstance(stamp["git_sha"], str) and stamp["git_sha"]
+
+    def test_stamp_extra_keys_ride_along(self):
+        from repro.bench.report import run_stamp
+        stamp = run_stamp(seed=None, backend=["sim", "realtime"], smoke=True)
+        assert stamp["smoke"] is True
+        assert stamp["backend"] == ["sim", "realtime"]
+
+    def test_stamp_is_json_serializable(self):
+        import json
+
+        from repro.bench.report import run_stamp
+        assert json.loads(json.dumps(run_stamp(seed=1, backend="sim")))

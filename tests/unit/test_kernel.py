@@ -660,3 +660,45 @@ class TestShardedRunSemantics:
         # After quiescence each clock rests on its own shard's last event,
         # so `now` agrees only to within one inter-event gap.
         assert sharded.now == pytest.approx(classic.now, abs=0.05)
+
+
+class TestKernelContextManager:
+    """`with Kernel(...)` calls close() on exit; close is idempotent."""
+
+    def test_classic_kernel_context_manager(self):
+        with Kernel(lan(["a", "b"]), config=KernelConfig(rng_seed=3)) as kernel:
+            agent_id = kernel.launch("a", _noop_behaviour)
+            kernel.run()
+        assert kernel.completed == 1
+        assert kernel.result_of(agent_id) == "done"
+        kernel.close()  # idempotent after __exit__
+
+    def test_enter_returns_the_kernel_itself(self):
+        kernel = Kernel(lan(["a"]), install_system_agents=False)
+        try:
+            assert kernel.__enter__() is kernel
+        finally:
+            kernel.close()
+
+    def test_sharded_kernel_context_manager_closes_backend(self):
+        config = KernelConfig(rng_seed=5, shards=2, shard_backend="thread")
+        with Kernel(lan(["a", "b", "c", "d"]), config=config) as kernel:
+            kernel.launch("a", _noop_behaviour)
+            kernel.run()
+            assert kernel.completed == 1
+        # The thread pool was shut down by close(); running again lazily
+        # rebuilds it, so the kernel object stays usable.
+        kernel.close()
+
+    def test_close_propagates_exceptions_but_still_closes(self):
+        kernel = Kernel(lan(["a"]), install_system_agents=False,
+                        config=KernelConfig(durability="wal-group-commit"))
+        with pytest.raises(RuntimeError, match="boom"):
+            with kernel:
+                raise RuntimeError("boom")
+        assert kernel.store("a").sink is not None  # close ran without error
+
+
+def _noop_behaviour(ctx, briefcase):
+    yield ctx.sleep(0)
+    return "done"

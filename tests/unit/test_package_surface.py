@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.scheduling",
     "repro.fault",
     "repro.shard",
+    "repro.rt",
     "repro.apps.stormcast",
     "repro.apps.mail",
     "repro.bench",
