@@ -913,6 +913,11 @@ class ShardedChurnParams:
     #: (:func:`~repro.net.topology.switched_fabric` — the scaled E15 arm)
     topology: str = "lan"
     hosts_per_switch: int = 50
+    #: observability knobs (E17 measures their overhead on this workload):
+    #: obs_enabled turns the repro.obs tracing layer on, obs_sample is the
+    #: per-trace sampling rate handed to KernelConfig
+    obs_enabled: bool = False
+    obs_sample: float = 1.0
 
     def site_names(self) -> List[str]:
         return [f"s{i:03d}" for i in range(max(1, self.n_sites))]
@@ -999,7 +1004,10 @@ def execute_sharded_churn(params: ShardedChurnParams):
     overrides = {} if params.shards is None else {
         "shards": params.shards, "shard_backend": params.backend}
     kernel = Kernel(params.build_topology(), transport=params.transport,
-                    config=KernelConfig(rng_seed=params.seed, **overrides))
+                    config=KernelConfig(rng_seed=params.seed,
+                                        obs_enabled=params.obs_enabled,
+                                        obs_sample=params.obs_sample,
+                                        **overrides))
     kernel.install_agent(None, SHARD_SINK_NAME, _shard_sink)
     offset = max(1, len(sites) // 2 + 1)
     launched = 0

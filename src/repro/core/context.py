@@ -17,6 +17,7 @@ from repro.core.cabinet import FileCabinet
 from repro.core.codec import attach_code
 from repro.core.folder import Folder
 from repro.core.syscalls import EndMeet, Meet, Sleep, Spawn, Terminate, Transmit
+from repro.obs import TRACE_ID_FOLDER, TRACE_PARENT_FOLDER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.core.agent import AgentInstance
@@ -137,11 +138,51 @@ class AgentContext:
         """
         return self._site.crash_count
 
-    # -- logging ---------------------------------------------------------------------
+    # -- logging and tracing -----------------------------------------------------------
 
     def log(self, message: str) -> None:
         """Append a line to the kernel's event log (visible to tests/benchmarks)."""
         self._kernel.log_event(self._instance.agent_id, self._site.name, message)
+
+    @property
+    def obs(self):
+        """The kernel's tracer (repro.obs) — disabled unless ``obs_enabled``."""
+        return self._kernel.obs
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """This agent's trace id, or None when the itinerary is untraced."""
+        return self._instance.briefcase.get(TRACE_ID_FOLDER)
+
+    @property
+    def trace_parent(self) -> Optional[str]:
+        """The span id new child spans (and hops) should parent under."""
+        return self._instance.briefcase.get(TRACE_PARENT_FOLDER)
+
+    def set_trace_parent(self, span_id: str) -> None:
+        """Re-point the causal parent carried in the briefcase.
+
+        Layered protocols (the FT layer's per-hop spans) call this before
+        a jump so everything at the next site parents under the hop span
+        rather than the itinerary root.
+        """
+        self._instance.briefcase.set(TRACE_PARENT_FOLDER, span_id)
+
+    def propagate_trace(self, briefcase: Briefcase) -> Briefcase:
+        """Copy this agent's trace context into another briefcase.
+
+        Meets hand the callee a *separate* briefcase, so causality does not
+        flow into couriers (or other helpers) by itself; wrapping the
+        request briefcase keeps the delivery on the sender's trace.
+        Returns the briefcase for chaining; a no-op when untraced.
+        """
+        trace_id = self.trace_id
+        if trace_id is not None:
+            briefcase.set(TRACE_ID_FOLDER, trace_id)
+            parent = self.trace_parent
+            if parent is not None:
+                briefcase.set(TRACE_PARENT_FOLDER, parent)
+        return briefcase
 
     # -- syscall constructors ---------------------------------------------------------
 
@@ -209,6 +250,8 @@ class AgentContext:
         request.set("PAYLOAD_NAME", folder.name)
         if kind is not None:
             request.set("KIND", kind)
+        if self._kernel.obs.active:
+            self.propagate_trace(request)
         return Meet("courier", request)
 
     def __repr__(self) -> str:

@@ -24,8 +24,9 @@ The kernel ties everything together:
 
 from __future__ import annotations
 
+import itertools
 import random
-from collections import ChainMap
+from collections import ChainMap, deque
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
@@ -51,10 +52,12 @@ from repro.net.stats import NetworkStats, StatsView
 from repro.net.tcp import TcpTransport
 from repro.net.topology import Topology, lan
 from repro.net.transport import Transport
+from repro.obs import (TRACE_ID_FOLDER, TRACE_PARENT_FOLDER, MetricsRegistry,
+                       MetricsView, Tracer, TracerView, infra_trace_id)
 from repro.store.policy import DurabilityPolicy, StoreCosts, resolve_policy
 from repro.store.sitestore import SiteStore
 
-__all__ = ["Kernel", "KernelConfig"]
+__all__ = ["Kernel", "KernelConfig", "EventLog"]
 
 #: the transports selectable by name (paper section 6's three rexec variants)
 TRANSPORTS = {
@@ -62,6 +65,72 @@ TRANSPORTS = {
     "tcp": TcpTransport,
     "horus": HorusTransport,
 }
+
+
+class EventLog:
+    """The kernel event log, bounded by ``KernelConfig.event_log_max``.
+
+    A drop-in replacement for the unbounded list the kernel used to keep:
+    append/iterate/len/index/slice all work and entries stay
+    ``(time, agent_id, site_name, message)`` tuples.  Past the cap the
+    oldest entries are dropped (``dropped`` counts them) while ``total``
+    keeps the absolute sequence, so digest readers ask for "everything
+    past sequence N" (:meth:`since`) and survive drops.
+    """
+
+    __slots__ = ("max_entries", "dropped", "total", "_entries")
+
+    def __init__(self, max_entries: int = 0, entries: Iterable = ()):
+        self.max_entries = int(max_entries)
+        self._entries = deque(
+            entries, maxlen=self.max_entries if self.max_entries > 0 else None)
+        self.dropped = 0
+        self.total = len(self._entries)
+
+    def append(self, entry: tuple) -> None:
+        if 0 < self.max_entries <= len(self._entries):
+            self.dropped += 1
+        self._entries.append(entry)
+        self.total += 1
+
+    def extend(self, entries: Iterable) -> None:
+        for entry in entries:
+            self.append(entry)
+
+    def since(self, seq: int):
+        """``(new_seq, entries)``: every entry past absolute index *seq*.
+
+        When *seq* predates the retained window (the cap overtook a slow
+        reader), the returned entries start at the oldest retained one.
+        """
+        first_retained = self.total - len(self._entries)
+        skip = max(0, seq - first_retained)
+        if skip == 0:
+            fresh = list(self._entries)
+        else:
+            fresh = list(itertools.islice(self._entries, skip, None))
+        return self.total, fresh
+
+    def clear(self) -> None:
+        """Drop the retained entries (the absolute sequence never rewinds)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._entries)[index]
+        return self._entries[index]
+
+    def __repr__(self) -> str:
+        return f"EventLog({len(self._entries)} retained, {self.dropped} dropped)"
 
 
 @dataclass
@@ -164,6 +233,21 @@ class KernelConfig:
     #: only; see :class:`repro.rt.FileWalSink`).  None keeps the WAL
     #: purely logical.
     store_realtime_dir: Optional[str] = None
+    #: causal tracing (repro.obs): off by default — every instrumentation
+    #: point then costs a single attribute read
+    obs_enabled: bool = False
+    #: fraction of traces recorded, decided per trace id by a
+    #: deterministic CRC-32 hash (1.0 = everything, 0.0 = guard cost only)
+    obs_sample: float = 1.0
+    #: capacity of the in-memory span ring buffer (per kernel/shard)
+    obs_ring: int = 65536
+    #: JSONL file finished spans are appended to.  On a classic kernel the
+    #: file is written live; a sharded facade writes it at ``close()`` by
+    #: merging every shard's ring (engines never open the file themselves)
+    obs_path: Optional[str] = None
+    #: cap on retained kernel event-log lines; past it the oldest are
+    #: dropped (counted in ``event_log.dropped``).  0 = unbounded.
+    event_log_max: int = 200_000
 
 
 class Kernel:
@@ -225,6 +309,15 @@ class Kernel:
             raise KernelError(
                 "store_realtime_dir requires backend='realtime': the sim "
                 "backend keeps the WAL purely logical (priced, not paid)")
+        if not 0.0 <= self.config.obs_sample <= 1.0:
+            raise KernelError(f"obs_sample must be in [0.0, 1.0], got "
+                              f"{self.config.obs_sample}")
+        if self.config.obs_ring < 1:
+            raise KernelError(f"obs_ring must be >= 1, got "
+                              f"{self.config.obs_ring}")
+        if self.config.event_log_max < 0:
+            raise KernelError(f"event_log_max must be >= 0 (0 = unbounded), "
+                              f"got {self.config.event_log_max}")
         #: the ShardSet when this kernel is a sharded facade; None for the
         #: classic single-loop kernel and for the per-shard engines
         self._shards = None
@@ -247,6 +340,27 @@ class Kernel:
         if _shard_ctx is not None:
             self.transport.boundary = _shard_ctx.router.boundary_for(
                 _shard_ctx.shard_id)
+        #: this kernel's tracer (repro.obs) — disabled unless obs_enabled
+        self.obs = self._make_tracer()
+        self.transport.obs = self.obs
+        #: the metrics seam: every number the kernel publishes reads from
+        #: here (store_summary, shard digests, benchmark JSON alike)
+        self.metrics = MetricsRegistry()
+        self.metrics.register("net", self.stats.snapshot)
+        self.metrics.register("flow", self.transport.flow.metrics)
+        transport_metrics = getattr(self.transport, "metrics", None)
+        if transport_metrics is not None:  # tcp/horus publish extra telemetry
+            self.metrics.register("transport", transport_metrics)
+        if self.config.backend == "realtime":
+            # Wall-clock honesty metrics: how late the scheduler wakes.
+            self.loop.lag_observe = self.metrics.histogram(
+                "rt_sleep_lag_seconds").observe
+        #: open "run" spans by agent id / open recovery spans by site name
+        self._obs_runs: Dict[str, Any] = {}
+        self._obs_recovery: Dict[str, Any] = {}
+        #: per-engine trace-id counter; launches reach each engine in the
+        #: same order on every shard backend, so assigned ids match too
+        self._obs_trace_seq = 0
         if self.config.delivery_batch_window == 0 and (
                 self.config.delivery_batch_max_messages > 0
                 or self.config.delivery_batch_max_bytes > 0
@@ -327,7 +441,7 @@ class Kernel:
         #: kernel's agent-facing API delegates here)
         self.table = AgentTable(retention if retention is not None
                                 else self.config.retention)
-        self.event_log: List[tuple] = []
+        self.event_log = EventLog(self.config.event_log_max)
         #: memo for _best_effort_code: deriving a CODE element per
         #: launch/meet/arrival re-ran registry reverse lookups (and raised
         #: exceptions for unregistered callables) on every hot-path call.
@@ -411,6 +525,16 @@ class Kernel:
 
         # The merged facade surface: one API over N shards.
         self.stats = StatsView([engine.stats for engine in engines])
+        #: the facade's own tracer (sync-round spans ride the ShardSet
+        #: clock); every engine span is merged in through the TracerView
+        facade_tracer = (Tracer(clock=self._shards,
+                                sample=self.config.obs_sample)
+                         if self.config.obs_enabled else None)
+        self.obs = TracerView([engine.obs for engine in engines],
+                              own=facade_tracer)
+        self._shards.obs = facade_tracer
+        self.metrics = MetricsView([engine.metrics for engine in engines])
+        self.metrics.register("net", self.stats.snapshot)
         self.table = MergedAgentTable([engine.table for engine in engines])
         self.sites = ChainMap(*[engine.sites for engine in engines])
         self.stores = ChainMap(*[engine.stores for engine in engines])
@@ -531,10 +655,14 @@ class Kernel:
         rebuild their pool lazily if run again.
         """
         if self._shards is not None:
+            if self.config.obs_enabled and self.config.obs_path is not None:
+                # Engines ring-buffer their spans; the facade owns the file.
+                self.dump_trace(self.config.obs_path)
             self._shards.close()
             return
         for store in self.stores.values():
             store.close()
+        self.obs.close()
         loop_close = getattr(self.loop, "close", None)
         if loop_close is not None:
             loop_close()
@@ -564,6 +692,30 @@ class Kernel:
             from repro.rt import AsyncioScheduler
             return AsyncioScheduler()
         return EventLoop()
+
+    def _make_tracer(self) -> Tracer:
+        """Build this kernel's tracer from the ``obs_*`` config knobs.
+
+        Disabled (the default) returns the no-op tracer: every
+        instrumentation point then costs one attribute read.  Shard
+        engines always record into ring buffers — the facade merges them
+        (``dump_trace``) — so ``obs_path`` opens a live JSONL file only on
+        classic kernels.  Under ``backend="realtime"`` spans additionally
+        carry monotonic wall-clock stamps, the feed-back path from
+        observed latencies to sim cost-model prices.
+        """
+        if not self.config.obs_enabled:
+            return Tracer.disabled()
+        from repro.obs import JsonlSink, RingSink, TeeSink
+        sink = RingSink(self.config.obs_ring)
+        if self.config.obs_path is not None and self._shard_ctx is None:
+            sink = TeeSink([sink, JsonlSink(self.config.obs_path)])
+        wall_timer = None
+        if self.config.backend == "realtime":
+            from timeit import default_timer
+            wall_timer = default_timer
+        return Tracer(clock=self.loop, sink=sink,
+                      sample=self.config.obs_sample, wall_timer=wall_timer)
 
     def _make_transport(self, transport: Union[str, Transport, type]) -> Transport:
         if isinstance(transport, Transport):
@@ -603,9 +755,12 @@ class Kernel:
             os.makedirs(self.config.store_realtime_dir, exist_ok=True)
             sink = FileWalSink(os.path.join(self.config.store_realtime_dir,
                                             f"{site.name}.wal"))
+            # Measured flush+fsync wall latency per group commit.
+            sink.latency_observe = self.metrics.histogram(
+                "wal_fsync_wall_seconds").observe
         store = SiteStore(site, self.loop, self.durability, costs, self.stats,
                           log_event=self.log_event, governor=governor,
-                          sink=sink)
+                          sink=sink, obs=self.obs)
         site.attach_store(store)
         self.stores[site.name] = store
 
@@ -802,16 +957,108 @@ class Kernel:
     def store_summary(self) -> Dict[str, Any]:
         """Aggregate durability ledger (what the E12 report prints).
 
-        Selected from the stats snapshot by prefix, so a durability counter
-        added to :class:`NetworkStats` shows up here without a second list
-        to maintain.
+        Reads the metrics registry — which re-exposes the stats snapshot
+        as its ``"net"`` source — selected by prefix, so a durability
+        counter added to :class:`NetworkStats` *or* registered directly
+        with ``kernel.metrics`` shows up here without a second list to
+        maintain.
         """
         summary: Dict[str, Any] = {
-            key: value for key, value in self.stats.snapshot().items()
+            key: value for key, value in self.metrics.collect().items()
             if key.startswith(("wal_", "store_", "recover", "durable_",
                                "state_lost_"))}
         summary["policy"] = self.durability.name
         return summary
+
+    # ------------------------------------------------------------------
+    # observability (repro.obs)
+    # ------------------------------------------------------------------
+
+    def trace_spans(self) -> List[Dict[str, Any]]:
+        """Every recorded span as dicts, oldest first (sharded: merged)."""
+        return self.obs.export()
+
+    def dump_trace(self, path: str) -> int:
+        """Write every recorded span to *path* as JSONL; returns the count.
+
+        One file per kernel regardless of sharding or execution backend —
+        the :mod:`repro.obs.report` analyzer reconstructs itineraries and
+        latency breakdowns from it.
+        """
+        import json
+        spans = self.trace_spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span, sort_keys=True, default=str))
+                handle.write("\n")
+        return len(spans)
+
+    def _obs_trace_launch(self, briefcase: Briefcase, site_name: str) -> None:
+        """Assign a fresh trace id at top-level launch (plus its root span).
+
+        A briefcase already carrying TRACE_ID (an FT itinerary names its
+        trace after the computation id, callers may pre-assign) keeps the
+        id and only gets the root span; one carrying a TRACE_PARENT too is
+        mid-itinerary and left alone.  The id counter advances whether or
+        not the trace is sampled, so ids are stable under any sampling
+        rate — and identical across shard execution backends, because
+        launches reach each engine in the same order everywhere.
+        """
+        trace_id = briefcase.get(TRACE_ID_FOLDER)
+        if trace_id is None:
+            self._obs_trace_seq += 1
+            shard = self._shard_ctx.shard_id if self._shard_ctx is not None else 0
+            trace_id = f"t{shard}:{site_name}:{self._obs_trace_seq}"
+        elif briefcase.get(TRACE_PARENT_FOLDER) is not None:
+            return
+        if not self.obs.sampled(trace_id):
+            if briefcase.get(TRACE_ID_FOLDER) is not None:
+                # An unsampled pre-assigned id must not leak spans further
+                # down the itinerary either.
+                briefcase.remove(TRACE_ID_FOLDER)
+            return
+        root = self.obs.record(trace_id, "launch", "root", start=self.loop.now,
+                               kind="agent", site=site_name)
+        briefcase.set(TRACE_ID_FOLDER, trace_id)
+        briefcase.set(TRACE_PARENT_FOLDER, root.span_id)
+
+    def _obs_begin_run(self, instance: AgentInstance) -> None:
+        """Open the agent's "run" span (start to finish/fail/kill)."""
+        trace_id = instance.briefcase.get(TRACE_ID_FOLDER)
+        if trace_id is None:
+            return
+        attrs = ({"agent": instance.spec.name}
+                 if instance.spec.name is not None else None)
+        self._obs_runs[instance.agent_id] = self.obs.begin(
+            trace_id, "run", self.obs.next_key(instance.site_name),
+            parent_id=instance.briefcase.get(TRACE_PARENT_FOLDER),
+            kind="agent", site=instance.site_name, attrs=attrs)
+
+    def _obs_end_run(self, instance: AgentInstance, status: str) -> None:
+        span = self._obs_runs.pop(instance.agent_id, None)
+        if span is not None:
+            self.obs.finish(span, status=status)
+
+    def _obs_record_arrival(self, site: Site, message: Message,
+                            briefcase: Briefcase) -> None:
+        """Record the network leg that carried a traced agent/folder here.
+
+        The span covers send to delivery and is recorded destination-side
+        in one shot, so no open-span handle ever crosses an engine (or
+        process) boundary.  The briefcase's TRACE_PARENT is re-pointed at
+        it, parenting the arrival's "run" span under the network leg.
+        """
+        trace_id, parent = message.trace
+        name = ("migration" if message.kind in MessageKind.MIGRATION_KINDS
+                else "delivery")
+        sent_at = message.sent_at if message.sent_at is not None else self.loop.now
+        span = self.obs.record(
+            trace_id, name, self.obs.next_key(site.name),
+            start=sent_at, end=self.loop.now, parent_id=parent, kind="net",
+            site=site.name, source=message.source,
+            destination=message.destination,
+            attrs={"kind": message.kind, "bytes": message.size_bytes()})
+        briefcase.set(TRACE_PARENT_FOLDER, span.span_id)
 
     def install_agent(self, site_name: Optional[str], name: str, behaviour: Callable,
                       system: bool = False, replace: bool = False) -> None:
@@ -885,6 +1132,8 @@ class Kernel:
             code_element=self._best_effort_code(behaviour, resolved),
             system=system or resolved_system,
         )
+        if self.obs.active:
+            self._obs_trace_launch(spec.briefcase, site_name)
         instance = AgentInstance(spec, site_name)
         self._register(instance)
         self.loop.schedule(delay, lambda: self._start(instance),
@@ -923,6 +1172,8 @@ class Kernel:
             )))
         instances: List[AgentInstance] = []
         for site_name, spec in specs:
+            if self.obs.active:
+                self._obs_trace_launch(spec.briefcase, site_name)
             instance = AgentInstance(spec, site_name)
             self._register(instance)
             instances.append(instance)
@@ -1125,11 +1376,16 @@ class Kernel:
     def log_event(self, agent_id: str, site_name: str, message: str) -> None:
         """Append a line to the kernel event log (agents call this via ctx.log).
 
-        Sharded: facade-level events land in shard 0's log; the facade's
+        Sharded: the event lands in the log of the shard owning
+        *site_name* — stamped with that shard's clock, next to the rest of
+        that site's history.  Only events about unplaced scopes (``"*"``,
+        facade-level notes) fall back to shard 0.  The facade's
         ``event_log`` property merges every shard's log in time order.
         """
         if self._shards is not None:
-            self._engines[0].log_event(agent_id, site_name, message)
+            owner = self._router.placement.get(site_name)
+            engine = self._engines[owner] if owner is not None else self._engines[0]
+            engine.log_event(agent_id, site_name, message)
             return
         self.event_log.append((self.loop.now, agent_id, site_name, message))
 
@@ -1172,6 +1428,10 @@ class Kernel:
                 site.mark_crashed()
                 self.log_event("kernel", name, "site crashed during recovery; "
                                                "replay aborted")
+                if self.obs.active:
+                    span = self._obs_recovery.pop(name, None)
+                    if span is not None:
+                        self.obs.finish(span, aborted=True)
             return
         site.mark_crashed()
         self.topology.mark_down(name)
@@ -1182,6 +1442,10 @@ class Kernel:
         if store is not None:
             store.on_crash()
         self.log_event("kernel", name, "site crashed")
+        if self.obs.active:
+            self.obs.record(infra_trace_id("site", name), "crash",
+                            self.obs.next_key(name), start=self.loop.now,
+                            kind="fault", site=name)
 
     def recover_site(self, name: str) -> None:
         """Recover a crashed site.
@@ -1215,6 +1479,11 @@ class Kernel:
             self.topology.mark_up(name)
             self.transport.on_site_up(name)
             self.log_event("kernel", name, "site recovered")
+            if self.obs.active:
+                self.obs.record(infra_trace_id("site", name), "recovery",
+                                self.obs.next_key(name), start=self.loop.now,
+                                kind="fault", site=name,
+                                attrs={"instant": True})
             self._fire_site_recovered(name)
             return
         if store.recovering:
@@ -1223,6 +1492,11 @@ class Kernel:
         self.log_event("kernel", name,
                        f"site recovering: replaying snapshot + WAL "
                        f"({delay:.4f}s)")
+        if self.obs.active:
+            self._obs_recovery[name] = self.obs.begin(
+                infra_trace_id("site", name), "recovery",
+                self.obs.next_key(name), kind="fault", site=name,
+                attrs={"replay_delay": delay})
         self.loop.schedule(delay, lambda: self._complete_recovery(name, token),
                            label=f"recover-{name}")
 
@@ -1238,6 +1512,10 @@ class Kernel:
         self.transport.on_site_up(name)
         self.log_event("kernel", name,
                        f"site recovered: {restored} durable folders restored")
+        if self.obs.active:
+            span = self._obs_recovery.pop(name, None)
+            if span is not None:
+                self.obs.finish(span, restored=restored)
         self._fire_site_recovered(name)
 
     def _fire_site_recovered(self, name: str) -> None:
@@ -1292,6 +1570,8 @@ class Kernel:
             return
         instance.mark_killed(self.loop.now, reason=reason)
         instance.close_generator()
+        if self.obs.active:
+            self._obs_end_run(instance, "killed")
         self._retire(instance)
 
     def _start(self, instance: AgentInstance) -> None:
@@ -1302,6 +1582,8 @@ class Kernel:
             self._kill(instance, reason=f"site {site.name} is down")
             return
         instance.started_at = self.loop.now
+        if self.obs.active:
+            self._obs_begin_run(instance)
         context = AgentContext(self, site, instance)
         try:
             outcome = instance.spec.behaviour(context, instance.briefcase)
@@ -1458,6 +1740,11 @@ class Kernel:
             payload={"contact": request.contact, "briefcase": payload_bytes},
             declared_size=declared,
         )
+        if self.obs.active:
+            trace_id = request.briefcase.get(TRACE_ID_FOLDER)
+            if trace_id is not None:
+                message.trace = (trace_id,
+                                 request.briefcase.get(TRACE_PARENT_FOLDER))
         self.transmits += 1
         # Through the delivery fabric: batchable kinds (folder deliveries,
         # status reports) may coalesce with other traffic to the same
@@ -1475,6 +1762,8 @@ class Kernel:
             return
         instance.mark_done(result, self.loop.now)
         instance.close_generator()
+        if self.obs.active:
+            self._obs_end_run(instance, "done")
         self._retire(instance)
         self._release_meet_parent(instance, result)
 
@@ -1483,6 +1772,8 @@ class Kernel:
             return
         instance.mark_failed(error, self.loop.now)
         instance.close_generator()
+        if self.obs.active:
+            self._obs_end_run(instance, "failed")
         self._retire(instance)
         self.log_event(instance.agent_id, instance.site_name, f"failed: {error!r}")
         self._release_meet_parent_on_abnormal_end(
@@ -1602,6 +1893,8 @@ class Kernel:
             code_element=self._best_effort_code(contact, behaviour),
             system=is_system,
         )
+        if self.obs.active and message.trace is not None:
+            self._obs_record_arrival(site, message, briefcase)
         instance = AgentInstance(spec, site.name)
         self._register(instance)
         self.arrivals += 1

@@ -117,6 +117,16 @@ def _send_releases(ctx: AgentContext, briefcase: Briefcase, ft_id: str,
         else:
             notice = make_release_folder(ft_id, reached_seq, done=done,
                                          released_seqs=released_seqs)
+            if ctx.obs.active and ctx.trace_id is not None:
+                # The release notice itself travels via the courier (its
+                # delivery span lands at the guard site); this span marks
+                # the guard-retirement decision on the itinerary's trace.
+                ctx.obs.record(ctx.trace_id, "ft-release",
+                               ctx.obs.next_key(ctx.site_name), start=ctx.now,
+                               parent_id=ctx.trace_parent, kind="ft",
+                               site=ctx.site_name, destination=guard_site,
+                               attrs={"released": sorted(released_seqs),
+                                      "done": done})
             yield ctx.send_folder(notice, guard_site, RELEASE_AGENT_NAME,
                                   kind=MessageKind.FT_RELEASE)
     guards_folder.replace(keep)
@@ -179,6 +189,15 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
     # Logged only for hops that actually execute (absorbed duplicates cost
     # a message, not work): E12 reads these events to count re-executed hops.
     ctx.log(f"hop-exec {ft_id} seq={seq}")
+    # The hop span is keyed by the itinerary position (``hop{seq}``), not a
+    # counter, so the same hop re-executed after a crash keeps one identity
+    # and span trees match across shard execution backends.
+    hop_span = None
+    if ctx.obs.active and ctx.trace_id is not None:
+        hop_span = ctx.obs.begin(ctx.trace_id, "ft-hop", f"hop{seq}",
+                                 parent_id=ctx.trace_parent, kind="ft",
+                                 site=ctx.site_name, attrs={"ft_id": ft_id})
+        ctx.set_trace_parent(hop_span.span_id)
 
     yield from _do_local_work(ctx, briefcase, seq)
 
@@ -220,10 +239,20 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
             record_checkpoint(cabinet, ft_id, next_seq, snapshot.to_wire(),
                               per_hop, max_relaunches)
             barrier_from = ctx.now
+            ckpt_span = None
+            if hop_span is not None:
+                ckpt_span = ctx.obs.begin(ctx.trace_id, "ft-ckpt",
+                                          f"hop{next_seq}",
+                                          parent_id=hop_span.span_id,
+                                          kind="store", site=ctx.site_name)
             yield from wait_until_durable(ctx)
+            if ckpt_span is not None:
+                ctx.obs.finish(ckpt_span, waited=ctx.now - barrier_from)
             ctx.log(f"ckpt-wait {ft_id} seq={next_seq} "
                     f"waited={ctx.now - barrier_from:.6f}")
         result = yield jump
+        if hop_span is not None:
+            ctx.obs.finish(hop_span, status="moved", next_site=next_site)
         if result is not None and result.value:
             # The transfer was handed to the network: a twin arriving here
             # later is redundant and may be absorbed.  Crash before this
@@ -239,6 +268,8 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
     delivery = ctx.cabinet(RESULTS_CABINET)
     if delivery.contains_element("completed_ids", ft_id):
         yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq, done=True)
+        if hop_span is not None:
+            ctx.obs.finish(hop_span, status="duplicate-completion")
         return "duplicate-completion"
     delivery.put("completed_ids", ft_id)
     delivery.put("completions", {
@@ -251,6 +282,8 @@ def ft_visitor_behaviour(ctx: AgentContext, briefcase: Briefcase):
         "site": ctx.site_name,
     })
     yield from _send_releases(ctx, briefcase, ft_id, reached_seq=seq, done=True)
+    if hop_span is not None:
+        ctx.obs.finish(hop_span, status="delivered")
     return "completed"
 
 
@@ -347,6 +380,11 @@ def launch_ft_computation(kernel: Kernel, origin: str, itinerary: Sequence[str],
     briefcase = _build_briefcase(ft_id, itinerary, per_hop, max_relaunches,
                                  work_seconds, task, view_assisted=view_assisted,
                                  durable_checkpoints=durable_checkpoints)
+    if kernel.obs.active:
+        # Name the trace after the computation: one grep-able id ties the
+        # kernel event log, the completion record and the span tree together.
+        from repro.obs import TRACE_ID_FOLDER
+        briefcase.set(TRACE_ID_FOLDER, ft_id)
     kernel.launch(origin, FT_VISITOR_NAME, briefcase, delay=delay)
     return ft_id
 
@@ -358,6 +396,9 @@ def launch_plain_computation(kernel: Kernel, origin: str, itinerary: Sequence[st
     ft_id = ft_id or f"plain-{next(_computation_ids):05d}"
     briefcase = _build_briefcase(ft_id, itinerary, per_hop=0.5, max_relaunches=0,
                                  work_seconds=work_seconds, task=task)
+    if kernel.obs.active:
+        from repro.obs import TRACE_ID_FOLDER
+        briefcase.set(TRACE_ID_FOLDER, ft_id)
     kernel.launch(origin, PLAIN_VISITOR_NAME, briefcase, delay=delay)
     return ft_id
 

@@ -62,6 +62,10 @@ class FlowController:
         #: EWMA smoothing factor handed to new estimators
         self.alpha = alpha
         self._flows: Dict[FlowKey, FlowState] = {}
+        #: how often a derived window hit the floor / ceiling (the signal
+        #: that the configured bounds, not the traffic, are setting windows)
+        self.clamped_min = 0
+        self.clamped_max = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -137,7 +141,21 @@ class FlowController:
     def _clamp(self, window: float) -> float:
         if not self.adaptive:
             return window
-        return min(max(window, self.window_min), self.window_max)
+        if window < self.window_min:
+            self.clamped_min += 1
+            return self.window_min
+        if window > self.window_max:
+            self.clamped_max += 1
+            return self.window_max
+        return window
+
+    def metrics(self) -> Dict[str, float]:
+        """Registry source (``kernel.metrics``): clamp counters + pair count."""
+        return {
+            "flow_window_clamped_min": self.clamped_min,
+            "flow_window_clamped_max": self.clamped_max,
+            "flow_pairs_tracked": len(self._flows),
+        }
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -53,6 +53,11 @@ class Message:
     sent_at: float = 0.0
     delivered_at: Optional[float] = None
     hops: int = 1
+    #: causal trace context ``(trace_id, parent_span_id)`` attached when the
+    #: sender's kernel traces the carried briefcase (repro.obs).  Rides the
+    #: message through batching envelopes and pickled process handoffs; the
+    #: destination kernel records the network-leg span from it.
+    trace: Optional[tuple] = field(default=None, repr=False, compare=False)
     #: memoised result of :meth:`size_bytes` — the payload is immutable once
     #: the message is handed to a transport, and send/deliver accounting used
     #: to re-pickle the payload on every call

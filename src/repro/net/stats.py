@@ -8,11 +8,12 @@ ledger, so the counters live in one small, well-tested module.
 from __future__ import annotations
 
 import dataclasses
+import random
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["NetworkStats", "LinkStats", "StatsView"]
+__all__ = ["NetworkStats", "LinkStats", "StatsView", "LatencySketch"]
 
 
 @dataclass
@@ -22,6 +23,130 @@ class LinkStats:
     messages: int = 0
     bytes: int = 0
     drops: int = 0
+
+
+class LatencySketch:
+    """Bounded latency store: streaming moments plus a reservoir sample.
+
+    Million-message runs used to grow ``NetworkStats.latencies`` linearly;
+    this keeps an exact streaming count/sum/min/max (so
+    :meth:`NetworkStats.mean_latency` stays exact) and an Algorithm-R
+    reservoir of at most *capacity* values for percentile estimates.  The
+    reservoir RNG is seeded per-sketch, so given the same record sequence
+    the retained sample is identical on every execution backend.
+    """
+
+    __slots__ = ("capacity", "count", "total", "min", "max", "_sample", "_rng")
+
+    def __init__(self, capacity: int = 4096, values: Optional[Sequence[float]] = None):
+        self.capacity = max(1, int(capacity))
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sample: List[float] = []
+        self._rng = random.Random(0x5EED)
+        if values is not None:
+            for value in values:
+                self.record(value)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._sample[slot] = value
+
+    # list-era compatibility: ``stats.latencies.append(x)`` keeps working
+    append = record
+
+    # -- reading ------------------------------------------------------------
+
+    def mean(self) -> Optional[float]:
+        """Exact mean over *every* recorded value (not just the sample)."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    @property
+    def sample(self) -> List[float]:
+        """The retained reservoir values (record order, <= capacity)."""
+        return list(self._sample)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile estimated from the reservoir sample."""
+        if not self._sample:
+            return None
+        ordered = sorted(self._sample)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def merge_from(self, other: "LatencySketch") -> None:
+        """Fold another sketch in: exact moments add, samples concatenate.
+
+        Used by :class:`StatsView` to merge per-shard sketches; the merged
+        sample is re-capped at this sketch's capacity (keeping a prefix of
+        each part is fine for a transient merged view).
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        room = self.capacity - len(self._sample)
+        if room > 0:
+            self._sample.extend(other._sample[:room])
+
+    # -- state transfer (process shard backend) ------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Plain picklable dict for shard digests."""
+        return {"capacity": self.capacity, "count": self.count,
+                "total": self.total, "min": self.min, "max": self.max,
+                "sample": list(self._sample),
+                "rng_state": self._rng.getstate()}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LatencySketch":
+        sketch = cls(capacity=state["capacity"])
+        sketch.count = state["count"]
+        sketch.total = state["total"]
+        sketch.min = state["min"]
+        sketch.max = state["max"]
+        sketch._sample = list(state["sample"])
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            sketch._rng.setstate(rng_state)
+        return sketch
+
+    # -- dunders -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of *recorded* values (list-era ``len`` compatibility)."""
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self):
+        """Iterate the retained sample (not the full stream)."""
+        return iter(self._sample)
+
+    def __repr__(self) -> str:
+        return (f"LatencySketch(n={self.count}, mean="
+                f"{self.mean() if self.count else None}, "
+                f"sample={len(self._sample)}/{self.capacity})")
 
 
 @dataclass
@@ -51,7 +176,9 @@ class NetworkStats:
     per_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_kind_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     per_link: Dict[Tuple[str, str], LinkStats] = field(default_factory=dict)
-    latencies: List[float] = field(default_factory=list)
+    #: bounded delivery-latency store: exact streaming count/sum/min/max plus
+    #: a reservoir sample for percentiles (was an unbounded ``List[float]``)
+    latencies: LatencySketch = field(default_factory=LatencySketch)
 
     # Durable-store counters (repro.store): the durability cost model and
     # the crash/recovery ledger the E12 experiment reads.
@@ -114,7 +241,7 @@ class NetworkStats:
         """Count a message that reached its destination."""
         self.messages_delivered += 1
         self.bytes_delivered += size
-        self.latencies.append(latency)
+        self.latencies.record(latency)
 
     def record_drop(self, source: str, destination: str) -> None:
         """Count a message lost to failure, partition or loss injection."""
@@ -210,10 +337,12 @@ class NetworkStats:
     # -- reading -------------------------------------------------------------
 
     def mean_latency(self) -> Optional[float]:
-        """Mean delivery latency in simulated seconds, or None if nothing delivered."""
-        if not self.latencies:
-            return None
-        return sum(self.latencies) / len(self.latencies)
+        """Mean delivery latency in simulated seconds, or None if nothing delivered.
+
+        Exact over every delivery: the sketch streams count/sum even after
+        its percentile reservoir saturates.
+        """
+        return self.latencies.mean()
 
     def delivery_ratio(self) -> float:
         """Delivered / sent (1.0 when nothing was sent)."""
@@ -275,6 +404,9 @@ class NetworkStats:
             "shard_handoff_bytes": self.shard_handoff_bytes,
             "shard_late_arrivals": self.shard_late_arrivals,
             "mean_latency": self.mean_latency() or 0.0,
+            "latency_count": self.latencies.count,
+            "latency_p50": self.latencies.percentile(0.50) or 0.0,
+            "latency_p99": self.latencies.percentile(0.99) or 0.0,
             "delivery_ratio": self.delivery_ratio(),
         }
 
@@ -291,7 +423,9 @@ class NetworkStats:
         state: Dict[str, object] = {}
         for spec in dataclasses.fields(NetworkStats):
             value = getattr(self, spec.name)
-            if isinstance(value, dict):
+            if isinstance(value, LatencySketch):
+                value = value.to_state()
+            elif isinstance(value, dict):
                 value = dict(value)
             elif isinstance(value, list):
                 value = list(value)
@@ -309,7 +443,12 @@ class NetworkStats:
             if spec.name not in state:
                 continue
             value = state[spec.name]
-            if spec.name in ("flush_causes", "per_kind", "per_kind_bytes"):
+            if spec.name == "latencies":
+                # accept both sketch-state dicts and list-era plain lists
+                value = (LatencySketch.from_state(value)
+                         if isinstance(value, dict)
+                         else LatencySketch(values=value))
+            elif spec.name in ("flush_causes", "per_kind", "per_kind_bytes"):
                 value = defaultdict(int, value)
             elif isinstance(value, dict):
                 value = dict(value)
@@ -399,8 +538,12 @@ class StatsView:
         return merged
 
     @property
-    def latencies(self) -> List[float]:
-        return [latency for part in self._parts for latency in part.latencies]
+    def latencies(self) -> LatencySketch:
+        """Merged sketch: exact combined moments, concatenated samples."""
+        merged = LatencySketch()
+        for part in self._parts:
+            merged.merge_from(part.latencies)
+        return merged
 
     # -- derived readers: reuse the NetworkStats implementations, which only
     # touch the attributes merged above (plain duck typing).

@@ -147,6 +147,10 @@ class Transport(abc.ABC):
         #: destination lives on another shard are handed to that shard's
         #: event loop instead of being scheduled locally
         self.boundary = None
+        #: the owning kernel's tracer (repro.obs); set by the kernel right
+        #: after construction.  None (standalone transports, tests) and a
+        #: disabled tracer both keep the fabric span-free.
+        self.obs = None
 
     # -- endpoint registration -------------------------------------------------
 
@@ -424,6 +428,21 @@ class Transport(abc.ABC):
             declared_size=body,
         )
         event = self.send(batch)
+        obs = self.obs
+        if obs is not None and obs.active:
+            # One span per shipped envelope on the fabric's pseudo-trace;
+            # start is when the oldest coalesced message entered the outbox,
+            # so the span's width is the window the batch actually waited.
+            from repro.obs import infra_trace_id
+            obs.record(
+                infra_trace_id("fabric", f"{outbox.source}->{outbox.destination}"),
+                "fabric-flush",
+                obs.next_key(outbox.source),
+                start=min(message.sent_at for message in messages),
+                end=self.loop.now, kind="net", site=outbox.source,
+                source=outbox.source, destination=outbox.destination,
+                attrs={"cause": cause, "messages": len(messages),
+                       "bytes": body, "delivered": event is not None})
         if event is not None:
             self.stats.record_batch(
                 len(messages),

@@ -1,0 +1,220 @@
+"""Tracers: per-kernel span recording, and the merged facade view.
+
+Hot-path contract: every instrumentation point is guarded by a single
+attribute read (``if tracer.active:``), and a disabled tracer allocates
+nothing — the "near-zero cost when sampling is off" half of the E17
+overhead claim.
+
+Determinism contract: sampling decisions hash the trace id (CRC-32), and
+anonymous span keys come from a per-tracer event-order counter — both
+identical across execution backends because every engine kernel executes
+the same event sequence on every backend (the PR 7 invariant).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.sinks import RingSink
+from repro.obs.span import Span, span_id
+
+__all__ = ["Tracer", "TracerView", "SpanMirror"]
+
+#: CRC-32 sampling: a trace is kept when crc32(trace_id) < sample * 2**32
+_SAMPLE_SPACE = float(2 ** 32)
+
+
+class Tracer:
+    """Records spans for one kernel (one engine, or the classic kernel)."""
+
+    __slots__ = ("clock", "sink", "sample", "wall_timer", "enabled", "_seq")
+
+    def __init__(self, clock=None, sink=None, sample: float = 1.0,
+                 wall_timer: Optional[Callable[[], float]] = None,
+                 enabled: bool = True):
+        #: anything with a ``.now`` attribute (the kernel's event loop)
+        self.clock = clock
+        self.sink = sink if sink is not None else RingSink()
+        self.sample = float(sample)
+        #: when set (realtime backend) spans get wall_start / wall_end stamps
+        self.wall_timer = wall_timer
+        self.enabled = bool(enabled)
+        #: per-tracer span counter used for anonymous keys; consumed in
+        #: engine event order, so deterministic across execution backends
+        self._seq = 0
+
+    @classmethod
+    def disabled(cls) -> "Tracer":
+        """A tracer that records nothing (the default on every kernel)."""
+        return cls(enabled=False, sink=_NULL_SINK)
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """The one-attribute hot-path guard."""
+        return self.enabled
+
+    def sampled(self, trace_id: str) -> bool:
+        """Deterministic per-trace sampling decision (CRC-32 of the id)."""
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        return zlib.crc32(trace_id.encode("utf-8")) < self.sample * _SAMPLE_SPACE
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def next_key(self, scope: str) -> str:
+        """An anonymous span key: ``scope:n`` with a deterministic counter."""
+        self._seq += 1
+        return f"{scope}:{self._seq}"
+
+    def begin(self, trace_id: str, name: str, key: str,
+              parent_id: Optional[str] = None, kind: str = "", site: str = "",
+              source: str = "", destination: str = "",
+              attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span now; finish it with :meth:`finish`."""
+        span = Span(trace_id, span_id(trace_id, name, key), name,
+                    parent_id=parent_id, kind=kind, site=site, source=source,
+                    destination=destination,
+                    start=self.clock.now if self.clock is not None else 0.0,
+                    attrs=attrs)
+        if self.wall_timer is not None:
+            span.wall_start = self.wall_timer()
+        return span
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        """Close *span* now and emit it to the sink."""
+        span.end = self.clock.now if self.clock is not None else span.start
+        if self.wall_timer is not None:
+            span.wall_end = self.wall_timer()
+        if attrs:
+            if span.attrs is None:
+                span.attrs = attrs
+            else:
+                span.attrs.update(attrs)
+        self.sink.emit(span.to_dict())
+        return span
+
+    def record(self, trace_id: str, name: str, key: str, start: float,
+               end: Optional[float] = None, parent_id: Optional[str] = None,
+               kind: str = "", site: str = "", source: str = "",
+               destination: str = "",
+               attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Emit a complete span in one call (start/end already known)."""
+        span = Span(trace_id, span_id(trace_id, name, key), name,
+                    parent_id=parent_id, kind=kind, site=site, source=source,
+                    destination=destination, start=start,
+                    end=start if end is None else end, attrs=attrs)
+        if self.wall_timer is not None:
+            span.wall_end = self.wall_timer()
+            span.wall_start = span.wall_end
+        self.sink.emit(span.to_dict())
+        return span
+
+    # -- reading ---------------------------------------------------------------
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Every span the sink retains, oldest first."""
+        return self.sink.export()
+
+    def since(self, seq: int):
+        """Delta export for state digests (see :meth:`RingSink.since`)."""
+        if hasattr(self.sink, "since"):
+            return self.sink.since(seq)
+        return seq, []
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class _NullSink:
+    """Swallow everything (the disabled tracer's sink)."""
+
+    __slots__ = ()
+
+    def emit(self, span: Dict[str, Any]) -> None:  # pragma: no cover - guard
+        pass
+
+    def export(self) -> List[Dict[str, Any]]:
+        return []
+
+    def since(self, seq: int):
+        return seq, []
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_SINK = _NullSink()
+
+
+class SpanMirror:
+    """Coordinator-side stand-in for a process worker's tracer.
+
+    The worker records spans into its own ring; each state digest ships
+    the delta and :meth:`absorb` accumulates it here, so the facade's
+    :class:`TracerView` reads process shards exactly like in-process ones.
+    """
+
+    __slots__ = ("_spans", "enabled")
+
+    def __init__(self, enabled: bool = False):
+        self._spans: List[Dict[str, Any]] = []
+        self.enabled = enabled
+
+    @property
+    def active(self) -> bool:
+        return self.enabled
+
+    def absorb(self, spans: Sequence[Dict[str, Any]]) -> None:
+        self._spans.extend(spans)
+
+    def export(self) -> List[Dict[str, Any]]:
+        return list(self._spans)
+
+    def close(self) -> None:
+        pass
+
+
+class TracerView:
+    """Merged read-only view over several tracers (the sharded facade).
+
+    ``export()`` interleaves every part's spans in (start, span_id) order
+    so a facade trace dump reads exactly like a classic kernel's.
+    """
+
+    __slots__ = ("_parts", "_own")
+
+    def __init__(self, parts: Sequence, own: Optional[Tracer] = None):
+        self._parts = list(parts)
+        self._own = own
+
+    @property
+    def active(self) -> bool:
+        if self._own is not None and self._own.active:
+            return True
+        return any(part.active for part in self._parts)
+
+    @property
+    def own(self) -> Optional[Tracer]:
+        """The facade's own tracer (sync-round spans), if any."""
+        return self._own
+
+    def export(self) -> List[Dict[str, Any]]:
+        merged: List[Dict[str, Any]] = []
+        for part in self._parts:
+            merged.extend(part.export())
+        if self._own is not None:
+            merged.extend(self._own.export())
+        merged.sort(key=lambda span: (span.get("start", 0.0),
+                                      span.get("span_id", "")))
+        return merged
+
+    def close(self) -> None:
+        for part in self._parts:
+            part.close()
+        if self._own is not None:
+            self._own.close()

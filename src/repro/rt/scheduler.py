@@ -92,6 +92,10 @@ class AsyncioScheduler(EventLoop):
         super().__init__(clock=WallClock(timer))
         self._aio: Optional[asyncio.AbstractEventLoop] = None
         self._closed = False
+        #: optional metrics hook (the kernel wires a histogram's ``observe``
+        #: here): called with each fired event's wake lag in seconds — how
+        #: far past its scheduled time the wall clock was when it ran
+        self.lag_observe: Optional[Callable[[float], None]] = None
 
     # -- scheduling ------------------------------------------------------------
 
@@ -158,6 +162,8 @@ class AsyncioScheduler(EventLoop):
             if gap > _DUE_SLACK:
                 await asyncio.sleep(gap)
                 continue  # re-peek: the sleep may have been undershot
+            if self.lag_observe is not None:
+                self.lag_observe(max(0.0, -gap))
             self.step()
             executed += 1
         if horizon is not None:

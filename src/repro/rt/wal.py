@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from repro.core.timing import default_timer
 from repro.store.wal import WalRecord, WalSink
 
 __all__ = ["FileWalSink", "read_wal_file"]
@@ -39,12 +40,16 @@ class FileWalSink(WalSink):
         self.fsync = fsync
         self.commits = 0
         self.records_written = 0
+        #: optional metrics hook (the kernel wires a histogram's ``observe``
+        #: here): called with each commit's measured flush+fsync seconds
+        self.latency_observe: Optional[Callable[[float], None]] = None
         self._handle = open(self.path, "ab")
 
     def commit(self, records: Sequence[WalRecord]) -> None:
         """Append one group commit's records and make them durable."""
         if self._handle is None:
             return  # closed sink: the store is shutting down
+        started = default_timer() if self.latency_observe is not None else 0.0
         for record in records:
             pickle.dump((record.seq, record.cabinet, record.folder,
                          record.elements, record.committed_at),
@@ -54,6 +59,8 @@ class FileWalSink(WalSink):
             os.fsync(self._handle.fileno())
         self.commits += 1
         self.records_written += len(records)
+        if self.latency_observe is not None:
+            self.latency_observe(default_timer() - started)
 
     def close(self) -> None:
         """Close the file; idempotent."""

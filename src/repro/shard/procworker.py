@@ -61,6 +61,7 @@ from repro.core.errors import KernelError, UnknownSiteError
 from repro.core.lifecycle import AgentRecord, make_retention
 from repro.core.timing import PAST_EPSILON, default_timer
 from repro.net.stats import NetworkStats
+from repro.obs import MetricsRegistry, SpanMirror
 from repro.shard.backend import ShardBackend
 from repro.shard.router import ShardBoundary, ShardContext
 from repro.store.policy import resolve_policy
@@ -162,7 +163,11 @@ class WorkerRouter:
         self.placement.pop(site_name, None)
 
     def dispatch(self, origin_shard: int, message, delay: float):
+        from repro.shard.router import _record_handoff_span
         arrival = self.engine.loop.now + delay
+        _record_handoff_span(self.engine, origin_shard,
+                             self.placement[message.destination], message,
+                             arrival)
         self.engine.stats.record_shard_handoff(message.size_bytes())
         entry = (arrival, message)
         self.outbound.append(entry)
@@ -188,6 +193,7 @@ class _Worker:
         #: agent_id -> last (state, steps, site) shipped, for table deltas
         self._sent_markers: Dict[str, tuple] = {}
         self._event_log_sent = 0
+        self._span_seq = 0
 
     # -- command handlers -------------------------------------------------------
 
@@ -286,8 +292,11 @@ class _Worker:
         sites = {name: (site.alive, site.resident_count(), site.undeliverable,
                         site.background_load, site.capacity)
                  for name, site in kernel.sites.items()}
-        new_events = kernel.event_log[self._event_log_sent:]
-        self._event_log_sent = len(kernel.event_log)
+        # Absolute-sequence deltas: the bounded EventLog / span ring may
+        # have dropped old entries, so positional slicing would misalign.
+        self._event_log_sent, new_events = \
+            kernel.event_log.since(self._event_log_sent)
+        self._span_seq, new_spans = kernel.obs.since(self._span_seq)
         return {
             "stats": kernel.stats.export_state(),
             "processed": kernel.loop.processed,
@@ -299,6 +308,8 @@ class _Worker:
             "table_kinds": table.ledger_entry_kinds(),
             "sites": sites,
             "event_log": new_events,
+            "spans": new_spans,
+            "metrics": kernel.metrics.export_state(),
         }
 
     # -- the loop ---------------------------------------------------------------
@@ -621,6 +632,11 @@ class ProcessEngineProxy:
         # the authoritative stream lives in the worker.
         self.rng = random.Random(spec.config.rng_seed + spec.shard_id)
         self.event_log: List[tuple] = []
+        #: span mirror + metrics mirror, refreshed from per-run digests so
+        #: the facade's TracerView/MetricsView read process shards exactly
+        #: like in-process engines
+        self.obs = SpanMirror(enabled=spec.config.obs_enabled)
+        self.metrics = MetricsRegistry()
         self.meets = 0
         self.transmits = 0
         self.arrivals = 0
@@ -725,6 +741,8 @@ class ProcessEngineProxy:
             mirror.background_load = background_load
             mirror.capacity = capacity
         self.event_log.extend(digest["event_log"])
+        self.obs.absorb(digest["spans"])
+        self.metrics.load_state(digest["metrics"])
 
     def __repr__(self) -> str:
         return (f"ProcessEngineProxy(shard={self.shard_id}, "

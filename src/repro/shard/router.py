@@ -25,6 +25,29 @@ from repro.core.timing import PAST_EPSILON
 __all__ = ["MailRouter", "ShardBoundary", "ShardContext"]
 
 
+def _record_handoff_span(origin, origin_shard: int, dest_shard: int,
+                         message, arrival: float) -> None:
+    """Origin-side shard-handoff span for traced cross-shard messages.
+
+    Recorded at send time on the *origin* engine's tracer (span keys come
+    from its deterministic counter, so the identity is backend-invariant);
+    the span covers send -> arrival, exactly the window the message is in
+    flight between shards.
+    """
+    obs = getattr(origin, "obs", None)
+    if obs is None or not obs.active or message.trace is None:
+        return
+    trace_id, parent_id = message.trace
+    if not obs.sampled(trace_id):
+        return
+    obs.record(
+        trace_id, "shard-handoff", obs.next_key(f"s{origin_shard}"),
+        start=origin.loop.now, end=arrival, parent_id=parent_id,
+        kind="shard", source=message.source, destination=message.destination,
+        attrs={"from_shard": origin_shard, "to_shard": dest_shard,
+               "bytes": message.size_bytes()})
+
+
 class ShardContext:
     """What a shard engine needs to know about its place in the cluster."""
 
@@ -141,6 +164,7 @@ class MailRouter:
         origin = self._engines[origin_shard]
         dest_shard = self.placement[message.destination]
         arrival = origin.loop.now + delay
+        _record_handoff_span(origin, origin_shard, dest_shard, message, arrival)
         if self.inbox_handoffs:
             # Park it in the owner's inbox; lateness (only possible with an
             # optimistic flow bonus) is judged drain-side against the

@@ -85,6 +85,9 @@ class ShardSet:
         self.overhead_seconds = 0.0
         #: cross-shard messages delivered via deferred inbox/worker paths
         self.handoffs_drained = 0
+        #: the facade's own tracer (repro.obs), set by Kernel._init_facade
+        #: when observability is on; records one span per run() drive
+        self.obs = None
 
     # -- clocks -----------------------------------------------------------------
 
@@ -111,6 +114,14 @@ class ShardSet:
         timer = self.timer
         backend = self.backend
         budget_stopped = False
+        obs = self.obs if (self.obs is not None and self.obs.active) else None
+        if obs is not None:
+            from repro.obs import infra_trace_id
+            run_span = obs.begin(
+                infra_trace_id("shard", "coordinator"), "shard-run",
+                obs.next_key("run"), kind="shard",
+                attrs={"shards": len(self.shards),
+                       "rounds_before": self.rounds})
         while True:
             if max_events is not None and total >= max_events:
                 # Budget exhausted mid-stream: clocks stay where their
@@ -154,6 +165,10 @@ class ShardSet:
             for shard in self.shards:
                 backend.advance_clock(shard, until)
         backend.finish_run()
+        if obs is not None:
+            obs.finish(run_span, events=total,
+                       rounds=self.rounds - run_span.attrs["rounds_before"],
+                       handoffs=self.handoffs_drained)
         return total
 
     def close(self) -> None:

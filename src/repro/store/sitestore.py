@@ -58,7 +58,7 @@ class SiteStore:
                  costs: StoreCosts, stats,
                  log_event: Optional[Callable[[str, str, str], None]] = None,
                  governor: Optional[CommitGovernor] = None,
-                 sink: Optional[WalSink] = None):
+                 sink: Optional[WalSink] = None, obs=None):
         if not policy.durable:
             raise StoreError("a SiteStore needs a durable policy; "
                              "policy 'none' builds no stores")
@@ -75,6 +75,10 @@ class SiteStore:
         self.governor = governor if governor is not None else CommitGovernor()
         self.stats = stats
         self._log = log_event or (lambda agent, site_name, message: None)
+        #: the owning kernel's tracer (repro.obs); None or disabled keeps
+        #: the store span-free
+        self.obs = obs
+        self._obs_sync_span = None
 
         self.wal = WriteAheadLog()
         #: per-cabinet base images the WAL is compacted into
@@ -234,6 +238,16 @@ class SiteStore:
         self._inflight = captures
         self._inflight_through = self._mutation_counter
         self._inflight_done_at = self.loop.now + cost
+        if self.obs is not None and self.obs.active:
+            # One span per batched write+fsync on the site's store
+            # pseudo-trace; finished (or dropped) by _finalize / on_crash.
+            from repro.obs import infra_trace_id
+            self._obs_sync_span = self.obs.begin(
+                infra_trace_id("store", self.site.name), "wal-commit",
+                self.obs.next_key(self.site.name), kind="store",
+                site=self.site.name,
+                attrs={"records": len(captures),
+                       "bytes": self._captures_bytes(captures)})
         self._finalize_event = self.loop.schedule(
             cost, self._finalize, label=f"store-fsync-{self.site.name}")
         return cost
@@ -258,6 +272,9 @@ class SiteStore:
             return
         records = self.wal.commit(self._inflight, at=self.loop.now)
         self._inflight = None
+        if self._obs_sync_span is not None:
+            self.obs.finish(self._obs_sync_span, status="committed")
+            self._obs_sync_span = None
         self._durable_through = self._inflight_through
         self.sink.commit(records)
         self.stats.record_wal_commit(
@@ -412,6 +429,10 @@ class SiteStore:
         if self._finalize_event is not None:
             self._finalize_event.cancel()
             self._finalize_event = None
+        if self._obs_sync_span is not None:
+            # The sync died with the site: the span still tells the story.
+            self.obs.finish(self._obs_sync_span, status="crashed", aborted=True)
+            self._obs_sync_span = None
         self._dirty.clear()
         self._inflight = None
         if self.recovering:

@@ -25,6 +25,7 @@ EXAMPLES = [
     "runaway_containment.py",
     "adaptive_traffic.py",
     "sharded_churn.py",
+    "tracing_an_itinerary.py",
 ]
 
 

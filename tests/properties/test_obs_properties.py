@@ -1,0 +1,167 @@
+"""Property-based tests: tracing is deterministic and backend-invariant.
+
+The repro.obs determinism contract (PR 9): span identity is derived only
+from semantic state — trace ids from launch order, keys from per-engine
+event-order counters — so a traced workload yields the *identical* span
+tree whether the shards execute serially (``inproc``), on a thread pool,
+or in worker processes whose spans return via state digests.  Wall clocks,
+thread interleavings and process boundaries must never leak into a trace.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Briefcase, Kernel, KernelConfig
+from repro.core.folder import Folder
+from repro.core.registry import register_behaviour
+from repro.net import lan
+from repro.obs.report import build_trees
+
+
+def obs_collector(ctx, bc):
+    """Fan-in sink: counts folders couriered at it."""
+    ctx.cabinet("obs").put("received", 1)
+    yield ctx.sleep(0)
+    return "ok"
+
+
+def obs_fanin(ctx, bc):
+    """Courier a report to the sink, then follow the itinerary."""
+    report = Folder("REPORT", [{"from": ctx.site_name}])
+    yield ctx.send_folder(report, bc.get("SINK"), "obs_collector")
+    itinerary = bc.folder("ITINERARY", create=True)
+    if itinerary:
+        yield ctx.jump(bc, itinerary.dequeue())
+        return "moved"
+    return ctx.site_name
+
+
+# Registered (not shipped as source): jumps resolve the same behaviour on
+# every backend, and process workers re-import this module on spawn.
+register_behaviour("obs_collector", obs_collector, replace=True)
+register_behaviour("obs_fanin", obs_fanin, replace=True)
+
+
+def run_traced(seed: int, n_sites: int, n_agents: int, hops: int,
+               shards: int, backend: str = "inproc",
+               sample: float = 1.0):
+    names = [f"p{i}" for i in range(n_sites)]
+    kernel = Kernel(lan(names), transport="tcp",
+                    config=KernelConfig(rng_seed=seed, shards=shards,
+                                        shard_backend=backend,
+                                        obs_enabled=True,
+                                        obs_sample=sample))
+    kernel.install_agent(None, "obs_collector", obs_collector)
+    for index in range(n_agents):
+        briefcase = Briefcase()
+        itinerary = briefcase.folder("ITINERARY", create=True)
+        for hop in range(hops):
+            itinerary.push(names[(index + hop + 1) % n_sites])
+        briefcase.set("SINK", names[(index + n_sites // 2) % n_sites])
+        kernel.launch(names[index % n_sites], "obs_fanin", briefcase)
+    kernel.run()
+    spans = kernel.trace_spans()
+    kernel.close()
+    return spans
+
+
+def agent_spans(spans):
+    """Non-infra spans only; infra pseudo-traces (``~...``) may legally
+    differ across backends (coordination structure is backend-specific)."""
+    return [span for span in spans if not span["trace_id"].startswith("~")]
+
+
+def tree_shapes(spans):
+    return {trace_id: tuple(root.tree_shape() for root in roots)
+            for trace_id, roots in build_trees(agent_spans(spans)).items()}
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_sites=st.integers(min_value=4, max_value=8),
+       n_agents=st.integers(min_value=1, max_value=6),
+       hops=st.integers(min_value=0, max_value=3),
+       shards=st.integers(min_value=2, max_value=4))
+def test_thread_backend_yields_identical_span_trees(seed, n_sites, n_agents,
+                                                    hops, shards):
+    inproc = run_traced(seed, n_sites, n_agents, hops, shards, "inproc")
+    threaded = run_traced(seed, n_sites, n_agents, hops, shards, "thread")
+    # Strongest form first: the full agent-span records match — identity,
+    # causality, sim timestamps, attributes.
+    assert agent_spans(threaded) == agent_spans(inproc)
+    assert tree_shapes(threaded) == tree_shapes(inproc)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       sample=st.sampled_from([0.0, 0.3, 0.7]))
+def test_sampling_decision_is_backend_invariant(seed, sample):
+    """A partial sample keeps the *same subset* of traces on any backend."""
+    inproc = run_traced(seed, 6, 5, 2, 3, "inproc", sample=sample)
+    threaded = run_traced(seed, 6, 5, 2, 3, "thread", sample=sample)
+    assert agent_spans(threaded) == agent_spans(inproc)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_traced_run_is_deterministic_across_repeats(seed):
+    first = run_traced(seed, 6, 4, 2, 3)
+    second = run_traced(seed, 6, 4, 2, 3)
+    assert agent_spans(first) == agent_spans(second)
+
+
+def test_process_backend_yields_identical_span_trees():
+    """Digest-mirrored worker spans rebuild the same tree the serial loop
+    records.  Not hypothesis-driven: each example spawns real processes,
+    and spawn children can only resolve registry-backed behaviours.
+    """
+    import pytest
+
+    from repro.fault.ftmove import launch_ft_computation
+    from repro.shard import process_backend_available
+
+    if not process_backend_available():
+        pytest.skip("multiprocessing spawn does not work on this host")
+
+    def run_ft(backend):
+        sites = ["alpha", "beta", "gamma", "delta"]
+        kernel = Kernel(topology=lan(sites),
+                        config=KernelConfig(shards=2, shard_backend=backend,
+                                            obs_enabled=True))
+        launch_ft_computation(kernel, sites[0], sites[1:], ft_id="ft-prop")
+        kernel.run(until=60.0)
+        spans = kernel.trace_spans()
+        kernel.close()
+        return spans
+
+    reference = run_ft("inproc")
+    assert any(span["name"] == "ft-hop" for span in reference)
+    for backend in ("thread", "process"):
+        assert agent_spans(run_ft(backend)) == agent_spans(reference), backend
+
+
+def test_realtime_spans_carry_monotonic_wall_timestamps():
+    """Under ``backend="realtime"`` every span gets wall stamps, closed in
+    emission order — the raw material for feeding observed latencies back
+    into the sim cost model."""
+    kernel = Kernel(lan(["a", "b"], latency=0.002),
+                    config=KernelConfig(backend="realtime",
+                                        obs_enabled=True))
+    kernel.install_agent(None, "obs_collector", obs_collector)
+    briefcase = Briefcase()
+    briefcase.folder("ITINERARY", create=True).push("b")
+    briefcase.set("SINK", "b")
+    kernel.launch("a", "obs_fanin", briefcase)
+    kernel.run(until=2.0)
+    spans = kernel.obs.sink.export()   # raw ring: emission order
+    kernel.close()
+    assert spans, "realtime run recorded no spans"
+    assert {"launch", "run", "migration"} <= {span["name"] for span in spans}
+    for span in spans:
+        assert span.get("wall_end") is not None, span["span_id"]
+        wall_start = span.get("wall_start", span["wall_end"])
+        assert span["wall_end"] >= wall_start, span["span_id"]
+    emitted = [span["wall_end"] for span in spans]
+    assert emitted == sorted(emitted), "spans must close in wall order"

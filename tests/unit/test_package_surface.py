@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.fault",
     "repro.shard",
     "repro.rt",
+    "repro.obs",
     "repro.apps.stormcast",
     "repro.apps.mail",
     "repro.bench",
